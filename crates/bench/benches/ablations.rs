@@ -1,0 +1,70 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! the SQL detection path vs the native semantic detector, the single-pair
+//! query strategy vs one query pair per constraint, and the cost of building
+//! the tableau-as-data encoding as |Tp| grows.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecfd_bench::PreparedWorkload;
+use ecfd_detect::{BatchDetector, Encoding, SemanticDetector};
+
+fn bench_sql_vs_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sql_vs_native");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let workload = PreparedWorkload::new(200, 5.0, 42);
+    let batch = BatchDetector::new(&workload.schema, &workload.constraints).unwrap();
+    let native = SemanticDetector::new(&workload.schema, &workload.constraints).unwrap();
+    group.bench_function("sql_batch", |b| {
+        b.iter(|| {
+            let mut catalog = workload.catalog();
+            batch.detect(&mut catalog).unwrap()
+        });
+    });
+    group.bench_function("native", |b| {
+        b.iter(|| native.detect(&workload.data).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_single_pair_vs_per_constraint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_single_pair_vs_per_constraint");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let workload = PreparedWorkload::new(150, 5.0, 42);
+    let detector = BatchDetector::new(&workload.schema, &workload.constraints).unwrap();
+    group.bench_function("single_pair", |b| {
+        b.iter(|| {
+            let mut catalog = workload.catalog();
+            detector.detect(&mut catalog).unwrap()
+        });
+    });
+    group.bench_function("per_constraint", |b| {
+        b.iter(|| {
+            let mut catalog = workload.catalog();
+            detector.detect_per_constraint(&mut catalog).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_encoding_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_encoding_build");
+    for tp in [50usize, 200, 500] {
+        let workload = PreparedWorkload::with_tableau_size(10, 0.0, 42, Some(tp));
+        group.bench_with_input(BenchmarkId::from_parameter(tp), &tp, |b, _| {
+            b.iter(|| Encoding::build(&workload.schema, &workload.constraints).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sql_vs_native,
+    bench_single_pair_vs_per_constraint,
+    bench_encoding_build
+);
+criterion_main!(benches);

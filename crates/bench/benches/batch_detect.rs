@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks behind Figs. 5(a)–(c): SQL BATCHDETECT cost as a
+//! function of |D|, noise% and |Tp|.
+//!
+//! Sizes are kept small (hundreds of tuples) because Criterion repeats every
+//! measurement many times; the `experiments` binary runs the full sweeps.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecfd_bench::PreparedWorkload;
+use ecfd_detect::BatchDetector;
+
+fn bench_batch_scale_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_batch_scale_d");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for size in [100usize, 200, 400] {
+        let workload = PreparedWorkload::new(size, 5.0, 42);
+        let detector = BatchDetector::new(&workload.schema, &workload.constraints).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let mut catalog = workload.catalog();
+                detector.detect(&mut catalog).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_scale_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_batch_scale_noise");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for noise in [0.0f64, 5.0, 9.0] {
+        let workload = PreparedWorkload::new(200, noise, 42);
+        let detector = BatchDetector::new(&workload.schema, &workload.constraints).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(noise as u32), &noise, |b, _| {
+            b.iter(|| {
+                let mut catalog = workload.catalog();
+                detector.detect(&mut catalog).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_scale_tp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5c_batch_scale_tp");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for tp in [20usize, 40, 80] {
+        let workload = PreparedWorkload::with_tableau_size(200, 5.0, 42, Some(tp));
+        let detector = BatchDetector::new(&workload.schema, &workload.constraints).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(tp), &tp, |b, _| {
+            b.iter(|| {
+                let mut catalog = workload.catalog();
+                detector.detect(&mut catalog).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_scale_d,
+    bench_batch_scale_noise,
+    bench_batch_scale_tp
+);
+criterion_main!(benches);

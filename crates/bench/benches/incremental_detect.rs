@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks behind Figs. 6(a)–(c) and 7(a): incremental
+//! detection vs batch recomputation under updates.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecfd_bench::PreparedWorkload;
+use ecfd_detect::{BatchDetector, IncrementalDetector};
+
+/// Fig. 6(a) analogue: fixed update size, growing |D|; measures one
+/// incremental apply vs one batch recomputation.
+fn bench_inc_vs_batch_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_inc_vs_batch_d");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for size in [200usize, 400] {
+        let workload = PreparedWorkload::new(size, 5.0, 42);
+        let delta = workload.delta(20, 20, 7);
+
+        group.bench_with_input(BenchmarkId::new("incdetect", size), &size, |b, _| {
+            b.iter(|| {
+                let mut catalog = workload.catalog();
+                let mut inc = IncrementalDetector::initialize(
+                    &workload.schema,
+                    &workload.constraints,
+                    &mut catalog,
+                )
+                .unwrap();
+                inc.apply(&mut catalog, &delta).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batchdetect", size), &size, |b, _| {
+            let detector = BatchDetector::new(&workload.schema, &workload.constraints).unwrap();
+            b.iter(|| {
+                let mut updated = workload.data.clone();
+                delta.apply(&mut updated).unwrap();
+                let mut catalog = ecfd_relation::Catalog::new();
+                catalog.create(updated).unwrap();
+                detector.detect(&mut catalog).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7(a) analogue: fixed |D|, growing update size.
+fn bench_update_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_update_size");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let workload = PreparedWorkload::new(400, 5.0, 42);
+    for delta_size in [20usize, 100, 200] {
+        let delta = workload.delta(delta_size, delta_size, 7);
+        group.bench_with_input(
+            BenchmarkId::new("incdetect", delta_size),
+            &delta_size,
+            |b, _| {
+                b.iter(|| {
+                    let mut catalog = workload.catalog();
+                    let mut inc = IncrementalDetector::initialize(
+                        &workload.schema,
+                        &workload.constraints,
+                        &mut catalog,
+                    )
+                    .unwrap();
+                    inc.apply(&mut catalog, &delta).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batchdetect", delta_size),
+            &delta_size,
+            |b, _| {
+                let detector =
+                    BatchDetector::new(&workload.schema, &workload.constraints).unwrap();
+                b.iter(|| {
+                    let mut updated = workload.data.clone();
+                    delta.apply(&mut updated).unwrap();
+                    let mut catalog = ecfd_relation::Catalog::new();
+                    catalog.create(updated).unwrap();
+                    detector.detect(&mut catalog).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inc_vs_batch_d, bench_update_size);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks for the static analyses of Sections III–IV:
+//! exact satisfiability, exact implication, and the MAXGSAT-based MAXSS
+//! approximation (including a comparison of the MAXGSAT solvers).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecfd_core::{implication, maxss, satisfiability};
+use ecfd_datagen::constraints::workload_constraints;
+use ecfd_datagen::cust_schema;
+use ecfd_logic::MaxGSatSolver;
+
+fn bench_satisfiability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfiability");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let schema = cust_schema();
+    let constraints = workload_constraints();
+    for n in [2usize, 5, 10] {
+        let subset = &constraints[..n];
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| satisfiability::is_satisfiable(&schema, subset).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("maxgsat_approx", n), &n, |b, _| {
+            b.iter(|| {
+                maxss::approximate_max_satisfiable(
+                    &schema,
+                    subset,
+                    MaxGSatSolver::LocalSearch {
+                        restarts: 4,
+                        max_flips: 100,
+                    },
+                    0.1,
+                    42,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implication");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let schema = cust_schema();
+    let constraints = workload_constraints();
+    group.bench_function("workload_redundancy_check", |b| {
+        b.iter(|| {
+            // Is φ8 implied by the rest? (It is not.)
+            let phi = &constraints[7];
+            let rest: Vec<_> = constraints
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 7)
+                .map(|(_, e)| e.clone())
+                .collect();
+            implication::implies(&schema, &rest, phi).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_maxgsat_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxgsat_solvers");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let schema = cust_schema();
+    let constraints = workload_constraints();
+    let encoding = maxss::MaxSsEncoding::build(&schema, &constraints).unwrap();
+    for (name, solver) in [
+        ("random", MaxGSatSolver::RandomSampling { samples: 50 }),
+        ("greedy", MaxGSatSolver::GreedyConditional { samples: 20 }),
+        (
+            "local_search",
+            MaxGSatSolver::LocalSearch {
+                restarts: 4,
+                max_flips: 100,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| encoding.instance().solve(solver, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_satisfiability,
+    bench_implication,
+    bench_maxgsat_solvers
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerates the figures of the paper's evaluation (Section VI).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p ecfd-bench --release --bin experiments -- [EXPERIMENT ...] [--full]
+//! ```
+//!
+//! `EXPERIMENT` is one of `fig5a fig5b fig5c fig6a fig6b fig6c fig7a fig7b
+//! ablation`, or `all` (the default). `--full` switches from the default
+//! small scale to the paper's original parameter ranges (10k–100k tuples) —
+//! expect long runtimes on the bundled interpretive SQL engine.
+
+use ecfd_bench::experiments::{self, render_table, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = Scale::from_full_flag(full);
+    let requested: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let all = ["fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablation"];
+    let selected: Vec<&str> = if requested.is_empty() || requested.iter().any(|r| r == "all") {
+        all.to_vec()
+    } else {
+        requested.iter().map(String::as_str).collect()
+    };
+
+    println!(
+        "eCFD experiment harness — scale: {:?} (use --full for the paper's ranges)\n",
+        scale
+    );
+    for exp in selected {
+        let (title, rows) = match exp {
+            "fig5a" => (
+                "Fig. 5(a) — BATCHDETECT scalability in |D| (noise 5%, 10 eCFDs)",
+                experiments::fig5a(scale),
+            ),
+            "fig5b" => (
+                "Fig. 5(b) — BATCHDETECT scalability in noise%",
+                experiments::fig5b(scale),
+            ),
+            "fig5c" => (
+                "Fig. 5(c) — BATCHDETECT scalability in |Tp|",
+                experiments::fig5c(scale),
+            ),
+            "fig6a" => (
+                "Fig. 6(a) — INCDETECT vs BATCHDETECT, scaling |D|",
+                experiments::fig6a(scale),
+            ),
+            "fig6b" => (
+                "Fig. 6(b) — INCDETECT vs BATCHDETECT, scaling noise%",
+                experiments::fig6b(scale),
+            ),
+            "fig6c" => (
+                "Fig. 6(c) — INCDETECT vs BATCHDETECT, scaling |Tp|",
+                experiments::fig6c(scale),
+            ),
+            "fig7a" => (
+                "Fig. 7(a) — effect of update size (INCDETECT vs BATCHDETECT vs native batch)",
+                experiments::fig7a(scale),
+            ),
+            "fig7b" => (
+                "Fig. 7(b) — growth of DSV / DMV violation counts with update size",
+                experiments::fig7b(scale),
+            ),
+            "ablation" => (
+                "Ablation — SQL BATCHDETECT vs native semantic detector",
+                experiments::ablation_sql_vs_native(scale),
+            ),
+            other => {
+                eprintln!("unknown experiment `{other}`; known: {all:?}");
+                std::process::exit(2);
+            }
+        };
+        println!("{}", render_table(title, &rows));
+    }
+}

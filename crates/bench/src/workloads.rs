@@ -1,0 +1,104 @@
+//! Shared workload preparation for the experiments and Criterion benches.
+
+use ecfd_core::ECfd;
+use ecfd_datagen::{cust_schema, generate, generate_delta, CustConfig, UpdateConfig};
+use ecfd_datagen::constraints::{workload_constraints, workload_with_scaled_constraint};
+use ecfd_relation::{Catalog, Delta, Relation, Schema};
+
+/// A generated instance plus the constraint workload to check it against.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// The `cust` schema.
+    pub schema: Schema,
+    /// The generated instance.
+    pub data: Relation,
+    /// The constraints (10 eCFDs, possibly with one scaled tableau).
+    pub constraints: Vec<ECfd>,
+    /// How many tuples the noise injector modified.
+    pub noisy_tuples: usize,
+}
+
+impl PreparedWorkload {
+    /// Generates a workload with the 10 base constraints.
+    pub fn new(size: usize, noise_percent: f64, seed: u64) -> Self {
+        Self::with_tableau_size(size, noise_percent, seed, None)
+    }
+
+    /// Generates a workload, optionally replacing the first constraint with a
+    /// scaled tableau of `tableau_size` pattern tuples (the `|Tp|` knob).
+    pub fn with_tableau_size(
+        size: usize,
+        noise_percent: f64,
+        seed: u64,
+        tableau_size: Option<usize>,
+    ) -> Self {
+        let (data, noisy_tuples) = generate(&CustConfig {
+            size,
+            noise_percent,
+            seed,
+            ..CustConfig::default()
+        });
+        let constraints = match tableau_size {
+            Some(n) => workload_with_scaled_constraint(n, seed),
+            None => workload_constraints(),
+        };
+        PreparedWorkload {
+            schema: cust_schema(),
+            data,
+            constraints,
+            noisy_tuples,
+        }
+    }
+
+    /// A fresh catalog containing (a clone of) the data table.
+    pub fn catalog(&self) -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog
+            .create(self.data.clone())
+            .expect("fresh catalog has no cust table");
+        catalog
+    }
+
+    /// Generates an update batch against this workload's data.
+    pub fn delta(&self, insertions: usize, deletions: usize, seed: u64) -> Delta {
+        generate_delta(
+            &self.data,
+            &UpdateConfig {
+                insertions,
+                deletions,
+                noise_percent: 5.0,
+                seed,
+                ..UpdateConfig::default()
+            },
+        )
+    }
+}
+
+/// Convenience: a catalog holding a generated instance of `size` tuples at
+/// `noise_percent` noise (used by the Criterion benches).
+pub fn prepared_catalog(size: usize, noise_percent: f64, seed: u64) -> (Catalog, PreparedWorkload) {
+    let workload = PreparedWorkload::new(size, noise_percent, seed);
+    (workload.catalog(), workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_workload_is_consistent() {
+        let w = PreparedWorkload::new(200, 5.0, 1);
+        assert_eq!(w.data.len(), 200);
+        assert_eq!(w.constraints.len(), 10);
+        assert_eq!(w.noisy_tuples, 10);
+        let catalog = w.catalog();
+        assert!(catalog.contains("cust"));
+
+        let scaled = PreparedWorkload::with_tableau_size(100, 5.0, 1, Some(30));
+        assert_eq!(scaled.constraints[0].tableau_size(), 30);
+
+        let delta = w.delta(20, 10, 3);
+        assert_eq!(delta.insertions.len(), 20);
+        assert_eq!(delta.deletions.len(), 10);
+    }
+}

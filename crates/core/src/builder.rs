@@ -1,0 +1,281 @@
+//! Fluent builders for eCFDs.
+//!
+//! The textual syntax ([`crate::parse_ecfd`]) is convenient for constraints
+//! written by people; the builder is convenient for constraints assembled by
+//! programs (the workload generator builds thousands of pattern tuples this
+//! way).
+
+use crate::ecfd::{ECfd, PatternTuple};
+use crate::error::Result;
+use crate::pattern::PatternValue;
+use ecfd_relation::Value;
+
+/// Builder for an [`ECfd`].
+#[derive(Debug, Clone)]
+pub struct ECfdBuilder {
+    relation: String,
+    lhs: Vec<String>,
+    fd_rhs: Vec<String>,
+    pattern_rhs: Vec<String>,
+    tableau: Vec<PatternTuple>,
+}
+
+impl ECfdBuilder {
+    /// Starts a builder for a constraint on `relation`.
+    pub fn new(relation: impl Into<String>) -> Self {
+        ECfdBuilder {
+            relation: relation.into(),
+            lhs: Vec::new(),
+            fd_rhs: Vec::new(),
+            pattern_rhs: Vec::new(),
+            tableau: Vec::new(),
+        }
+    }
+
+    /// Sets the left-hand-side attributes `X`.
+    pub fn lhs<S: Into<String>>(mut self, attrs: impl IntoIterator<Item = S>) -> Self {
+        self.lhs = attrs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the embedded-FD right-hand-side attributes `Y`.
+    pub fn fd_rhs<S: Into<String>>(mut self, attrs: impl IntoIterator<Item = S>) -> Self {
+        self.fd_rhs = attrs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the pattern-only right-hand-side attributes `Yp`.
+    pub fn pattern_rhs<S: Into<String>>(mut self, attrs: impl IntoIterator<Item = S>) -> Self {
+        self.pattern_rhs = attrs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a pattern tuple built with a [`PatternTupleBuilder`].
+    ///
+    /// The closure receives a tuple builder pre-sized to the attribute lists
+    /// configured so far; cells not assigned explicitly default to wildcards.
+    pub fn pattern(mut self, f: impl FnOnce(PatternTupleBuilder) -> PatternTupleBuilder) -> Self {
+        let builder = PatternTupleBuilder::new(
+            self.lhs.clone(),
+            self.fd_rhs
+                .iter()
+                .chain(self.pattern_rhs.iter())
+                .cloned()
+                .collect(),
+        );
+        self.tableau.push(f(builder).finish());
+        self
+    }
+
+    /// Adds an already-constructed pattern tuple.
+    pub fn pattern_tuple(mut self, tp: PatternTuple) -> Self {
+        self.tableau.push(tp);
+        self
+    }
+
+    /// Finalises and validates the constraint.
+    pub fn build(self) -> Result<ECfd> {
+        ECfd::new(
+            self.relation,
+            self.lhs,
+            self.fd_rhs,
+            self.pattern_rhs,
+            self.tableau,
+        )
+    }
+}
+
+/// Builder for a single [`PatternTuple`], addressing cells by attribute name.
+#[derive(Debug, Clone)]
+pub struct PatternTupleBuilder {
+    lhs_attrs: Vec<String>,
+    rhs_attrs: Vec<String>,
+    lhs: Vec<PatternValue>,
+    rhs: Vec<PatternValue>,
+}
+
+impl PatternTupleBuilder {
+    fn new(lhs_attrs: Vec<String>, rhs_attrs: Vec<String>) -> Self {
+        let lhs = vec![PatternValue::Wildcard; lhs_attrs.len()];
+        let rhs = vec![PatternValue::Wildcard; rhs_attrs.len()];
+        PatternTupleBuilder {
+            lhs_attrs,
+            rhs_attrs,
+            lhs,
+            rhs,
+        }
+    }
+
+    fn set(&mut self, attr: &str, value: PatternValue) {
+        let mut found = false;
+        if let Some(pos) = self.lhs_attrs.iter().position(|a| a == attr) {
+            self.lhs[pos] = value.clone();
+            found = true;
+        }
+        if let Some(pos) = self.rhs_attrs.iter().position(|a| a == attr) {
+            self.rhs[pos] = value;
+            found = true;
+        }
+        assert!(
+            found,
+            "attribute `{attr}` is not part of the constraint's X, Y or Yp"
+        );
+    }
+
+    /// Sets the cell for `attr` to a positive set.
+    pub fn in_set<V: Into<Value>>(
+        mut self,
+        attr: &str,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        self.set(attr, PatternValue::in_set(values));
+        self
+    }
+
+    /// Sets the cell for `attr` to a complement set.
+    pub fn not_in<V: Into<Value>>(
+        mut self,
+        attr: &str,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        self.set(attr, PatternValue::not_in_set(values));
+        self
+    }
+
+    /// Sets the cell for `attr` to a single constant.
+    pub fn constant(mut self, attr: &str, value: impl Into<Value>) -> Self {
+        self.set(attr, PatternValue::constant(value));
+        self
+    }
+
+    /// Sets the cell for `attr` back to the wildcard (the default).
+    pub fn wildcard(mut self, attr: &str) -> Self {
+        self.set(attr, PatternValue::Wildcard);
+        self
+    }
+
+    /// Sets the *left-hand* cell only (for attributes occurring on both sides).
+    pub fn lhs_cell(mut self, attr: &str, value: PatternValue) -> Self {
+        let pos = self
+            .lhs_attrs
+            .iter()
+            .position(|a| a == attr)
+            .unwrap_or_else(|| panic!("attribute `{attr}` is not in X"));
+        self.lhs[pos] = value;
+        self
+    }
+
+    /// Sets the *right-hand* cell only (for attributes occurring on both sides).
+    pub fn rhs_cell(mut self, attr: &str, value: PatternValue) -> Self {
+        let pos = self
+            .rhs_attrs
+            .iter()
+            .position(|a| a == attr)
+            .unwrap_or_else(|| panic!("attribute `{attr}` is not in Y ∪ Yp"));
+        self.rhs[pos] = value;
+        self
+    }
+
+    fn finish(self) -> PatternTuple {
+        PatternTuple::new(self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_phi1() {
+        // φ1 of the paper via the builder API.
+        let phi1 = ECfd::builder("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| {
+                p.in_set("CT", ["Albany", "Troy", "Colonie"])
+                    .constant("AC", "518")
+            })
+            .build()
+            .unwrap();
+        assert_eq!(phi1.tableau_size(), 2);
+        assert_eq!(
+            phi1.lhs_cell(0, "CT"),
+            Some(&PatternValue::not_in_set(["NYC", "LI"]))
+        );
+        // Unassigned cells default to wildcard.
+        assert_eq!(phi1.rhs_cell(0, "AC"), Some(&PatternValue::Wildcard));
+        assert_eq!(phi1.rhs_cell(1, "AC"), Some(&PatternValue::constant("518")));
+    }
+
+    #[test]
+    fn builder_constructs_pattern_only_constraints() {
+        let phi2 = ECfd::builder("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| {
+                p.constant("CT", "NYC")
+                    .in_set("AC", ["212", "718", "646", "347", "917"])
+            })
+            .build()
+            .unwrap();
+        assert!(phi2.is_pattern_only());
+        assert_eq!(phi2.rhs_cell(0, "AC").unwrap().num_constants(), 5);
+    }
+
+    #[test]
+    fn same_attribute_on_both_sides_uses_lhs_and_rhs_cells() {
+        // The unsatisfiable φ3 of Example 3.1: CT on both sides.
+        let phi3 = ECfd::builder("cust")
+            .lhs(["CT"])
+            .fd_rhs(["CT"])
+            .pattern(|p| {
+                p.lhs_cell("CT", PatternValue::in_set(["NYC"]))
+                    .rhs_cell("CT", PatternValue::in_set(["NYC"]))
+            })
+            .pattern(|p| {
+                p.lhs_cell("CT", PatternValue::in_set(["NYC"]))
+                    .rhs_cell("CT", PatternValue::in_set(["LI"]))
+            })
+            .build()
+            .unwrap();
+        assert_eq!(phi3.tableau_size(), 2);
+        assert_eq!(
+            phi3.lhs_cell(1, "CT"),
+            Some(&PatternValue::in_set(["NYC"]))
+        );
+        assert_eq!(phi3.rhs_cell(1, "CT"), Some(&PatternValue::in_set(["LI"])));
+    }
+
+    #[test]
+    fn plain_set_on_shared_attribute_sets_both_sides() {
+        let phi = ECfd::builder("t")
+            .lhs(["A"])
+            .fd_rhs(["A"])
+            .pattern(|p| p.constant("A", "x"))
+            .build()
+            .unwrap();
+        assert_eq!(phi.lhs_cell(0, "A"), Some(&PatternValue::constant("x")));
+        assert_eq!(phi.rhs_cell(0, "A"), Some(&PatternValue::constant("x")));
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the constraint")]
+    fn unknown_attribute_in_pattern_panics() {
+        let _ = ECfd::builder("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.constant("ZIP", "12345"));
+    }
+
+    #[test]
+    fn build_surfaces_validation_errors() {
+        // Y ∩ Yp ≠ ∅ is still rejected at build time.
+        assert!(ECfd::builder("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern_rhs(["AC"])
+            .build()
+            .is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Classic CFDs (Bohannon et al., ICDE 2007) as a special case of eCFDs.
+//!
+//! A CFD is `(R: X → Y, Tp)` where every tableau cell is either the wildcard
+//! `_` or a single constant. The paper's Remark in Section II observes that a
+//! CFD is exactly an eCFD with `Yp = ∅` whose constants `a` become singleton
+//! sets `{a}`; [`Cfd::to_ecfd`] performs that embedding and
+//! [`Cfd::try_from_ecfd`] inverts it when possible.
+
+use crate::ecfd::{ECfd, PatternTuple};
+use crate::error::{CoreError, Result};
+use crate::pattern::PatternValue;
+use ecfd_relation::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cell of a CFD pattern tableau: wildcard or a single constant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CfdCell {
+    /// The unnamed variable `_`.
+    Wildcard,
+    /// A single constant.
+    Constant(Value),
+}
+
+impl CfdCell {
+    /// Converts to the corresponding eCFD pattern cell.
+    pub fn to_pattern(&self) -> PatternValue {
+        match self {
+            CfdCell::Wildcard => PatternValue::Wildcard,
+            CfdCell::Constant(v) => PatternValue::constant(v.clone()),
+        }
+    }
+}
+
+impl fmt::Display for CfdCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfdCell::Wildcard => write!(f, "_"),
+            CfdCell::Constant(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A classic Conditional Functional Dependency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cfd {
+    relation: String,
+    lhs: Vec<String>,
+    rhs: Vec<String>,
+    tableau: Vec<(Vec<CfdCell>, Vec<CfdCell>)>,
+}
+
+impl Cfd {
+    /// Creates a CFD; each tableau row is a pair of (LHS cells, RHS cells).
+    pub fn new(
+        relation: impl Into<String>,
+        lhs: Vec<String>,
+        rhs: Vec<String>,
+        tableau: Vec<(Vec<CfdCell>, Vec<CfdCell>)>,
+    ) -> Result<Self> {
+        let relation = relation.into();
+        for (i, (l, r)) in tableau.iter().enumerate() {
+            if l.len() != lhs.len() || r.len() != rhs.len() {
+                return Err(CoreError::InvalidConstraint(format!(
+                    "CFD pattern tuple {i} arity mismatch: ({}, {}) vs attributes ({}, {})",
+                    l.len(),
+                    r.len(),
+                    lhs.len(),
+                    rhs.len()
+                )));
+            }
+        }
+        if rhs.is_empty() {
+            return Err(CoreError::InvalidConstraint(
+                "a CFD needs at least one right-hand-side attribute".into(),
+            ));
+        }
+        Ok(Cfd {
+            relation,
+            lhs,
+            rhs,
+            tableau,
+        })
+    }
+
+    /// Name of the relation the constraint is defined on.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Left-hand-side attributes.
+    pub fn lhs(&self) -> &[String] {
+        &self.lhs
+    }
+
+    /// Right-hand-side attributes.
+    pub fn rhs(&self) -> &[String] {
+        &self.rhs
+    }
+
+    /// The pattern tableau.
+    pub fn tableau(&self) -> &[(Vec<CfdCell>, Vec<CfdCell>)] {
+        &self.tableau
+    }
+
+    /// Embeds the CFD into the eCFD language: `(R: X → Y, ∅, Tp')` where every
+    /// constant `a` becomes the singleton set `{a}`.
+    pub fn to_ecfd(&self) -> ECfd {
+        let tableau = self
+            .tableau
+            .iter()
+            .map(|(l, r)| {
+                PatternTuple::new(
+                    l.iter().map(CfdCell::to_pattern).collect(),
+                    r.iter().map(CfdCell::to_pattern).collect(),
+                )
+            })
+            .collect();
+        ECfd::new(
+            self.relation.clone(),
+            self.lhs.clone(),
+            self.rhs.clone(),
+            vec![],
+            tableau,
+        )
+        .expect("a well-formed CFD always embeds into a well-formed eCFD")
+    }
+
+    /// Attempts to view an eCFD as a CFD. Succeeds only when `Yp = ∅` and every
+    /// cell is a wildcard or a singleton positive set.
+    pub fn try_from_ecfd(ecfd: &ECfd) -> Result<Cfd> {
+        if !ecfd.is_cfd() {
+            return Err(CoreError::InvalidConstraint(format!(
+                "eCFD `{ecfd}` uses disjunction, inequality or Yp and is not expressible as a CFD"
+            )));
+        }
+        let to_cell = |p: &PatternValue| -> CfdCell {
+            match p {
+                PatternValue::Wildcard => CfdCell::Wildcard,
+                PatternValue::In(s) => {
+                    CfdCell::Constant(s.iter().next().expect("singleton checked").clone())
+                }
+                PatternValue::NotIn(_) => unreachable!("is_cfd() excludes complement sets"),
+            }
+        };
+        let tableau = ecfd
+            .tableau()
+            .iter()
+            .map(|tp| {
+                (
+                    tp.lhs.iter().map(to_cell).collect(),
+                    tp.rhs.iter().map(to_cell).collect(),
+                )
+            })
+            .collect();
+        Cfd::new(
+            ecfd.relation(),
+            ecfd.lhs().to_vec(),
+            ecfd.fd_rhs().to_vec(),
+            tableau,
+        )
+    }
+
+    /// A convenience constructor for the standard FD `X → Y` (a CFD whose
+    /// tableau is a single all-wildcard row).
+    pub fn standard_fd(
+        relation: impl Into<String>,
+        lhs: Vec<String>,
+        rhs: Vec<String>,
+    ) -> Result<Cfd> {
+        let row = (
+            vec![CfdCell::Wildcard; lhs.len()],
+            vec![CfdCell::Wildcard; rhs.len()],
+        );
+        Cfd::new(relation, lhs, rhs, vec![row])
+    }
+}
+
+impl fmt::Display for Cfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] -> [{}], {{ ",
+            self.relation,
+            self.lhs.join(", "),
+            self.rhs.join(", ")
+        )?;
+        for (i, (l, r)) in self.tableau.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            let l: Vec<String> = l.iter().map(|c| c.to_string()).collect();
+            let r: Vec<String> = r.iter().map(|c| c.to_string()).collect();
+            write!(f, "{} || {}", l.join(", "), r.join(", "))?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ψ1 of Example 1.1: CT → AC with bindings for Albany / Troy / Colonie.
+    fn psi1() -> Cfd {
+        Cfd::new(
+            "cust",
+            vec!["CT".into()],
+            vec!["AC".into()],
+            vec![
+                (
+                    vec![CfdCell::Constant(Value::str("Albany"))],
+                    vec![CfdCell::Constant(Value::str("518"))],
+                ),
+                (
+                    vec![CfdCell::Constant(Value::str("Troy"))],
+                    vec![CfdCell::Constant(Value::str("518"))],
+                ),
+                (
+                    vec![CfdCell::Constant(Value::str("Colonie"))],
+                    vec![CfdCell::Constant(Value::str("518"))],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cfd_embeds_into_ecfd_and_back() {
+        let cfd = psi1();
+        let ecfd = cfd.to_ecfd();
+        assert!(ecfd.is_cfd());
+        assert_eq!(ecfd.tableau_size(), 3);
+        assert_eq!(
+            ecfd.lhs_cell(0, "CT"),
+            Some(&PatternValue::constant("Albany"))
+        );
+        let back = Cfd::try_from_ecfd(&ecfd).unwrap();
+        assert_eq!(back, cfd);
+    }
+
+    #[test]
+    fn ecfds_with_extra_expressivity_are_not_cfds() {
+        let phi1 = ECfd::builder("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .build()
+            .unwrap();
+        assert!(Cfd::try_from_ecfd(&phi1).is_err());
+
+        let phi2 = ECfd::builder("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.constant("CT", "NYC").in_set("AC", ["212", "718"]))
+            .build()
+            .unwrap();
+        assert!(Cfd::try_from_ecfd(&phi2).is_err());
+    }
+
+    #[test]
+    fn standard_fd_is_single_wildcard_row() {
+        let fd = Cfd::standard_fd("cust", vec!["CT".into()], vec!["AC".into()]).unwrap();
+        assert_eq!(fd.tableau().len(), 1);
+        assert_eq!(fd.tableau()[0].0, vec![CfdCell::Wildcard]);
+        let ecfd = fd.to_ecfd();
+        assert!(ecfd.is_cfd());
+    }
+
+    #[test]
+    fn arity_validation() {
+        assert!(Cfd::new(
+            "t",
+            vec!["A".into()],
+            vec!["B".into()],
+            vec![(vec![], vec![CfdCell::Wildcard])],
+        )
+        .is_err());
+        assert!(Cfd::new("t", vec!["A".into()], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn display_shows_constants_and_wildcards() {
+        let s = psi1().to_string();
+        assert!(s.contains("cust: [CT] -> [AC]"));
+        assert!(s.contains("Albany || 518"));
+    }
+}

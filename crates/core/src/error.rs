@@ -1,0 +1,111 @@
+//! Error type for the eCFD constraint library.
+
+use std::fmt;
+
+/// Result alias used throughout `ecfd-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced while building, parsing or analysing eCFDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The constraint definition itself is malformed (e.g. `Y ∩ Yp ≠ ∅`, or a
+    /// pattern tuple has the wrong arity).
+    InvalidConstraint(String),
+    /// A constraint refers to an attribute that the relation schema lacks.
+    UnknownAttribute {
+        /// Attribute named by the constraint.
+        attribute: String,
+        /// Relation the constraint is defined on.
+        relation: String,
+    },
+    /// The constraint is defined on relation `expected` but was evaluated
+    /// against relation `actual`.
+    RelationMismatch {
+        /// Relation the constraint names.
+        expected: String,
+        /// Relation it was applied to.
+        actual: String,
+    },
+    /// The textual constraint syntax could not be parsed.
+    Parse {
+        /// Byte offset in the input where the error was detected.
+        position: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// A static analysis was asked to do something outside its supported
+    /// envelope (e.g. exact search over an instance that is too large).
+    AnalysisBudgetExceeded(String),
+    /// Error bubbled up from the storage layer.
+    Relation(ecfd_relation::RelationError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            CoreError::UnknownAttribute {
+                attribute,
+                relation,
+            } => write!(
+                f,
+                "constraint refers to attribute `{attribute}` which does not exist in relation `{relation}`"
+            ),
+            CoreError::RelationMismatch { expected, actual } => write!(
+                f,
+                "constraint is defined on relation `{expected}` but was applied to `{actual}`"
+            ),
+            CoreError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            CoreError::AnalysisBudgetExceeded(msg) => {
+                write!(f, "analysis budget exceeded: {msg}")
+            }
+            CoreError::Relation(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ecfd_relation::RelationError> for CoreError {
+    fn from(e: ecfd_relation::RelationError) -> Self {
+        CoreError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = CoreError::UnknownAttribute {
+            attribute: "AC".into(),
+            relation: "cust".into(),
+        };
+        assert!(e.to_string().contains("AC"));
+        assert!(e.to_string().contains("cust"));
+
+        let e = CoreError::Parse {
+            position: 12,
+            message: "expected `}`".into(),
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn relation_errors_convert_and_chain() {
+        let inner = ecfd_relation::RelationError::UnknownRelation("cust".into());
+        let e: CoreError = inner.into();
+        assert!(matches!(e, CoreError::Relation(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

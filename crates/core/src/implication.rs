@@ -1,0 +1,464 @@
+//! Exact implication analysis of eCFDs (Section III of the paper).
+//!
+//! The implication problem — given `Σ` and `φ`, does every instance that
+//! satisfies `Σ` also satisfy `φ`? — is coNP-complete for eCFDs
+//! (Proposition 3.2). Its complement has a *two-tuple small model property*:
+//! `Σ ⊭ φ` iff there is an instance `I` with at most two tuples such that
+//! `I ⊨ Σ` and `I ⊭ φ`. The exact procedure here searches for such a
+//! counterexample over the active domains of `Σ ∪ {φ}`, with *two* fresh
+//! representatives per attribute outside the mentioned constants (two, not
+//! one, because the counterexample may need two tuples that agree on `X` but
+//! differ on an unconstrained `Y` attribute).
+
+use crate::ecfd::ECfd;
+use crate::error::{CoreError, Result};
+use crate::satisfaction;
+use ecfd_relation::{Domain, Relation, Schema, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Options controlling the exact implication search.
+#[derive(Debug, Clone, Copy)]
+pub struct ImplicationOptions {
+    /// Maximum number of candidate instances to evaluate before giving up with
+    /// [`CoreError::AnalysisBudgetExceeded`].
+    pub node_budget: u64,
+}
+
+impl Default for ImplicationOptions {
+    fn default() -> Self {
+        ImplicationOptions {
+            node_budget: 20_000_000,
+        }
+    }
+}
+
+/// Outcome of the implication analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImplicationOutcome {
+    /// `Σ ⊨ φ`: every instance satisfying `Σ` satisfies `φ`.
+    Implied,
+    /// `Σ ⊭ φ`; the contained instance (one or two tuples) satisfies `Σ` but
+    /// violates `φ`.
+    NotImplied(Vec<Tuple>),
+}
+
+impl ImplicationOutcome {
+    /// True for [`ImplicationOutcome::Implied`].
+    pub fn is_implied(&self) -> bool {
+        matches!(self, ImplicationOutcome::Implied)
+    }
+
+    /// The counterexample instance, if any.
+    pub fn counterexample(&self) -> Option<&[Tuple]> {
+        match self {
+            ImplicationOutcome::Implied => None,
+            ImplicationOutcome::NotImplied(ts) => Some(ts),
+        }
+    }
+}
+
+/// Does `Σ ⊨ φ`? Uses default options.
+pub fn implies(schema: &Schema, sigma: &[ECfd], phi: &ECfd) -> Result<bool> {
+    Ok(check_implication(schema, sigma, phi, ImplicationOptions::default())?.is_implied())
+}
+
+/// Exact implication analysis with explicit options.
+pub fn check_implication(
+    schema: &Schema,
+    sigma: &[ECfd],
+    phi: &ECfd,
+    options: ImplicationOptions,
+) -> Result<ImplicationOutcome> {
+    for ecfd in sigma.iter().chain(std::iter::once(phi)) {
+        ecfd.validate_against(schema)?;
+    }
+
+    // Active domains over Σ ∪ {φ} with two fresh representatives.
+    let mut all: Vec<ECfd> = sigma.to_vec();
+    all.push(phi.clone());
+    let domains = two_fresh_active_domains(schema, &all);
+
+    // The candidate tuples only need to vary on the attributes mentioned by
+    // Σ ∪ {φ}; all other attributes can be fixed arbitrarily (they cannot
+    // influence satisfaction of any constraint).
+    let attrs: Vec<(String, Vec<Value>)> = domains.into_iter().collect();
+
+    let mut budget = options.node_budget;
+    // Enumerate candidate pairs (t1, t2); the single-tuple counterexample case
+    // is covered by t1 == t2 (duplicate rows change nothing for eCFD
+    // semantics, so {t, t} behaves like {t}).
+    let mut assignment1: BTreeMap<String, Value> = BTreeMap::new();
+    let outcome = search_pair(
+        schema,
+        sigma,
+        phi,
+        &attrs,
+        0,
+        &mut assignment1,
+        &mut budget,
+    )?;
+    Ok(outcome.unwrap_or(ImplicationOutcome::Implied))
+}
+
+/// Removes constraints and pattern tuples that are implied by the rest of the
+/// set — the redundancy-elimination optimisation motivated in Section III
+/// ("A natural optimization strategy for cleaning data with eCFDs is by
+/// removing redundancies"). Returns the retained constraints.
+pub fn minimal_cover(schema: &Schema, ecfds: &[ECfd]) -> Result<Vec<ECfd>> {
+    let mut retained: Vec<ECfd> = ecfds.to_vec();
+    // Try to drop whole constraints first, in reverse order so that earlier
+    // (presumably more fundamental) constraints are preferred.
+    let mut idx = retained.len();
+    while idx > 0 {
+        idx -= 1;
+        let candidate = retained[idx].clone();
+        let rest: Vec<ECfd> = retained
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, e)| e.clone())
+            .collect();
+        if implies(schema, &rest, &candidate)? {
+            retained.remove(idx);
+        }
+    }
+    Ok(retained)
+}
+
+fn two_fresh_active_domains(schema: &Schema, ecfds: &[ECfd]) -> BTreeMap<String, Vec<Value>> {
+    let mut constants: BTreeMap<String, BTreeSet<Value>> = BTreeMap::new();
+    for ecfd in ecfds {
+        for (attr, consts) in ecfd.constants_per_attribute() {
+            constants.entry(attr).or_default().extend(consts);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (attr, consts) in constants {
+        let domain = schema
+            .attr_id(&attr)
+            .and_then(|id| schema.attribute(id))
+            .map(|a| a.domain.clone())
+            .unwrap_or(Domain::Unbounded(ecfd_relation::DataType::Str));
+        let mut values: Vec<Value> = consts
+            .iter()
+            .filter(|v| domain.contains(v))
+            .cloned()
+            .collect();
+        let mut exclude = consts.clone();
+        for _ in 0..2 {
+            if let Some(fresh) = domain.fresh_value_outside(&exclude) {
+                exclude.insert(fresh.clone());
+                values.push(fresh);
+            }
+        }
+        out.insert(attr, values);
+    }
+    out
+}
+
+fn complete_tuple(schema: &Schema, assignment: &BTreeMap<String, Value>) -> Tuple {
+    Tuple::new(
+        schema
+            .attributes()
+            .iter()
+            .map(|a| {
+                assignment.get(&a.name).cloned().unwrap_or_else(|| {
+                    a.domain
+                        .fresh_value_outside(&BTreeSet::new())
+                        .unwrap_or(Value::Null)
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Enumerates assignments for the first tuple; for each, enumerates the second.
+fn search_pair(
+    schema: &Schema,
+    sigma: &[ECfd],
+    phi: &ECfd,
+    attrs: &[(String, Vec<Value>)],
+    depth: usize,
+    assignment1: &mut BTreeMap<String, Value>,
+    budget: &mut u64,
+) -> Result<Option<ImplicationOutcome>> {
+    if depth == attrs.len() {
+        let t1 = complete_tuple(schema, assignment1);
+        // Prune: {t1} must satisfy Σ for any superset instance to do so —
+        // adding a second tuple can only add violations, never remove them,
+        // because eCFD satisfaction is an intersection of per-tuple and
+        // per-pair conditions.
+        let single = Relation::with_tuples(schema.clone(), [t1.clone()])?;
+        if !satisfaction::satisfies_all(&single, sigma)? {
+            return Ok(None);
+        }
+        // Single-tuple counterexample?
+        if !satisfaction::satisfies_all(&single, std::slice::from_ref(phi))? {
+            return Ok(Some(ImplicationOutcome::NotImplied(vec![t1])));
+        }
+        let mut assignment2: BTreeMap<String, Value> = BTreeMap::new();
+        return search_second(
+            schema,
+            sigma,
+            phi,
+            attrs,
+            0,
+            &t1,
+            &mut assignment2,
+            budget,
+        );
+    }
+    let (attr, values) = &attrs[depth];
+    if values.is_empty() {
+        return Ok(None);
+    }
+    for value in values {
+        if *budget == 0 {
+            return Err(CoreError::AnalysisBudgetExceeded(
+                "implication search exceeded its node budget".into(),
+            ));
+        }
+        *budget -= 1;
+        assignment1.insert(attr.clone(), value.clone());
+        if let Some(found) = search_pair(schema, sigma, phi, attrs, depth + 1, assignment1, budget)?
+        {
+            return Ok(Some(found));
+        }
+        assignment1.remove(attr);
+    }
+    Ok(None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_second(
+    schema: &Schema,
+    sigma: &[ECfd],
+    phi: &ECfd,
+    attrs: &[(String, Vec<Value>)],
+    depth: usize,
+    t1: &Tuple,
+    assignment2: &mut BTreeMap<String, Value>,
+    budget: &mut u64,
+) -> Result<Option<ImplicationOutcome>> {
+    if depth == attrs.len() {
+        let t2 = complete_tuple(schema, assignment2);
+        let db = Relation::with_tuples(schema.clone(), [t1.clone(), t2.clone()])?;
+        if satisfaction::satisfies_all(&db, sigma)?
+            && !satisfaction::satisfies_all(&db, std::slice::from_ref(phi))?
+        {
+            return Ok(Some(ImplicationOutcome::NotImplied(vec![t1.clone(), t2])));
+        }
+        return Ok(None);
+    }
+    let (attr, values) = &attrs[depth];
+    if values.is_empty() {
+        return Ok(None);
+    }
+    for value in values {
+        if *budget == 0 {
+            return Err(CoreError::AnalysisBudgetExceeded(
+                "implication search exceeded its node budget".into(),
+            ));
+        }
+        *budget -= 1;
+        assignment2.insert(attr.clone(), value.clone());
+        if let Some(found) = search_second(
+            schema,
+            sigma,
+            phi,
+            attrs,
+            depth + 1,
+            t1,
+            assignment2,
+            budget,
+        )? {
+            return Ok(Some(found));
+        }
+        assignment2.remove(attr);
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ECfdBuilder;
+    use ecfd_relation::DataType;
+
+    fn schema() -> Schema {
+        Schema::builder("cust")
+            .attr("AC", DataType::Str)
+            .attr("CT", DataType::Str)
+            .attr("ZIP", DataType::Str)
+            .build()
+    }
+
+    fn phi1() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| {
+                p.in_set("CT", ["Albany", "Troy", "Colonie"])
+                    .constant("AC", "518")
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn constraint_implies_itself_and_weaker_variants() {
+        let s = schema();
+        let phi = phi1();
+        assert!(implies(&s, &[phi.clone()], &phi).unwrap());
+
+        // A weaker constraint: only requires the binding for Albany.
+        let weaker = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.in_set("CT", ["Albany"]).constant("AC", "518"))
+            .build()
+            .unwrap();
+        assert!(implies(&s, &[phi.clone()], &weaker).unwrap());
+        // …but not vice versa: the weaker constraint says nothing about Troy.
+        assert!(!implies(&s, &[weaker], &phi).unwrap());
+    }
+
+    #[test]
+    fn nothing_follows_from_the_empty_set_except_trivialities() {
+        let s = schema();
+        assert!(!implies(&s, &[], &phi1()).unwrap());
+
+        // A tautological constraint (all-wildcard single pattern on a single
+        // tuple FD X → X) is implied by anything.
+        let trivial = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["CT"])
+            .pattern(|p| p)
+            .build()
+            .unwrap();
+        assert!(implies(&s, &[], &trivial).unwrap());
+    }
+
+    #[test]
+    fn fd_style_transitivity_does_not_hold_conditionally() {
+        // CT → AC on non-NYC cities and AC → ZIP everywhere do NOT imply
+        // CT → ZIP everywhere (NYC rows are unconstrained by the first).
+        let s = schema();
+        let ct_ac = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC"]))
+            .build()
+            .unwrap();
+        let ac_zip = ECfdBuilder::new("cust")
+            .lhs(["AC"])
+            .fd_rhs(["ZIP"])
+            .pattern(|p| p)
+            .build()
+            .unwrap();
+        let ct_zip_everywhere = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["ZIP"])
+            .pattern(|p| p)
+            .build()
+            .unwrap();
+        let ct_zip_conditional = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["ZIP"])
+            .pattern(|p| p.not_in("CT", ["NYC"]))
+            .build()
+            .unwrap();
+        assert!(!implies(&s, &[ct_ac.clone(), ac_zip.clone()], &ct_zip_everywhere).unwrap());
+        // The conditional version (restricted to non-NYC) IS implied:
+        // transitivity holds within the scope of the first constraint.
+        assert!(implies(&s, &[ct_ac, ac_zip], &ct_zip_conditional).unwrap());
+    }
+
+    #[test]
+    fn pattern_subsumption_is_detected() {
+        let s = schema();
+        // "AC must be one of {212, 718}" implies "AC must be one of
+        // {212, 718, 646}" for NYC rows.
+        let tight = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.constant("CT", "NYC").in_set("AC", ["212", "718"]))
+            .build()
+            .unwrap();
+        let loose = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.constant("CT", "NYC").in_set("AC", ["212", "718", "646"]))
+            .build()
+            .unwrap();
+        assert!(implies(&s, &[tight.clone()], &loose).unwrap());
+        assert!(!implies(&s, &[loose], &tight).unwrap());
+    }
+
+    #[test]
+    fn counterexample_instances_are_returned_and_valid() {
+        let s = schema();
+        let phi = phi1();
+        let outcome =
+            check_implication(&s, &[], &phi, ImplicationOptions::default()).unwrap();
+        let witness = outcome.counterexample().expect("φ1 is not implied by ∅");
+        assert!(!witness.is_empty() && witness.len() <= 2);
+        let db = Relation::with_tuples(s.clone(), witness.iter().cloned()).unwrap();
+        assert!(!satisfaction::satisfies_all(&db, std::slice::from_ref(&phi)).unwrap());
+    }
+
+    #[test]
+    fn two_tuple_counterexamples_are_found_when_needed() {
+        // An unconditional FD CT → AC needs two tuples to be violated; check
+        // that the search finds a two-tuple counterexample when the implying
+        // set is empty.
+        let s = schema();
+        let fd = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p)
+            .build()
+            .unwrap();
+        let outcome = check_implication(&s, &[], &fd, ImplicationOptions::default()).unwrap();
+        let witness = outcome.counterexample().expect("an FD is not implied by ∅");
+        assert_eq!(witness.len(), 2, "violating a bare FD requires two tuples");
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let s = schema();
+        let err = check_implication(
+            &s,
+            &[phi1()],
+            &phi1(),
+            ImplicationOptions { node_budget: 1 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::AnalysisBudgetExceeded(_)));
+    }
+
+    #[test]
+    fn minimal_cover_drops_redundant_constraints() {
+        let s = schema();
+        let phi = phi1();
+        let weaker = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.in_set("CT", ["Albany"]).constant("AC", "518"))
+            .build()
+            .unwrap();
+        let cover = minimal_cover(&s, &[phi.clone(), weaker.clone()]).unwrap();
+        assert_eq!(cover, vec![phi.clone()]);
+
+        // Nothing to drop when constraints are independent.
+        let independent = ECfdBuilder::new("cust")
+            .lhs(["AC"])
+            .fd_rhs(["ZIP"])
+            .pattern(|p| p)
+            .build()
+            .unwrap();
+        let cover = minimal_cover(&s, &[phi.clone(), independent.clone()]).unwrap();
+        assert_eq!(cover.len(), 2);
+    }
+}

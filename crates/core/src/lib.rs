@@ -1,0 +1,81 @@
+//! # ecfd-core
+//!
+//! Extended Conditional Functional Dependencies (eCFDs), the primary
+//! contribution of *"Increasing the Expressivity of Conditional Functional
+//! Dependencies without Extra Complexity"* (Bravo, Fan, Geerts, Ma; ICDE 2008).
+//!
+//! An eCFD `φ = (R: X → Y, Yp, Tp)` pairs an embedded functional dependency
+//! `X → Y` with a pattern tableau `Tp` whose cells are, per attribute, either a
+//! wildcard `_`, a finite set `S` (disjunction: the attribute must take one of
+//! the listed values) or a complement set `S̄` (inequality: the attribute must
+//! take none of them). The extra attribute set `Yp` carries pattern constraints
+//! on the right-hand side without participating in the FD. Classic CFDs are the
+//! special case where every non-wildcard cell is a singleton set and `Yp = ∅`.
+//!
+//! This crate provides:
+//!
+//! * the constraint model ([`PatternValue`], [`PatternTuple`], [`ECfd`],
+//!   [`Cfd`]) with a fluent [`ECfdBuilder`];
+//! * a concrete textual syntax and parser ([`parse_ecfd`], [`parse_ecfds`]);
+//! * the matching and satisfaction semantics of Section II
+//!   ([`satisfaction::check`], [`satisfaction::check_all`]);
+//! * the static analyses of Section III: exact satisfiability
+//!   ([`satisfiability::is_satisfiable`], single-tuple small-model search) and
+//!   exact implication ([`implication::implies`], two-tuple small-model
+//!   search);
+//! * the MAXSS → MAXGSAT approximation of Section IV ([`maxss`]).
+//!
+//! Violation *detection* on large instances lives in the companion crate
+//! `ecfd-detect`, which encodes tableaux as data and generates SQL (Section V).
+//!
+//! ## Example
+//!
+//! ```
+//! use ecfd_core::{parse_ecfd, satisfaction};
+//! use ecfd_relation::{DataType, Relation, Schema, Tuple};
+//!
+//! let schema = Schema::builder("cust")
+//!     .attr("CT", DataType::Str)
+//!     .attr("AC", DataType::Str)
+//!     .build();
+//! // φ1 of the paper: outside {NYC, LI} city determines area code, and the
+//! // three capital-district cities must have area code 518.
+//! let phi1 = parse_ecfd(
+//!     "cust: [CT] -> [AC] | [], { !{NYC, LI} || _ ; {Albany, Troy, Colonie} || {518} }",
+//! ).unwrap();
+//!
+//! let db = Relation::with_tuples(schema, [
+//!     Tuple::from_iter(["Albany", "718"]),   // violates φ1: Albany must be 518
+//!     Tuple::from_iter(["Colonie", "518"]),
+//! ]).unwrap();
+//!
+//! let result = satisfaction::check(&db, &phi1).unwrap();
+//! assert!(!result.is_satisfied());
+//! assert_eq!(result.single_tuple_violations().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cfd;
+pub mod ecfd;
+pub mod error;
+pub mod implication;
+pub mod matching;
+pub mod maxss;
+pub mod normalize;
+pub mod parser;
+pub mod pattern;
+pub mod satisfaction;
+pub mod satisfiability;
+pub mod violation;
+
+pub use builder::{ECfdBuilder, PatternTupleBuilder};
+pub use cfd::Cfd;
+pub use ecfd::{ECfd, PatternTuple};
+pub use error::{CoreError, Result};
+pub use parser::{parse_ecfd, parse_ecfds};
+pub use pattern::PatternValue;
+pub use satisfaction::{check, check_all, SatisfactionResult};
+pub use violation::{Violation, ViolationKind, ViolationSet};

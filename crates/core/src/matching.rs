@@ -1,0 +1,214 @@
+//! The matching semantics `t[Z] ≍ tp[Z]` and schema binding.
+//!
+//! Evaluating an eCFD against a relation repeatedly projects data tuples on
+//! the constraint's attribute lists. [`BoundECfd`] resolves the attribute
+//! names to positions ([`AttrId`]s) once, so the per-tuple work is a handful
+//! of array lookups.
+
+use crate::ecfd::ECfd;
+use crate::error::Result;
+use crate::pattern::PatternValue;
+use ecfd_relation::{AttrId, Schema, Tuple, Value};
+
+/// An eCFD whose attribute lists have been resolved against a concrete schema.
+#[derive(Debug, Clone)]
+pub struct BoundECfd<'a> {
+    ecfd: &'a ECfd,
+    /// Positions of the `X` attributes.
+    lhs_ids: Vec<AttrId>,
+    /// Positions of the `Y` attributes (embedded-FD right-hand side).
+    fd_rhs_ids: Vec<AttrId>,
+    /// Positions of the `Y ∪ Yp` attributes, in tableau cell order.
+    rhs_ids: Vec<AttrId>,
+}
+
+impl<'a> BoundECfd<'a> {
+    /// Resolves `ecfd` against `schema`, validating that the relation name and
+    /// every referenced attribute exist.
+    pub fn bind(ecfd: &'a ECfd, schema: &Schema) -> Result<Self> {
+        ecfd.validate_against(schema)?;
+        let resolve = |names: &[String]| -> Vec<AttrId> {
+            names
+                .iter()
+                .map(|n| schema.attr_id(n).expect("validated above"))
+                .collect()
+        };
+        let lhs_ids = resolve(ecfd.lhs());
+        let fd_rhs_ids = resolve(ecfd.fd_rhs());
+        let mut rhs_ids = fd_rhs_ids.clone();
+        rhs_ids.extend(resolve(ecfd.pattern_rhs()));
+        Ok(BoundECfd {
+            ecfd,
+            lhs_ids,
+            fd_rhs_ids,
+            rhs_ids,
+        })
+    }
+
+    /// The underlying constraint.
+    pub fn ecfd(&self) -> &ECfd {
+        self.ecfd
+    }
+
+    /// Positions of the `X` attributes.
+    pub fn lhs_ids(&self) -> &[AttrId] {
+        &self.lhs_ids
+    }
+
+    /// Positions of the `Y` attributes.
+    pub fn fd_rhs_ids(&self) -> &[AttrId] {
+        &self.fd_rhs_ids
+    }
+
+    /// Positions of `Y ∪ Yp` in tableau cell order.
+    pub fn rhs_ids(&self) -> &[AttrId] {
+        &self.rhs_ids
+    }
+
+    /// Does `t[X] ≍ tp[X]` hold for pattern tuple `tp_idx`?
+    ///
+    /// This is the test that decides whether the constraint *applies* to the
+    /// tuple (membership in the paper's `I(tp)`).
+    pub fn lhs_matches(&self, tuple: &Tuple, tp_idx: usize) -> bool {
+        let tp = &self.ecfd.tableau()[tp_idx];
+        cells_match(&self.lhs_ids, &tp.lhs, tuple)
+    }
+
+    /// Does `t[Y, Yp] ≍ tp[Y, Yp]` hold for pattern tuple `tp_idx`?
+    pub fn rhs_matches(&self, tuple: &Tuple, tp_idx: usize) -> bool {
+        let tp = &self.ecfd.tableau()[tp_idx];
+        cells_match(&self.rhs_ids, &tp.rhs, tuple)
+    }
+
+    /// The projection `t[X]` as a value vector (used as a grouping key when
+    /// checking the embedded FD).
+    pub fn lhs_key(&self, tuple: &Tuple) -> Vec<Value> {
+        self.lhs_ids
+            .iter()
+            .map(|a| tuple.value(*a).clone())
+            .collect()
+    }
+
+    /// The projection `t[Y]` as a value vector.
+    pub fn fd_rhs_key(&self, tuple: &Tuple) -> Vec<Value> {
+        self.fd_rhs_ids
+            .iter()
+            .map(|a| tuple.value(*a).clone())
+            .collect()
+    }
+}
+
+/// Evaluates `t[Z] ≍ tp[Z]` for a parallel list of attribute positions and
+/// pattern cells (Section II, "Semantics").
+pub fn cells_match(attrs: &[AttrId], cells: &[PatternValue], tuple: &Tuple) -> bool {
+    debug_assert_eq!(attrs.len(), cells.len());
+    attrs
+        .iter()
+        .zip(cells)
+        .all(|(attr, cell)| cell.matches(tuple.value(*attr)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ECfdBuilder;
+    use ecfd_relation::DataType;
+
+    fn cust_schema() -> Schema {
+        Schema::builder("cust")
+            .attr("AC", DataType::Str)
+            .attr("PN", DataType::Str)
+            .attr("NM", DataType::Str)
+            .attr("STR", DataType::Str)
+            .attr("CT", DataType::Str)
+            .attr("ZIP", DataType::Str)
+            .build()
+    }
+
+    fn phi1() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| {
+                p.in_set("CT", ["Albany", "Troy", "Colonie"])
+                    .constant("AC", "518")
+            })
+            .build()
+            .unwrap()
+    }
+
+    /// The six tuples of Fig. 1.
+    fn fig1_tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::from_iter(["718", "1111111", "Mike", "Tree Ave.", "Albany", "12238"]),
+            Tuple::from_iter(["518", "2222222", "Joe", "Elm Str.", "Colonie", "12205"]),
+            Tuple::from_iter(["518", "2222222", "Jim", "Oak Ave.", "Troy", "12181"]),
+            Tuple::from_iter(["100", "1111111", "Rick", "8th Ave.", "NYC", "10001"]),
+            Tuple::from_iter(["212", "3333333", "Ben", "5th Ave.", "NYC", "10016"]),
+            Tuple::from_iter(["646", "4444444", "Ian", "High St.", "NYC", "10011"]),
+        ]
+    }
+
+    #[test]
+    fn binding_resolves_attribute_positions() {
+        let phi = phi1();
+        let schema = cust_schema();
+        let bound = BoundECfd::bind(&phi, &schema).unwrap();
+        assert_eq!(bound.lhs_ids(), &[AttrId(4)]);
+        assert_eq!(bound.fd_rhs_ids(), &[AttrId(0)]);
+        assert_eq!(bound.rhs_ids(), &[AttrId(0)]);
+    }
+
+    #[test]
+    fn binding_rejects_wrong_schema() {
+        let phi = phi1();
+        let other = Schema::builder("cust").attr("CT", DataType::Str).build();
+        assert!(BoundECfd::bind(&phi, &other).is_err());
+    }
+
+    #[test]
+    fn example_2_1_matching_from_the_paper() {
+        // "consider t1, t4 of Fig. 1 and the first pattern tuple tp of φ1 …
+        //  t1[CT, AC] ≍ tp[CT, AC] since t1[CT] ∉ {NYC, LI} and t1[AC] ≍ '_'.
+        //  However, t4[CT, AC] ≇ tp[CT, AC] since t4[CT] ∈ {NYC, LI}."
+        let phi = phi1();
+        let schema = cust_schema();
+        let bound = BoundECfd::bind(&phi, &schema).unwrap();
+        let tuples = fig1_tuples();
+        let t1 = &tuples[0];
+        let t4 = &tuples[3];
+
+        assert!(bound.lhs_matches(t1, 0));
+        assert!(bound.rhs_matches(t1, 0));
+        assert!(!bound.lhs_matches(t4, 0));
+
+        // Second pattern tuple: t1 (Albany) matches on the LHS but its area
+        // code 718 fails the RHS pattern {518} — the single-tuple violation the
+        // paper uses to motivate eCFDs.
+        assert!(bound.lhs_matches(t1, 1));
+        assert!(!bound.rhs_matches(t1, 1));
+    }
+
+    #[test]
+    fn keys_project_the_right_attributes() {
+        let phi = phi1();
+        let schema = cust_schema();
+        let bound = BoundECfd::bind(&phi, &schema).unwrap();
+        let t = &fig1_tuples()[0];
+        assert_eq!(bound.lhs_key(t), vec![Value::str("Albany")]);
+        assert_eq!(bound.fd_rhs_key(t), vec![Value::str("718")]);
+    }
+
+    #[test]
+    fn cells_match_handles_mixed_cell_kinds() {
+        let attrs = [AttrId(0), AttrId(1)];
+        let cells = [
+            PatternValue::not_in_set(["x"]),
+            PatternValue::in_set(["a", "b"]),
+        ];
+        assert!(cells_match(&attrs, &cells, &Tuple::from_iter(["y", "a"])));
+        assert!(!cells_match(&attrs, &cells, &Tuple::from_iter(["x", "a"])));
+        assert!(!cells_match(&attrs, &cells, &Tuple::from_iter(["y", "c"])));
+    }
+}

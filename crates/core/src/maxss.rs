@@ -1,0 +1,492 @@
+//! The MAXSS → MAXGSAT approximation-preserving reduction (Section IV).
+//!
+//! Because eCFD satisfiability is NP-complete, the paper considers the
+//! *maximum satisfiable subset* problem (MAXSS): given `Σ`, find a largest
+//! subset that is satisfiable. Section IV gives an approximation-factor
+//! preserving reduction to MAXGSAT consisting of two polynomial functions:
+//!
+//! * `f(Σ)` builds one Boolean formula per constraint, over variables
+//!   `x(i, a)` meaning "the witness tuple's attribute `A_i` equals constant
+//!   `a` of the active domain `adom(A_i)`". Each formula is
+//!   `χ(φ) ∧ φ_R`, where `φ_R` forces each attribute to take exactly one
+//!   active-domain value, and `χ(φ)` encodes "the single-tuple instance
+//!   `{t}` satisfies `φ`": for every pattern tuple, either some LHS attribute
+//!   fails to match or every RHS attribute matches.
+//! * `g(Φ_m)` maps a truth assignment back to a tuple `t` and returns the set
+//!   of constraints actually satisfied by `{t}` — which is, by construction,
+//!   at least as large as the set of satisfied formulas.
+//!
+//! Running any MAXGSAT approximation algorithm between `f` and `g` yields a
+//! MAXSS approximation with the same factor. The paper's decision procedure on
+//! top of it: if the returned subset is all of `Σ`, then `Σ` is satisfiable;
+//! if it is smaller than `(1 − ε)·|Σ|` for an ε-approximation algorithm, `Σ`
+//! is certainly unsatisfiable; otherwise the approximation is inconclusive.
+
+use crate::ecfd::ECfd;
+use crate::error::Result;
+use crate::pattern::PatternValue;
+use crate::satisfiability::{active_domains, single_tuple_satisfies};
+use ecfd_logic::{Assignment, BoolExpr, MaxGSatInstance, MaxGSatOutcome, MaxGSatSolver, VarId, VarPool};
+use ecfd_relation::{Schema, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The paper's three-way conclusion drawn from an ε-approximate MAXSS answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SatisfiabilityVerdict {
+    /// The approximation satisfied every constraint: `Σ` is satisfiable.
+    Satisfiable,
+    /// Fewer than `(1 − ε)·|Σ|` constraints were satisfied: `Σ` is
+    /// unsatisfiable (assuming the solver achieves its approximation factor).
+    Unsatisfiable,
+    /// In between: the approximation cannot decide.
+    Unknown,
+}
+
+/// The MAXGSAT encoding `f(Σ)` of a constraint set, plus the bookkeeping
+/// needed to invert assignments back into tuples (`g`).
+#[derive(Debug, Clone)]
+pub struct MaxSsEncoding {
+    schema: Schema,
+    ecfds: Vec<ECfd>,
+    /// Active-domain values per constrained attribute, in a fixed order.
+    attr_values: BTreeMap<String, Vec<Value>>,
+    /// Variable ids `x(attribute, value-index)` in the same order.
+    vars: BTreeMap<String, Vec<VarId>>,
+    pool: VarPool,
+    instance: MaxGSatInstance,
+}
+
+/// Result of the approximate MAXSS analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxSsOutcome {
+    /// Indices (into the input constraint list) of a satisfiable subset.
+    pub satisfiable_subset: Vec<usize>,
+    /// A single-tuple witness satisfying exactly that subset.
+    pub witness: Tuple,
+    /// The verdict obtained with the ε supplied to
+    /// [`approximate_max_satisfiable`].
+    pub verdict: SatisfiabilityVerdict,
+    /// Raw MAXGSAT outcome (for diagnostics / experiments).
+    pub gsat_satisfied: usize,
+}
+
+impl MaxSsEncoding {
+    /// Builds `f(Σ)`.
+    ///
+    /// Both `f` and the inverse `g` are polynomial in the size of `Σ` and the
+    /// schema, as required by an approximation-factor-preserving reduction.
+    pub fn build(schema: &Schema, ecfds: &[ECfd]) -> Result<Self> {
+        for e in ecfds {
+            e.validate_against(schema)?;
+        }
+        let attr_values = active_domains(schema, ecfds);
+        let mut pool = VarPool::new();
+        let mut vars: BTreeMap<String, Vec<VarId>> = BTreeMap::new();
+        for (attr, values) in &attr_values {
+            let ids = values
+                .iter()
+                .map(|v| pool.fresh(format!("x({attr},{v})")))
+                .collect();
+            vars.insert(attr.clone(), ids);
+        }
+
+        // φ_R: each attribute takes exactly one of its active-domain values.
+        let mut phi_r_parts = Vec::new();
+        for (attr, ids) in &vars {
+            let _ = attr;
+            if ids.is_empty() {
+                continue;
+            }
+            phi_r_parts.push(BoolExpr::or(ids.iter().map(|v| BoolExpr::var(*v))));
+            for (i, a) in ids.iter().enumerate() {
+                for (j, b) in ids.iter().enumerate() {
+                    if i != j {
+                        phi_r_parts
+                            .push(BoolExpr::var(*a).implies(BoolExpr::var(*b).not()));
+                    }
+                }
+            }
+        }
+        let phi_r = BoolExpr::and(phi_r_parts);
+
+        let encoding_ctx = EncodingCtx {
+            attr_values: &attr_values,
+            vars: &vars,
+        };
+        let formulas: Vec<BoolExpr> = ecfds
+            .iter()
+            .map(|ecfd| BoolExpr::and([encode_constraint(ecfd, &encoding_ctx), phi_r.clone()]))
+            .collect();
+
+        let instance = MaxGSatInstance::new(pool.len(), formulas);
+        Ok(MaxSsEncoding {
+            schema: schema.clone(),
+            ecfds: ecfds.to_vec(),
+            attr_values,
+            vars,
+            pool,
+            instance,
+        })
+    }
+
+    /// The underlying MAXGSAT instance.
+    pub fn instance(&self) -> &MaxGSatInstance {
+        &self.instance
+    }
+
+    /// The variable pool (for diagnostics: variable names are `x(attr,value)`).
+    pub fn pool(&self) -> &VarPool {
+        &self.pool
+    }
+
+    /// Total size of the encoding (sum of formula sizes) — tests assert this
+    /// stays polynomial (in fact linear per constraint, quadratic in the
+    /// active-domain size via `φ_R`).
+    pub fn encoded_size(&self) -> usize {
+        self.instance.formulas().iter().map(BoolExpr::size).sum()
+    }
+
+    /// The function `g`: converts a truth assignment into a witness tuple.
+    ///
+    /// The tuple's attribute `A` takes the first active-domain value whose
+    /// variable is true; attributes with no true variable (possible when the
+    /// assignment violates `φ_R`) and attributes not mentioned by `Σ` take an
+    /// arbitrary domain value.
+    pub fn tuple_from_assignment(&self, assignment: &Assignment) -> Tuple {
+        let mut chosen: BTreeMap<&str, Value> = BTreeMap::new();
+        for (attr, ids) in &self.vars {
+            let values = &self.attr_values[attr];
+            for (idx, var) in ids.iter().enumerate() {
+                if assignment.get(*var) {
+                    chosen.insert(attr.as_str(), values[idx].clone());
+                    break;
+                }
+            }
+        }
+        Tuple::new(
+            self.schema
+                .attributes()
+                .iter()
+                .map(|a| {
+                    chosen.get(a.name.as_str()).cloned().unwrap_or_else(|| {
+                        a.domain
+                            .fresh_value_outside(&Default::default())
+                            .unwrap_or(Value::Null)
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// The full `g(Φ_m)`: the indices of the constraints satisfied by the
+    /// witness tuple derived from `assignment`, verified against the real
+    /// eCFD semantics.
+    pub fn satisfied_constraints(&self, assignment: &Assignment) -> Result<(Vec<usize>, Tuple)> {
+        let tuple = self.tuple_from_assignment(assignment);
+        let mut satisfied = Vec::new();
+        for (i, ecfd) in self.ecfds.iter().enumerate() {
+            if single_tuple_satisfies(&self.schema, std::slice::from_ref(ecfd), &tuple)? {
+                satisfied.push(i);
+            }
+        }
+        Ok((satisfied, tuple))
+    }
+
+    /// Runs a MAXGSAT solver on the encoding and maps the result back through
+    /// `g`.
+    pub fn solve(&self, solver: MaxGSatSolver, seed: u64) -> Result<(MaxGSatOutcome, Vec<usize>, Tuple)> {
+        let outcome = self.instance.solve(solver, seed);
+        let (satisfied, tuple) = self.satisfied_constraints(&outcome.assignment)?;
+        Ok((outcome, satisfied, tuple))
+    }
+}
+
+struct EncodingCtx<'a> {
+    attr_values: &'a BTreeMap<String, Vec<Value>>,
+    vars: &'a BTreeMap<String, Vec<VarId>>,
+}
+
+impl EncodingCtx<'_> {
+    /// The variable asserting `t[attr] = value`, if `value` is in the active
+    /// domain of `attr`.
+    fn var_for(&self, attr: &str, value: &Value) -> Option<VarId> {
+        let values = self.attr_values.get(attr)?;
+        let idx = values.iter().position(|v| v == value)?;
+        Some(self.vars[attr][idx])
+    }
+
+    /// Encodes `t[attr] ≍ cell` as a Boolean expression.
+    fn encode_match(&self, attr: &str, cell: &PatternValue) -> BoolExpr {
+        match cell {
+            PatternValue::Wildcard => BoolExpr::t(),
+            PatternValue::In(s) => BoolExpr::or(
+                s.iter()
+                    .filter_map(|v| self.var_for(attr, v))
+                    .map(BoolExpr::var),
+            ),
+            PatternValue::NotIn(s) => BoolExpr::and(
+                s.iter()
+                    .filter_map(|v| self.var_for(attr, v))
+                    .map(|v| BoolExpr::var(v).not()),
+            ),
+        }
+    }
+}
+
+/// Encodes "the single-tuple instance `{t}` satisfies `φ`": for every pattern
+/// tuple, either some LHS attribute fails to match or all RHS attributes
+/// match. (The embedded FD is vacuous on a single tuple.)
+fn encode_constraint(ecfd: &ECfd, ctx: &EncodingCtx<'_>) -> BoolExpr {
+    let mut per_pattern = Vec::new();
+    for tp in ecfd.tableau() {
+        let lhs_fails = BoolExpr::or(
+            ecfd.lhs()
+                .iter()
+                .zip(&tp.lhs)
+                .map(|(attr, cell)| ctx.encode_match(attr, cell).not()),
+        );
+        let rhs_holds = BoolExpr::and(
+            ecfd.rhs_attrs()
+                .iter()
+                .zip(&tp.rhs)
+                .map(|(attr, cell)| ctx.encode_match(attr, cell)),
+        );
+        per_pattern.push(BoolExpr::or([lhs_fails, rhs_holds]));
+    }
+    BoolExpr::and(per_pattern)
+}
+
+/// Approximate MAXSS: runs the reduction with the given MAXGSAT solver and
+/// derives the paper's three-way satisfiability verdict for the supplied
+/// approximation factor `epsilon`.
+pub fn approximate_max_satisfiable(
+    schema: &Schema,
+    ecfds: &[ECfd],
+    solver: MaxGSatSolver,
+    epsilon: f64,
+    seed: u64,
+) -> Result<MaxSsOutcome> {
+    let encoding = MaxSsEncoding::build(schema, ecfds)?;
+    let (gsat, satisfied, witness) = encoding.solve(solver, seed)?;
+    let n = ecfds.len();
+    let verdict = if satisfied.len() == n {
+        SatisfiabilityVerdict::Satisfiable
+    } else if (satisfied.len() as f64) < (1.0 - epsilon) * n as f64 {
+        SatisfiabilityVerdict::Unsatisfiable
+    } else {
+        SatisfiabilityVerdict::Unknown
+    };
+    Ok(MaxSsOutcome {
+        satisfiable_subset: satisfied,
+        witness,
+        verdict,
+        gsat_satisfied: gsat.num_satisfied(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ECfdBuilder;
+    use crate::satisfiability;
+    use ecfd_relation::DataType;
+
+    fn schema() -> Schema {
+        Schema::builder("cust")
+            .attr("AC", DataType::Str)
+            .attr("CT", DataType::Str)
+            .attr("ZIP", DataType::Str)
+            .build()
+    }
+
+    fn phi1() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| {
+                p.in_set("CT", ["Albany", "Troy", "Colonie"])
+                    .constant("AC", "518")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn phi2() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| {
+                p.constant("CT", "NYC")
+                    .in_set("AC", ["212", "718", "646", "347", "917"])
+            })
+            .build()
+            .unwrap()
+    }
+
+    /// Two constraints that cannot hold together: AC forced into disjoint sets.
+    fn conflicting_pair() -> (ECfd, ECfd) {
+        let a = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.in_set("AC", ["212"]))
+            .build()
+            .unwrap();
+        let b = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.in_set("AC", ["518"]))
+            .build()
+            .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn satisfiable_sets_get_a_full_subset_and_a_real_witness() {
+        let s = schema();
+        let ecfds = [phi1(), phi2()];
+        let outcome = approximate_max_satisfiable(
+            &s,
+            &ecfds,
+            MaxGSatSolver::LocalSearch {
+                restarts: 8,
+                max_flips: 300,
+            },
+            0.1,
+            7,
+        )
+        .unwrap();
+        assert_eq!(outcome.satisfiable_subset, vec![0, 1]);
+        assert_eq!(outcome.verdict, SatisfiabilityVerdict::Satisfiable);
+        assert!(
+            satisfiability::single_tuple_satisfies(&s, &ecfds, &outcome.witness).unwrap(),
+            "the reported witness must really satisfy the subset"
+        );
+    }
+
+    #[test]
+    fn conflicting_sets_lose_exactly_one_constraint() {
+        let s = schema();
+        let (a, b) = conflicting_pair();
+        let ecfds = [a, b];
+        let outcome = approximate_max_satisfiable(
+            &s,
+            &ecfds,
+            MaxGSatSolver::LocalSearch {
+                restarts: 8,
+                max_flips: 300,
+            },
+            0.4,
+            13,
+        )
+        .unwrap();
+        assert_eq!(outcome.satisfiable_subset.len(), 1);
+        // With ε = 0.4, satisfying 1 of 2 (= 0.5 ≥ 1 − ε = 0.6? no, 0.5 < 0.6)
+        // lets the procedure conclude unsatisfiability.
+        assert_eq!(outcome.verdict, SatisfiabilityVerdict::Unsatisfiable);
+    }
+
+    #[test]
+    fn g_returns_at_least_as_many_constraints_as_satisfied_formulas() {
+        // Property 3 of an approximation-factor-preserving reduction:
+        // card(g(Φ_m)) ≥ card(Φ_m).
+        let s = schema();
+        let (a, b) = conflicting_pair();
+        let ecfds = [phi1(), phi2(), a, b];
+        let encoding = MaxSsEncoding::build(&s, &ecfds).unwrap();
+        for seed in 0..10u64 {
+            let outcome = encoding
+                .instance()
+                .solve(MaxGSatSolver::RandomSampling { samples: 20 }, seed);
+            let (satisfied, _) = encoding
+                .satisfied_constraints(&outcome.assignment)
+                .unwrap();
+            assert!(
+                satisfied.len() >= outcome.num_satisfied(),
+                "seed {seed}: g returned {} constraints but {} formulas were satisfied",
+                satisfied.len(),
+                outcome.num_satisfied()
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_gsat_matches_exact_satisfiability() {
+        // Property 2: the optimum of the MAXGSAT instance equals the optimum
+        // of MAXSS. We verify the special case used by the decision procedure:
+        // the full set is satisfiable iff the MAXGSAT optimum satisfies all
+        // formulas.
+        let s = schema();
+        let cases: Vec<Vec<ECfd>> = vec![
+            vec![phi1(), phi2()],
+            {
+                let (a, b) = conflicting_pair();
+                vec![a, b]
+            },
+            {
+                let (a, b) = conflicting_pair();
+                vec![phi1(), a, b]
+            },
+        ];
+        for ecfds in cases {
+            let encoding = MaxSsEncoding::build(&s, &ecfds).unwrap();
+            let exact_sat = satisfiability::is_satisfiable(&s, &ecfds).unwrap();
+            let gsat_opt = encoding.instance().solve_exhaustive();
+            assert_eq!(
+                gsat_opt.num_satisfied() == ecfds.len(),
+                exact_sat,
+                "constraints: {ecfds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_size_is_linear_in_the_tableau_size() {
+        // Growing the tableau of a constraint must grow the encoding at most
+        // linearly (the φ_R part is shared and fixed for a fixed active
+        // domain). We keep the active domain fixed by reusing the same
+        // constants in every pattern tuple.
+        let s = schema();
+        let base = |n: usize| -> ECfd {
+            let mut builder = ECfdBuilder::new("cust").lhs(["CT"]).fd_rhs(["AC"]);
+            for i in 0..n {
+                let city = if i % 2 == 0 { "Albany" } else { "Troy" };
+                builder = builder.pattern(|p| p.in_set("CT", [city]).constant("AC", "518"));
+            }
+            builder.build().unwrap()
+        };
+        let e10 = MaxSsEncoding::build(&s, &[base(10)]).unwrap().encoded_size();
+        let e20 = MaxSsEncoding::build(&s, &[base(20)]).unwrap().encoded_size();
+        let e40 = MaxSsEncoding::build(&s, &[base(40)]).unwrap().encoded_size();
+        let d1 = e20 - e10;
+        let d2 = e40 - e20;
+        assert!(
+            d2 <= 2 * d1 + 8,
+            "encoding growth should be ~linear: sizes {e10}, {e20}, {e40}"
+        );
+    }
+
+    #[test]
+    fn variable_names_follow_the_paper_notation() {
+        let s = schema();
+        let encoding = MaxSsEncoding::build(&s, &[phi2()]).unwrap();
+        assert!(encoding.pool().lookup("x(CT,NYC)").is_some());
+        assert!(encoding.pool().lookup("x(AC,212)").is_some());
+    }
+
+    #[test]
+    fn empty_constraint_set_is_trivially_satisfiable() {
+        let s = schema();
+        let outcome = approximate_max_satisfiable(
+            &s,
+            &[],
+            MaxGSatSolver::default(),
+            0.1,
+            1,
+        )
+        .unwrap();
+        assert!(outcome.satisfiable_subset.is_empty());
+        assert_eq!(outcome.verdict, SatisfiabilityVerdict::Satisfiable);
+    }
+}

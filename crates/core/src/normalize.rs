@@ -1,0 +1,187 @@
+//! Normal forms for sets of eCFDs.
+//!
+//! Two normalisation steps from the paper:
+//!
+//! * **Splitting** (Section V, "Encoding of eCFDs"): "we can always split an
+//!   eCFD with multiple patterns into a set of eCFDs with only a single
+//!   pattern tuple". The detection encoding assigns one `CID` per pattern
+//!   tuple, so [`split_patterns`] performs that rewriting. Each produced
+//!   single-pattern constraint remembers which original constraint and which
+//!   pattern tuple it came from, so violations can be reported against the
+//!   user's original constraints.
+//! * **Merging** ([`merge_compatible`]): the inverse convenience operation —
+//!   constraints sharing relation, `X`, `Y` and `Yp` can be combined into one
+//!   constraint whose tableau is the union, which is how users typically write
+//!   them (cf. φ1 in the paper which carries two pattern tuples).
+
+use crate::ecfd::ECfd;
+use serde::{Deserialize, Serialize};
+
+/// A single-pattern constraint produced by [`split_patterns`], with provenance
+/// back to the original constraint set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SinglePattern {
+    /// The single-pattern eCFD.
+    pub ecfd: ECfd,
+    /// Index of the originating constraint in the input slice.
+    pub source_constraint: usize,
+    /// Index of the originating pattern tuple within that constraint.
+    pub source_pattern: usize,
+}
+
+/// Splits every constraint into single-pattern-tuple constraints.
+///
+/// Semantics are preserved: `I ⊨ φ` iff `I` satisfies every single-pattern
+/// constraint obtained from `φ`, because the satisfaction condition of
+/// Section II quantifies over pattern tuples independently.
+pub fn split_patterns(ecfds: &[ECfd]) -> Vec<SinglePattern> {
+    let mut out = Vec::new();
+    for (ci, ecfd) in ecfds.iter().enumerate() {
+        for (pi, tp) in ecfd.tableau().iter().enumerate() {
+            let single = ecfd
+                .with_tableau(vec![tp.clone()])
+                .expect("a tableau slice of a valid eCFD is valid");
+            out.push(SinglePattern {
+                ecfd: single,
+                source_constraint: ci,
+                source_pattern: pi,
+            });
+        }
+    }
+    out
+}
+
+/// Merges constraints that share relation, `X`, `Y` and `Yp` into single
+/// constraints whose tableaux are concatenated (first-seen order preserved).
+pub fn merge_compatible(ecfds: &[ECfd]) -> Vec<ECfd> {
+    let mut out: Vec<ECfd> = Vec::new();
+    for ecfd in ecfds {
+        if let Some(existing) = out.iter_mut().find(|e| {
+            e.relation() == ecfd.relation()
+                && e.lhs() == ecfd.lhs()
+                && e.fd_rhs() == ecfd.fd_rhs()
+                && e.pattern_rhs() == ecfd.pattern_rhs()
+        }) {
+            let mut tableau = existing.tableau().to_vec();
+            tableau.extend(ecfd.tableau().iter().cloned());
+            *existing = existing
+                .with_tableau(tableau)
+                .expect("concatenating valid tableaux stays valid");
+        } else {
+            out.push(ecfd.clone());
+        }
+    }
+    out
+}
+
+/// Total number of pattern tuples across a constraint set — the paper's
+/// "|Tp|" complexity measure ("each tuple itself is a constraint").
+pub fn total_pattern_tuples(ecfds: &[ECfd]) -> usize {
+    ecfds.iter().map(ECfd::tableau_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ECfdBuilder;
+    use crate::satisfaction;
+    use ecfd_relation::{DataType, Relation, Schema, Tuple};
+
+    fn phi1() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| {
+                p.in_set("CT", ["Albany", "Troy", "Colonie"])
+                    .constant("AC", "518")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn phi2() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.constant("CT", "NYC").in_set("AC", ["212", "718"]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn split_produces_one_constraint_per_pattern_tuple() {
+        let split = split_patterns(&[phi1(), phi2()]);
+        assert_eq!(split.len(), 3);
+        assert!(split.iter().all(|s| s.ecfd.tableau_size() == 1));
+        assert_eq!(split[0].source_constraint, 0);
+        assert_eq!(split[0].source_pattern, 0);
+        assert_eq!(split[1].source_constraint, 0);
+        assert_eq!(split[1].source_pattern, 1);
+        assert_eq!(split[2].source_constraint, 1);
+        assert_eq!(split[2].source_pattern, 0);
+    }
+
+    #[test]
+    fn splitting_preserves_satisfaction() {
+        let schema = Schema::builder("cust")
+            .attr("AC", DataType::Str)
+            .attr("CT", DataType::Str)
+            .build();
+        let phi = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| p.in_set("CT", ["Albany"]).constant("AC", "518"))
+            .build()
+            .unwrap();
+        let instances = [
+            vec![("518", "Albany"), ("212", "NYC")],
+            vec![("718", "Albany")],
+            vec![("315", "Utica"), ("607", "Utica")],
+            vec![],
+        ];
+        for rows in instances {
+            let db = Relation::with_tuples(
+                schema.clone(),
+                rows.iter().map(|(ac, ct)| Tuple::from_iter([*ac, *ct])),
+            )
+            .unwrap();
+            let original = satisfaction::check(&db, &phi).unwrap().is_satisfied();
+            let split = split_patterns(std::slice::from_ref(&phi));
+            let split_ecfds: Vec<ECfd> = split.into_iter().map(|s| s.ecfd).collect();
+            let after = satisfaction::check_all(&db, &split_ecfds)
+                .unwrap()
+                .is_satisfied();
+            assert_eq!(original, after, "rows {rows:?}");
+        }
+    }
+
+    #[test]
+    fn merge_recombines_split_constraints() {
+        let original = vec![phi1(), phi2()];
+        let split = split_patterns(&original);
+        let split_ecfds: Vec<ECfd> = split.into_iter().map(|s| s.ecfd).collect();
+        let merged = merge_compatible(&split_ecfds);
+        assert_eq!(merged, original);
+    }
+
+    #[test]
+    fn merge_keeps_incompatible_constraints_apart() {
+        let other_rel = ECfdBuilder::new("orders")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p)
+            .build()
+            .unwrap();
+        let merged = merge_compatible(&[phi1(), other_rel.clone()]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[1], other_rel);
+    }
+
+    #[test]
+    fn total_pattern_tuples_counts_tableau_rows() {
+        assert_eq!(total_pattern_tuples(&[phi1(), phi2()]), 3);
+        assert_eq!(total_pattern_tuples(&[]), 0);
+    }
+}

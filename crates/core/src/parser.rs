@@ -1,0 +1,433 @@
+//! A concrete textual syntax for eCFDs.
+//!
+//! The paper writes eCFDs as `φ1 = (cust: [CT] → [AC], ∅, T1)` with the tableau
+//! rendered as a table (Fig. 2). This module provides an equivalent one-line
+//! ASCII syntax, convenient for configuration files and examples:
+//!
+//! ```text
+//! cust: [CT] -> [AC] | [], { !{NYC, LI} || _ ; {Albany, Troy, Colonie} || {518} }
+//! cust: [CT] -> []   | [AC], { {NYC} || {212, 718, 646, 347, 917} }
+//! ```
+//!
+//! * `[..] -> [..] | [..]` lists the attributes of `X`, `Y` and `Yp`; the
+//!   `| [..]` part may be omitted when `Yp = ∅`.
+//! * The tableau is a `{ .. }` block of pattern tuples separated by `;`.
+//! * Each pattern tuple lists the cells for `X`, then `||`, then the cells for
+//!   `Y ∪ Yp` (Y attributes first, then Yp), separated by commas.
+//! * A cell is `_` (wildcard), `{a, b, c}` (a positive set) or `!{a, b, c}`
+//!   (a complement set).
+//! * Set elements are strings; quote with `"…"` to include spaces, commas or
+//!   braces. An element prefixed with `#` is parsed as an integer
+//!   (e.g. `{#1, #2}`).
+//!
+//! [`parse_ecfds`] parses a whole file of constraints, one per line, ignoring
+//! blank lines and `//` / `--` comments.
+
+use crate::ecfd::{ECfd, PatternTuple};
+use crate::error::{CoreError, Result};
+use crate::pattern::PatternValue;
+use ecfd_relation::Value;
+use std::collections::BTreeSet;
+
+/// Parses a single eCFD from its textual form.
+pub fn parse_ecfd(input: &str) -> Result<ECfd> {
+    Parser::new(input).parse_constraint()
+}
+
+/// Parses a list of eCFDs, one per non-empty, non-comment line.
+pub fn parse_ecfds(input: &str) -> Result<Vec<ECfd>> {
+    let mut out = Vec::new();
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") || trimmed.starts_with("--") {
+            continue;
+        }
+        out.push(parse_ecfd(trimmed)?);
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            chars: input.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> CoreError {
+        CoreError::Parse {
+            position: self
+                .chars
+                .iter()
+                .take(self.pos)
+                .map(|c| c.len_utf8())
+                .sum(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, expected: char) -> Result<()> {
+        self.skip_ws();
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.error(format!("expected `{expected}`, found `{c}`"))),
+            None => Err(self.error(format!("expected `{expected}`, found end of input"))),
+        }
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, expected: &str) -> bool {
+        self.skip_ws();
+        let chars: Vec<char> = expected.chars().collect();
+        if self.chars[self.pos..].starts_with(&chars) {
+            self.pos += chars.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A bare identifier: letters, digits, `_`, `.`, `-`.
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '.' || c == '-')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected an identifier"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    /// A double-quoted string with `\"` and `\\` escapes.
+    fn quoted(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some(c) => out.push(c),
+                    None => return Err(self.error("unterminated escape in string literal")),
+                },
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    /// A set element: quoted string, `#int`, or a bare identifier (string).
+    fn set_element(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.quoted()?)),
+            Some('#') => {
+                self.pos += 1;
+                let tok = self.ident()?;
+                tok.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| self.error(format!("`#{tok}` is not a valid integer literal")))
+            }
+            _ => Ok(Value::Str(self.ident()?)),
+        }
+    }
+
+    /// `{ a, b, c }` — possibly empty.
+    fn value_set(&mut self) -> Result<BTreeSet<Value>> {
+        self.expect('{')?;
+        let mut out = BTreeSet::new();
+        self.skip_ws();
+        if self.eat('}') {
+            return Ok(out);
+        }
+        loop {
+            out.insert(self.set_element()?);
+            self.skip_ws();
+            if self.eat(',') {
+                continue;
+            }
+            self.expect('}')?;
+            return Ok(out);
+        }
+    }
+
+    /// `_` | `{..}` | `!{..}`
+    fn cell(&mut self) -> Result<PatternValue> {
+        self.skip_ws();
+        match self.peek() {
+            Some('_') => {
+                self.pos += 1;
+                Ok(PatternValue::Wildcard)
+            }
+            Some('!') => {
+                self.pos += 1;
+                let set = self.value_set()?;
+                if set.is_empty() {
+                    return Err(self.error("a complement set `!{..}` must not be empty"));
+                }
+                Ok(PatternValue::NotIn(set))
+            }
+            Some('{') => {
+                let set = self.value_set()?;
+                if set.is_empty() {
+                    return Err(self.error("a positive set `{..}` must not be empty"));
+                }
+                Ok(PatternValue::In(set))
+            }
+            Some(c) => Err(self.error(format!("expected a pattern cell (`_`, `{{..}}` or `!{{..}}`), found `{c}`"))),
+            None => Err(self.error("expected a pattern cell, found end of input")),
+        }
+    }
+
+    /// `[ A, B, C ]` — possibly empty.
+    fn attr_list(&mut self) -> Result<Vec<String>> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.ident()?);
+            self.skip_ws();
+            if self.eat(',') {
+                continue;
+            }
+            self.expect(']')?;
+            return Ok(out);
+        }
+    }
+
+    /// `cell, cell, ... || cell, cell, ...`
+    fn pattern_tuple(&mut self, n_lhs: usize, n_rhs: usize) -> Result<PatternTuple> {
+        let lhs = self.cell_list(n_lhs)?;
+        if !self.eat_str("||") {
+            return Err(self.error("expected `||` between LHS and RHS pattern cells"));
+        }
+        let rhs = self.cell_list(n_rhs)?;
+        Ok(PatternTuple::new(lhs, rhs))
+    }
+
+    fn cell_list(&mut self, expected: usize) -> Result<Vec<PatternValue>> {
+        let mut out = Vec::new();
+        for i in 0..expected {
+            if i > 0 {
+                self.expect(',')?;
+            }
+            out.push(self.cell()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_constraint(&mut self) -> Result<ECfd> {
+        let relation = self.ident()?;
+        self.expect(':')?;
+        let lhs = self.attr_list()?;
+        if !self.eat_str("->") {
+            return Err(self.error("expected `->` after the left-hand-side attribute list"));
+        }
+        let fd_rhs = self.attr_list()?;
+        let pattern_rhs = if self.eat('|') {
+            self.attr_list()?
+        } else {
+            Vec::new()
+        };
+        self.expect(',')?;
+        self.expect('{')?;
+
+        let n_lhs = lhs.len();
+        let n_rhs = fd_rhs.len() + pattern_rhs.len();
+        let mut tableau = Vec::new();
+        self.skip_ws();
+        if !self.eat('}') {
+            loop {
+                tableau.push(self.pattern_tuple(n_lhs, n_rhs)?);
+                self.skip_ws();
+                if self.eat(';') {
+                    continue;
+                }
+                self.expect('}')?;
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.chars.len() {
+            return Err(self.error(format!(
+                "unexpected trailing input: `{}`",
+                &self.input[self
+                    .chars
+                    .iter()
+                    .take(self.pos)
+                    .map(|c| c.len_utf8())
+                    .sum::<usize>()..]
+            )));
+        }
+        ECfd::new(relation, lhs, fd_rhs, pattern_rhs, tableau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PHI1: &str =
+        "cust: [CT] -> [AC] | [], { !{NYC, LI} || _ ; {Albany, Troy, Colonie} || {518} }";
+    const PHI2: &str = "cust: [CT] -> [] | [AC], { {NYC} || {212, 718, 646, 347, 917} }";
+
+    #[test]
+    fn parses_phi1_from_the_paper() {
+        let phi = parse_ecfd(PHI1).unwrap();
+        assert_eq!(phi.relation(), "cust");
+        assert_eq!(phi.lhs(), &["CT".to_string()]);
+        assert_eq!(phi.fd_rhs(), &["AC".to_string()]);
+        assert!(phi.pattern_rhs().is_empty());
+        assert_eq!(phi.tableau_size(), 2);
+        assert_eq!(
+            phi.lhs_cell(0, "CT"),
+            Some(&PatternValue::not_in_set(["NYC", "LI"]))
+        );
+        assert_eq!(phi.rhs_cell(0, "AC"), Some(&PatternValue::Wildcard));
+        assert_eq!(
+            phi.lhs_cell(1, "CT"),
+            Some(&PatternValue::in_set(["Albany", "Troy", "Colonie"]))
+        );
+        assert_eq!(phi.rhs_cell(1, "AC"), Some(&PatternValue::in_set(["518"])));
+    }
+
+    #[test]
+    fn parses_phi2_with_pattern_only_rhs() {
+        let phi = parse_ecfd(PHI2).unwrap();
+        assert!(phi.is_pattern_only());
+        assert_eq!(phi.pattern_rhs(), &["AC".to_string()]);
+        assert_eq!(phi.rhs_cell(0, "AC").unwrap().num_constants(), 5);
+    }
+
+    #[test]
+    fn yp_clause_is_optional() {
+        let a = parse_ecfd("cust: [CT] -> [AC], { _ || _ }").unwrap();
+        let b = parse_ecfd("cust: [CT] -> [AC] | [], { _ || _ }").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quoted_strings_and_integers() {
+        let phi = parse_ecfd(
+            r#"orders: [city] -> [zip], { {"New York, NY", "St. \"Quote\""} || {#10001, #10002} }"#,
+        )
+        .unwrap();
+        let lhs = phi.lhs_cell(0, "city").unwrap();
+        assert!(lhs.matches(&Value::str("New York, NY")));
+        assert!(lhs.matches(&Value::str("St. \"Quote\"")));
+        let rhs = phi.rhs_cell(0, "zip").unwrap();
+        assert!(rhs.matches(&Value::int(10001)));
+        assert!(!rhs.matches(&Value::str("10001")));
+    }
+
+    #[test]
+    fn empty_tableau_and_multi_attribute_sides() {
+        let phi = parse_ecfd("t: [A, B] -> [C] | [D], { }").unwrap();
+        assert_eq!(phi.tableau_size(), 0);
+        let phi =
+            parse_ecfd("t: [A, B] -> [C] | [D], { {a}, _ || !{c}, {d1, d2} }").unwrap();
+        assert_eq!(phi.tableau_size(), 1);
+        assert_eq!(phi.lhs_cell(0, "B"), Some(&PatternValue::Wildcard));
+        assert_eq!(phi.rhs_cell(0, "C"), Some(&PatternValue::not_in_set(["c"])));
+        assert_eq!(
+            phi.rhs_cell(0, "D"),
+            Some(&PatternValue::in_set(["d1", "d2"]))
+        );
+    }
+
+    #[test]
+    fn display_output_reparses_to_the_same_constraint() {
+        for text in [PHI1, PHI2, "t: [A, B] -> [C] | [D], { {a}, _ || !{c}, {d1, d2} }"] {
+            let phi = parse_ecfd(text).unwrap();
+            let round = parse_ecfd(&phi.to_string()).unwrap();
+            assert_eq!(phi, round, "display of `{text}` should reparse identically");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_positions_and_messages() {
+        let cases = [
+            ("cust [CT] -> [AC], { }", "expected `:`"),
+            ("cust: [CT] [AC], { }", "expected `->`"),
+            ("cust: [CT] -> [AC], { _  _ }", "expected `||`"),
+            ("cust: [CT] -> [AC], { _ || }", "expected a pattern cell"),
+            ("cust: [CT] -> [AC], { _ || {} }", "must not be empty"),
+            ("cust: [CT] -> [AC], { _ || _ } trailing", "trailing"),
+            ("cust: [CT] -> [AC], { _ || {\"unterminated} }", "unterminated"),
+            ("cust: [CT] -> [AC], { _ || {#abc} }", "integer"),
+        ];
+        for (input, needle) in cases {
+            let err = parse_ecfd(input).unwrap_err();
+            match err {
+                CoreError::Parse { message, .. } => {
+                    assert!(
+                        message.contains(needle),
+                        "input `{input}`: message `{message}` should contain `{needle}`"
+                    );
+                }
+                other => panic!("input `{input}`: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn structural_errors_are_reported_as_invalid_constraints() {
+        // Parses fine syntactically but Y ∩ Yp ≠ ∅.
+        let err = parse_ecfd("cust: [CT] -> [AC] | [AC], { _ || _, _ }").unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConstraint(_)));
+    }
+
+    #[test]
+    fn parse_ecfds_handles_comments_and_blank_lines() {
+        let text = format!(
+            "// constraints from Fig. 2\n\n{PHI1}\n-- second one\n{PHI2}\n"
+        );
+        let all = parse_ecfds(&text).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].tableau_size(), 2);
+        assert_eq!(all[1].tableau_size(), 1);
+
+        let err = parse_ecfds("not a constraint").unwrap_err();
+        assert!(matches!(err, CoreError::Parse { .. }));
+    }
+}

@@ -1,0 +1,342 @@
+//! The satisfaction semantics `I ⊨ φ` (Section II of the paper) and
+//! reference violation finding.
+//!
+//! For each pattern tuple `tp ∈ Tp`, let `I(tp) = {t ∈ I | t[X] ≍ tp[X]}`.
+//! Then `I ⊨ φ` iff, for every `tp`:
+//!
+//! 1. `I(tp)` satisfies the embedded FD `X → Y`: any two tuples of `I(tp)`
+//!    that agree on `X` also agree on `Y`; and
+//! 2. every `t ∈ I(tp)` matches the right-hand pattern: `t[Y, Yp] ≍ tp[Y, Yp]`.
+//!
+//! Violations of (2) involve a single tuple (`SV`); violations of (1) involve
+//! at least two tuples (`MV`). This module is the *reference* implementation
+//! of the semantics — quadratic-free but index-light — used both directly by
+//! library users on small data and as the differential-testing oracle for the
+//! SQL-based detection in `ecfd-detect`.
+
+use crate::ecfd::ECfd;
+use crate::error::Result;
+use crate::matching::BoundECfd;
+use crate::violation::{Violation, ViolationKind, ViolationSet};
+use ecfd_relation::{Relation, RowId, Value};
+use std::collections::HashMap;
+
+/// Result of checking one constraint (or a set of constraints) against a
+/// relation instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatisfactionResult {
+    violations: ViolationSet,
+    tuples_checked: usize,
+}
+
+impl SatisfactionResult {
+    /// Whether `I ⊨ φ` (no violations at all).
+    pub fn is_satisfied(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The full violation set.
+    pub fn violations(&self) -> &ViolationSet {
+        &self.violations
+    }
+
+    /// Consumes the result, returning the violation set.
+    pub fn into_violations(self) -> ViolationSet {
+        self.violations
+    }
+
+    /// Rows flagged as single-tuple violations.
+    pub fn single_tuple_violations(&self) -> Vec<RowId> {
+        self.violations.sv_rows().iter().copied().collect()
+    }
+
+    /// Rows flagged as multi-tuple (embedded-FD) violations.
+    pub fn multi_tuple_violations(&self) -> Vec<RowId> {
+        self.violations.mv_rows().iter().copied().collect()
+    }
+
+    /// Number of tuples inspected.
+    pub fn tuples_checked(&self) -> usize {
+        self.tuples_checked
+    }
+}
+
+/// Checks a single eCFD against a relation instance.
+pub fn check(relation: &Relation, ecfd: &ECfd) -> Result<SatisfactionResult> {
+    check_indexed(relation, ecfd, 0)
+}
+
+/// Checks a set of eCFDs; violation records carry the index of the violated
+/// constraint within `ecfds`.
+pub fn check_all(relation: &Relation, ecfds: &[ECfd]) -> Result<SatisfactionResult> {
+    let mut violations = ViolationSet::new();
+    for (idx, ecfd) in ecfds.iter().enumerate() {
+        let result = check_indexed(relation, ecfd, idx)?;
+        violations.merge(result.violations);
+    }
+    Ok(SatisfactionResult {
+        violations,
+        tuples_checked: relation.len() * ecfds.len(),
+    })
+}
+
+/// Convenience predicate: `I ⊨ Σ`.
+pub fn satisfies_all(relation: &Relation, ecfds: &[ECfd]) -> Result<bool> {
+    Ok(check_all(relation, ecfds)?.is_satisfied())
+}
+
+fn check_indexed(relation: &Relation, ecfd: &ECfd, constraint_idx: usize) -> Result<SatisfactionResult> {
+    let bound = BoundECfd::bind(ecfd, relation.schema())?;
+    let mut violations = ViolationSet::new();
+
+    for (tp_idx, _tp) in ecfd.tableau().iter().enumerate() {
+        // Group the tuples of I(tp) by their X-projection while checking the
+        // right-hand pattern for each member.
+        //
+        // Key → (representative Y value, rows seen, whether a Y conflict was
+        // already found for this key).
+        let mut groups: HashMap<Vec<Value>, (Vec<Value>, Vec<RowId>, bool)> = HashMap::new();
+
+        for (row_id, tuple) in relation.iter() {
+            if !bound.lhs_matches(tuple, tp_idx) {
+                continue; // t ∉ I(tp): the constraint does not apply.
+            }
+            // Condition (2): single-tuple pattern violation.
+            if !bound.rhs_matches(tuple, tp_idx) {
+                violations.push(Violation {
+                    row: row_id,
+                    constraint: constraint_idx,
+                    pattern: tp_idx,
+                    kind: ViolationKind::SingleTuple,
+                });
+            }
+            // Condition (1): embedded FD, only meaningful when Y ≠ ∅.
+            if !bound.fd_rhs_ids().is_empty() {
+                let key = bound.lhs_key(tuple);
+                let y = bound.fd_rhs_key(tuple);
+                let entry = groups.entry(key).or_insert_with(|| (y.clone(), Vec::new(), false));
+                if entry.0 != y {
+                    entry.2 = true;
+                }
+                entry.1.push(row_id);
+            }
+        }
+
+        // Flag every member of a conflicting group as an MV violation — the
+        // paper marks *all* tuples matching the offending (cid, pattern) group.
+        for (_, (_, rows, conflict)) in groups {
+            if conflict {
+                for row in rows {
+                    violations.push(Violation {
+                        row,
+                        constraint: constraint_idx,
+                        pattern: tp_idx,
+                        kind: ViolationKind::MultiTuple,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(SatisfactionResult {
+        violations,
+        tuples_checked: relation.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ECfdBuilder;
+    use ecfd_relation::{DataType, Schema, Tuple};
+
+    fn cust_schema() -> Schema {
+        Schema::builder("cust")
+            .attr("AC", DataType::Str)
+            .attr("PN", DataType::Str)
+            .attr("NM", DataType::Str)
+            .attr("STR", DataType::Str)
+            .attr("CT", DataType::Str)
+            .attr("ZIP", DataType::Str)
+            .build()
+    }
+
+    /// The instance D0 of Fig. 1.
+    fn d0() -> Relation {
+        Relation::with_tuples(
+            cust_schema(),
+            [
+                Tuple::from_iter(["718", "1111111", "Mike", "Tree Ave.", "Albany", "12238"]),
+                Tuple::from_iter(["518", "2222222", "Joe", "Elm Str.", "Colonie", "12205"]),
+                Tuple::from_iter(["518", "2222222", "Jim", "Oak Ave.", "Troy", "12181"]),
+                Tuple::from_iter(["100", "1111111", "Rick", "8th Ave.", "NYC", "10001"]),
+                Tuple::from_iter(["212", "3333333", "Ben", "5th Ave.", "NYC", "10016"]),
+                Tuple::from_iter(["646", "4444444", "Ian", "High St.", "NYC", "10011"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn phi1() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| {
+                p.in_set("CT", ["Albany", "Troy", "Colonie"])
+                    .constant("AC", "518")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn phi2() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| {
+                p.constant("CT", "NYC")
+                    .in_set("AC", ["212", "718", "646", "347", "917"])
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example_2_2_d0_violates_phi1_and_phi2() {
+        // "The database D0 satisfies neither φ1 nor φ2. … t1 violates φ1 since
+        //  t1[AC] ≇ t'p[AC]. The tuple t4 violates φ2 …"
+        let db = d0();
+        let rows = db.row_ids();
+
+        let r1 = check(&db, &phi1()).unwrap();
+        assert!(!r1.is_satisfied());
+        assert_eq!(r1.single_tuple_violations(), vec![rows[0]], "only t1 violates φ1");
+        assert!(r1.multi_tuple_violations().is_empty(), "no FD conflict in D0 for φ1");
+
+        let r2 = check(&db, &phi2()).unwrap();
+        assert!(!r2.is_satisfied());
+        assert_eq!(r2.single_tuple_violations(), vec![rows[3]], "only t4 violates φ2");
+    }
+
+    #[test]
+    fn check_all_attributes_violations_to_constraints() {
+        let db = d0();
+        let result = check_all(&db, &[phi1(), phi2()]).unwrap();
+        assert_eq!(result.violations().num_sv(), 2);
+        let grouped = result.violations().by_constraint();
+        assert_eq!(grouped[&0].len(), 1);
+        assert_eq!(grouped[&1].len(), 1);
+        assert!(!satisfies_all(&db, &[phi1(), phi2()]).unwrap());
+    }
+
+    #[test]
+    fn clean_database_satisfies_the_constraints() {
+        let db = Relation::with_tuples(
+            cust_schema(),
+            [
+                Tuple::from_iter(["518", "1111111", "Mike", "Tree Ave.", "Albany", "12238"]),
+                Tuple::from_iter(["212", "3333333", "Ben", "5th Ave.", "NYC", "10016"]),
+            ],
+        )
+        .unwrap();
+        assert!(satisfies_all(&db, &[phi1(), phi2()]).unwrap());
+        let empty = Relation::new(cust_schema());
+        assert!(satisfies_all(&empty, &[phi1(), phi2()]).unwrap());
+    }
+
+    #[test]
+    fn embedded_fd_violations_are_multi_tuple() {
+        // Two Utica tuples with different area codes violate the FD part of φ1
+        // (Utica ∉ {NYC, LI} so the first pattern tuple applies), and a lone
+        // Syracuse tuple stays clean.
+        let db = Relation::with_tuples(
+            cust_schema(),
+            [
+                Tuple::from_iter(["315", "1", "A", "S1", "Utica", "13501"]),
+                Tuple::from_iter(["607", "2", "B", "S2", "Utica", "13501"]),
+                Tuple::from_iter(["315", "3", "C", "S3", "Syracuse", "13201"]),
+            ],
+        )
+        .unwrap();
+        let result = check(&db, &phi1()).unwrap();
+        let rows = db.row_ids();
+        assert_eq!(result.multi_tuple_violations(), vec![rows[0], rows[1]]);
+        assert!(result.single_tuple_violations().is_empty());
+        assert!(!result.is_satisfied());
+    }
+
+    #[test]
+    fn a_single_tuple_can_violate_an_ecfd() {
+        // The paper: "a single tuple may violate an eCFD while it takes two
+        // tuples to violate a standard FD."
+        let db = Relation::with_tuples(
+            cust_schema(),
+            [Tuple::from_iter(["718", "1", "Mike", "S", "Albany", "12238"])],
+        )
+        .unwrap();
+        let result = check(&db, &phi1()).unwrap();
+        assert_eq!(result.single_tuple_violations().len(), 1);
+
+        // Whereas the pure FD part alone (wildcard RHS) is satisfied by any
+        // single tuple.
+        let fd_only = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p)
+            .build()
+            .unwrap();
+        assert!(check(&db, &fd_only).unwrap().is_satisfied());
+    }
+
+    #[test]
+    fn pattern_scope_restricts_the_fd() {
+        // CT → AC need NOT hold for NYC under φ1's first pattern tuple: the
+        // three NYC tuples of D0 have three different area codes but match
+        // neither pattern tuple's LHS, so they are not violations.
+        let db = d0();
+        let result = check(&db, &phi1()).unwrap();
+        for row in result.violations().violating_rows() {
+            let ct = db.get(row).unwrap()[ecfd_relation::AttrId(4)].clone();
+            assert_ne!(ct, Value::str("NYC"));
+        }
+    }
+
+    #[test]
+    fn multi_attribute_lhs_and_rhs() {
+        let schema = Schema::builder("t")
+            .attr("A", DataType::Str)
+            .attr("B", DataType::Str)
+            .attr("C", DataType::Str)
+            .attr("D", DataType::Str)
+            .build();
+        let phi = ECfdBuilder::new("t")
+            .lhs(["A", "B"])
+            .fd_rhs(["C"])
+            .pattern_rhs(["D"])
+            .pattern(|p| p.in_set("A", ["a1", "a2"]).not_in("D", ["bad"]))
+            .build()
+            .unwrap();
+        let db = Relation::with_tuples(
+            schema,
+            [
+                Tuple::from_iter(["a1", "b", "c1", "ok"]),
+                Tuple::from_iter(["a1", "b", "c2", "ok"]),   // FD conflict with row 0
+                Tuple::from_iter(["a2", "b", "c1", "bad"]),  // pattern violation on D
+                Tuple::from_iter(["zz", "b", "c9", "bad"]),  // outside I(tp): clean
+            ],
+        )
+        .unwrap();
+        let result = check(&db, &phi).unwrap();
+        let rows = db.row_ids();
+        assert_eq!(result.multi_tuple_violations(), vec![rows[0], rows[1]]);
+        assert_eq!(result.single_tuple_violations(), vec![rows[2]]);
+    }
+
+    #[test]
+    fn tuples_checked_is_reported() {
+        let db = d0();
+        assert_eq!(check(&db, &phi1()).unwrap().tuples_checked(), 6);
+        assert_eq!(check_all(&db, &[phi1(), phi2()]).unwrap().tuples_checked(), 12);
+    }
+}

@@ -1,0 +1,480 @@
+//! Exact satisfiability analysis of eCFD sets (Section III of the paper).
+//!
+//! The satisfiability problem — "is there a nonempty instance `I` with
+//! `I ⊨ Σ`?" — is NP-complete for eCFDs (Proposition 3.1), but it enjoys a
+//! *small model property*: if `Σ` is satisfiable then a **single-tuple**
+//! instance satisfies it. The exact procedure here therefore searches for one
+//! witness tuple:
+//!
+//! 1. restrict attention to the attributes mentioned by `Σ`;
+//! 2. for each such attribute `A_i`, build the *active domain* `adom(A_i)`:
+//!    the constants appearing in the tableaux for `A_i`, plus one fresh value
+//!    of `dom(A_i)` outside those constants if such a value exists (for an
+//!    enumerated finite domain it may not) — exactly the construction used in
+//!    the reduction of Section IV;
+//! 3. backtrack over assignments of active-domain values to attributes,
+//!    pruning as soon as a fully-assigned constraint is violated.
+//!
+//! The search is exponential in the number of constrained attributes in the
+//! worst case — unavoidable unless P = NP — so callers can cap the number of
+//! search nodes with [`SatOptions::node_budget`]; the default is generous
+//! enough for all constraint sets used in the paper's experiments.
+
+use crate::ecfd::ECfd;
+use crate::error::{CoreError, Result};
+use crate::pattern::PatternValue;
+use crate::satisfaction;
+use ecfd_relation::{Domain, Relation, Schema, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Options controlling the exact satisfiability search.
+#[derive(Debug, Clone, Copy)]
+pub struct SatOptions {
+    /// Maximum number of backtracking nodes to explore before giving up with
+    /// [`CoreError::AnalysisBudgetExceeded`].
+    pub node_budget: u64,
+}
+
+impl Default for SatOptions {
+    fn default() -> Self {
+        SatOptions {
+            node_budget: 5_000_000,
+        }
+    }
+}
+
+/// Outcome of the exact satisfiability analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// `Σ` is satisfiable; the contained tuple is a single-tuple witness
+    /// (over the full schema).
+    Satisfiable(Tuple),
+    /// No nonempty instance satisfies `Σ`.
+    Unsatisfiable,
+}
+
+impl SatOutcome {
+    /// True for [`SatOutcome::Satisfiable`].
+    pub fn is_satisfiable(&self) -> bool {
+        matches!(self, SatOutcome::Satisfiable(_))
+    }
+
+    /// The witness tuple, if satisfiable.
+    pub fn witness(&self) -> Option<&Tuple> {
+        match self {
+            SatOutcome::Satisfiable(t) => Some(t),
+            SatOutcome::Unsatisfiable => None,
+        }
+    }
+}
+
+/// Computes the active domain of every attribute mentioned by `ecfds`:
+/// the constants appearing in pattern cells for that attribute, plus (when the
+/// declared domain still has one) a representative value outside them.
+///
+/// Values outside the constants are indistinguishable to every pattern cell,
+/// so one representative suffices — this is what keeps the small-model search
+/// finite and the reduction of Section IV polynomial.
+pub fn active_domains(schema: &Schema, ecfds: &[ECfd]) -> BTreeMap<String, Vec<Value>> {
+    let mut constants: BTreeMap<String, BTreeSet<Value>> = BTreeMap::new();
+    for ecfd in ecfds {
+        for (attr, consts) in ecfd.constants_per_attribute() {
+            constants.entry(attr).or_default().extend(consts);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (attr, consts) in constants {
+        let domain = schema
+            .attr_id(&attr)
+            .and_then(|id| schema.attribute(id))
+            .map(|a| a.domain.clone())
+            .unwrap_or(Domain::Unbounded(ecfd_relation::DataType::Str));
+        let mut values: Vec<Value> = consts
+            .iter()
+            .filter(|v| domain.contains(v))
+            .cloned()
+            .collect();
+        if let Some(fresh) = domain.fresh_value_outside(&consts) {
+            values.push(fresh);
+        }
+        out.insert(attr, values);
+    }
+    out
+}
+
+/// Exact satisfiability with default options.
+pub fn is_satisfiable(schema: &Schema, ecfds: &[ECfd]) -> Result<bool> {
+    Ok(check_satisfiability(schema, ecfds, SatOptions::default())?.is_satisfiable())
+}
+
+/// Exact satisfiability returning a witness, with default options.
+pub fn find_witness(schema: &Schema, ecfds: &[ECfd]) -> Result<Option<Tuple>> {
+    Ok(check_satisfiability(schema, ecfds, SatOptions::default())?
+        .witness()
+        .cloned())
+}
+
+/// Exact satisfiability analysis with explicit options.
+pub fn check_satisfiability(
+    schema: &Schema,
+    ecfds: &[ECfd],
+    options: SatOptions,
+) -> Result<SatOutcome> {
+    for ecfd in ecfds {
+        ecfd.validate_against(schema)?;
+    }
+    if ecfds.is_empty() {
+        // Any single tuple works; produce one from default values.
+        return Ok(SatOutcome::Satisfiable(default_tuple(schema)));
+    }
+
+    let domains = active_domains(schema, ecfds);
+    // Fix an attribute order for the backtracking search: constrained
+    // attributes first (most constrained — smallest active domain — first to
+    // fail fast), then the rest of the schema.
+    let mut constrained: Vec<(String, Vec<Value>)> = domains.into_iter().collect();
+    constrained.sort_by_key(|(_, vals)| vals.len());
+
+    let mut assignment: BTreeMap<String, Value> = BTreeMap::new();
+    let mut budget = options.node_budget;
+    let found = search(schema, ecfds, &constrained, 0, &mut assignment, &mut budget)?;
+    if !found {
+        return Ok(SatOutcome::Unsatisfiable);
+    }
+
+    // Extend the partial witness to a full tuple over the schema.
+    let witness = complete_tuple(schema, &assignment);
+    debug_assert!(single_tuple_satisfies(schema, ecfds, &witness)?);
+    Ok(SatOutcome::Satisfiable(witness))
+}
+
+/// Checks whether the single-tuple instance `{t}` satisfies every constraint.
+///
+/// Exposed because both the MAXSS reduction's `g` function and tests need it.
+pub fn single_tuple_satisfies(schema: &Schema, ecfds: &[ECfd], tuple: &Tuple) -> Result<bool> {
+    let db = Relation::with_tuples(schema.clone(), [tuple.clone()])?;
+    satisfaction::satisfies_all(&db, ecfds)
+}
+
+fn default_value_for(domain: &Domain) -> Value {
+    domain
+        .fresh_value_outside(&BTreeSet::new())
+        .unwrap_or(Value::Null)
+}
+
+fn default_tuple(schema: &Schema) -> Tuple {
+    Tuple::new(
+        schema
+            .attributes()
+            .iter()
+            .map(|a| default_value_for(&a.domain))
+            .collect(),
+    )
+}
+
+fn complete_tuple(schema: &Schema, assignment: &BTreeMap<String, Value>) -> Tuple {
+    Tuple::new(
+        schema
+            .attributes()
+            .iter()
+            .map(|a| {
+                assignment
+                    .get(&a.name)
+                    .cloned()
+                    .unwrap_or_else(|| default_value_for(&a.domain))
+            })
+            .collect(),
+    )
+}
+
+/// Can constraint violation already be decided from `assignment`?
+///
+/// A single-pattern check of the form "if t[X] matches then t[Y, Yp] must
+/// match" can be *refuted* as soon as all attributes of X are assigned and
+/// match, and some assigned attribute of Y ∪ Yp fails its cell. It is
+/// *confirmed unviolated* when some assigned X attribute fails to match, or
+/// all RHS attributes are assigned and match.
+fn violates_partial(ecfd: &ECfd, assignment: &BTreeMap<String, Value>) -> bool {
+    for (tp_idx, tp) in ecfd.tableau().iter().enumerate() {
+        let mut lhs_all_assigned_and_match = true;
+        let mut lhs_definitely_unmatched = false;
+        for (attr, _cell) in ecfd.lhs().iter().zip(&tp.lhs) {
+            match assignment.get(attr) {
+                Some(value) => {
+                    if !ecfd.lhs_cell(tp_idx, attr).expect("cell exists").matches(value) {
+                        lhs_definitely_unmatched = true;
+                        break;
+                    }
+                }
+                None => {
+                    lhs_all_assigned_and_match = false;
+                }
+            }
+        }
+        if lhs_definitely_unmatched || !lhs_all_assigned_and_match {
+            continue;
+        }
+        // LHS fully matches: every assigned RHS attribute must match its cell.
+        let rhs_attrs = ecfd.rhs_attrs();
+        for (attr, cell) in rhs_attrs.iter().zip(&tp.rhs) {
+            if let Some(value) = assignment.get(*attr) {
+                if !cell.matches(value) {
+                    return true;
+                }
+            } else if matches!(cell, PatternValue::In(s) if s.is_empty()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn search(
+    schema: &Schema,
+    ecfds: &[ECfd],
+    attrs: &[(String, Vec<Value>)],
+    depth: usize,
+    assignment: &mut BTreeMap<String, Value>,
+    budget: &mut u64,
+) -> Result<bool> {
+    if *budget == 0 {
+        return Err(CoreError::AnalysisBudgetExceeded(format!(
+            "satisfiability search exceeded its node budget with {} attributes left",
+            attrs.len() - depth
+        )));
+    }
+    *budget -= 1;
+
+    if depth == attrs.len() {
+        let candidate = complete_tuple(schema, assignment);
+        return single_tuple_satisfies(schema, ecfds, &candidate);
+    }
+
+    let (attr, values) = &attrs[depth];
+    if values.is_empty() {
+        // A constrained attribute with an empty active domain (e.g. an
+        // enumerated finite domain none of whose values are admissible) makes
+        // the set unsatisfiable along this branch.
+        return Ok(false);
+    }
+    for value in values {
+        assignment.insert(attr.clone(), value.clone());
+        if !ecfds.iter().any(|e| violates_partial(e, assignment))
+            && search(schema, ecfds, attrs, depth + 1, assignment, budget)?
+        {
+            return Ok(true);
+        }
+        assignment.remove(attr);
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ECfdBuilder;
+    use crate::pattern::PatternValue;
+    use ecfd_relation::DataType;
+
+    fn cust_schema() -> Schema {
+        Schema::builder("cust")
+            .attr("AC", DataType::Str)
+            .attr("PN", DataType::Str)
+            .attr("NM", DataType::Str)
+            .attr("STR", DataType::Str)
+            .attr("CT", DataType::Str)
+            .attr("ZIP", DataType::Str)
+            .build()
+    }
+
+    fn phi1() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| {
+                p.in_set("CT", ["Albany", "Troy", "Colonie"])
+                    .constant("AC", "518")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn phi2() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| {
+                p.constant("CT", "NYC")
+                    .in_set("AC", ["212", "718", "646", "347", "917"])
+            })
+            .build()
+            .unwrap()
+    }
+
+    /// φ3 of Example 3.1: unsatisfiable because every tuple's CT is forced to
+    /// NYC by the first pattern tuple, and NYC tuples are forced to LI by the
+    /// second. (The camera-ready rendering of the example shows `{NYC}` as the
+    /// first pattern's LHS, which would make it vacuously satisfiable; the
+    /// accompanying argument — "if t[CT] = NYC, then φ3 requires it to be LI;
+    /// but φ3 forces it to be NYC again" — only goes through with a wildcard
+    /// LHS, which is what we use here.)
+    fn phi3_unsat() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["CT"])
+            .pattern(|p| {
+                p.lhs_cell("CT", PatternValue::Wildcard)
+                    .rhs_cell("CT", PatternValue::in_set(["NYC"]))
+            })
+            .pattern(|p| {
+                p.lhs_cell("CT", PatternValue::in_set(["NYC"]))
+                    .rhs_cell("CT", PatternValue::in_set(["LI"]))
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_constraints_are_satisfiable() {
+        let schema = cust_schema();
+        let ecfds = [phi1(), phi2()];
+        let outcome = check_satisfiability(&schema, &ecfds, SatOptions::default()).unwrap();
+        let witness = outcome.witness().expect("φ1, φ2 are satisfiable").clone();
+        assert!(single_tuple_satisfies(&schema, &ecfds, &witness).unwrap());
+        assert!(is_satisfiable(&schema, &ecfds).unwrap());
+    }
+
+    #[test]
+    fn example_3_1_is_unsatisfiable() {
+        let schema = cust_schema();
+        assert!(!is_satisfiable(&schema, &[phi3_unsat()]).unwrap());
+        assert!(find_witness(&schema, &[phi3_unsat()]).unwrap().is_none());
+    }
+
+    #[test]
+    fn unsatisfiability_needs_the_whole_set() {
+        // Each of the two pattern tuples of φ3 alone is satisfiable; only
+        // together do they conflict.
+        let schema = cust_schema();
+        let phi3 = phi3_unsat();
+        for tp in phi3.tableau() {
+            let single = phi3.with_tableau(vec![tp.clone()]).unwrap();
+            assert!(is_satisfiable(&schema, &[single]).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_constraint_set_is_satisfiable() {
+        let schema = cust_schema();
+        let outcome = check_satisfiability(&schema, &[], SatOptions::default()).unwrap();
+        assert!(outcome.is_satisfiable());
+    }
+
+    #[test]
+    fn finite_domain_conflicts_are_detected() {
+        // Proposition 3.3's mechanism: an eCFD can force an attribute to draw
+        // values from a finite set. Here two constraints force disjoint sets,
+        // so the set is unsatisfiable even though dom(CT) is infinite.
+        let schema = cust_schema();
+        let force_a = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.in_set("AC", ["212", "718"]))
+            .build()
+            .unwrap();
+        let force_b = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.in_set("AC", ["518"]))
+            .build()
+            .unwrap();
+        assert!(!is_satisfiable(&schema, &[force_a.clone(), force_b]).unwrap());
+        assert!(is_satisfiable(&schema, &[force_a]).unwrap());
+    }
+
+    #[test]
+    fn finite_declared_domain_restricts_witnesses() {
+        // AC has the finite domain {212}; a constraint requiring AC ∉ {212}
+        // cannot be satisfied.
+        let schema = Schema::builder("cust")
+            .finite_attr("AC", DataType::Str, [Value::str("212")])
+            .attr("CT", DataType::Str)
+            .build();
+        let phi = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.not_in("AC", ["212"]))
+            .build()
+            .unwrap();
+        assert!(!is_satisfiable(&schema, &[phi]).unwrap());
+
+        // With a 2-element finite domain there is room again.
+        let schema = Schema::builder("cust")
+            .finite_attr("AC", DataType::Str, [Value::str("212"), Value::str("518")])
+            .attr("CT", DataType::Str)
+            .build();
+        let phi = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.not_in("AC", ["212"]))
+            .build()
+            .unwrap();
+        let witness = find_witness(&schema, &[phi]).unwrap().unwrap();
+        let ac = schema.attr_id("AC").unwrap();
+        assert_eq!(witness[ac], Value::str("518"));
+    }
+
+    #[test]
+    fn active_domains_include_constants_and_a_fresh_value() {
+        let schema = cust_schema();
+        let domains = active_domains(&schema, &[phi1(), phi2()]);
+        let ct = &domains["CT"];
+        for c in ["NYC", "LI", "Albany", "Troy", "Colonie"] {
+            assert!(ct.contains(&Value::str(c)));
+        }
+        assert_eq!(ct.len(), 6, "five constants plus one fresh representative");
+        let ac = &domains["AC"];
+        assert_eq!(ac.len(), 7, "six constants plus one fresh representative");
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        let schema = cust_schema();
+        let err = check_satisfiability(&schema, &[phi1(), phi2()], SatOptions { node_budget: 1 })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::AnalysisBudgetExceeded(_)));
+    }
+
+    #[test]
+    fn witness_respects_constraints_that_chain() {
+        // CT ∈ {Albany} forces AC ∈ {518}; AC ∈ {518} forces ZIP ∉ {00000}.
+        let schema = cust_schema();
+        let c1 = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.in_set("CT", ["Albany"]).in_set("AC", ["518"]))
+            .build()
+            .unwrap();
+        let c2 = ECfdBuilder::new("cust")
+            .lhs(["AC"])
+            .pattern_rhs(["ZIP"])
+            .pattern(|p| p.in_set("AC", ["518"]).not_in("ZIP", ["00000"]))
+            .build()
+            .unwrap();
+        // Also force CT to actually be Albany so the chain is exercised.
+        let c3 = ECfdBuilder::new("cust")
+            .lhs(["ZIP"])
+            .pattern_rhs(["CT"])
+            .pattern(|p| p.in_set("CT", ["Albany"]))
+            .build()
+            .unwrap();
+        let witness = find_witness(&schema, &[c1.clone(), c2.clone(), c3.clone()])
+            .unwrap()
+            .unwrap();
+        assert!(single_tuple_satisfies(&schema, &[c1, c2, c3], &witness).unwrap());
+        assert_eq!(witness[schema.attr_id("CT").unwrap()], Value::str("Albany"));
+        assert_eq!(witness[schema.attr_id("AC").unwrap()], Value::str("518"));
+        assert_ne!(witness[schema.attr_id("ZIP").unwrap()], Value::str("00000"));
+    }
+}

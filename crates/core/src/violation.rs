@@ -1,0 +1,188 @@
+//! Violation reporting types.
+//!
+//! Section V of the paper represents the violation status of each tuple with
+//! two Boolean attributes: `SV` ("single-tuple violation": the tuple violates
+//! a pattern constraint all by itself) and `MV` ("multiple-tuple violation":
+//! the tuple participates in a violation of an embedded FD together with at
+//! least one other tuple). These types capture the same information at the
+//! library level, with enough provenance (constraint index, pattern-tuple
+//! index) to explain *why* a tuple is flagged.
+
+use ecfd_relation::RowId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The kind of violation a tuple is involved in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// The tuple matches `tp[X]` but fails `tp[Y, Yp]` on its own
+    /// (the paper's `SV = 1`).
+    SingleTuple,
+    /// The tuple agrees on `X` with another matching tuple but disagrees on
+    /// `Y` — a violation of the embedded FD (the paper's `MV = 1`).
+    MultiTuple,
+}
+
+/// One concrete violation: which row, which constraint, which pattern tuple,
+/// and of which kind.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Violation {
+    /// The offending row.
+    pub row: RowId,
+    /// Index of the violated constraint within the checked set (0 for a
+    /// single-constraint check).
+    pub constraint: usize,
+    /// Index of the pattern tuple within that constraint's tableau.
+    pub pattern: usize,
+    /// Single- or multi-tuple violation.
+    pub kind: ViolationKind,
+}
+
+/// Aggregated violation information for a relation instance, mirroring the
+/// paper's `vio(D)` plus the SV / MV flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationSet {
+    violations: Vec<Violation>,
+    sv_rows: BTreeSet<RowId>,
+    mv_rows: BTreeSet<RowId>,
+}
+
+impl ViolationSet {
+    /// Creates an empty violation set.
+    pub fn new() -> Self {
+        ViolationSet::default()
+    }
+
+    /// Records one violation.
+    pub fn push(&mut self, violation: Violation) {
+        match violation.kind {
+            ViolationKind::SingleTuple => {
+                self.sv_rows.insert(violation.row);
+            }
+            ViolationKind::MultiTuple => {
+                self.mv_rows.insert(violation.row);
+            }
+        }
+        self.violations.push(violation);
+    }
+
+    /// All recorded violations, in recording order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Rows with `SV = 1`.
+    pub fn sv_rows(&self) -> &BTreeSet<RowId> {
+        &self.sv_rows
+    }
+
+    /// Rows with `MV = 1`.
+    pub fn mv_rows(&self) -> &BTreeSet<RowId> {
+        &self.mv_rows
+    }
+
+    /// The violation set `vio(D)`: rows with `SV = 1` or `MV = 1`.
+    pub fn violating_rows(&self) -> BTreeSet<RowId> {
+        self.sv_rows.union(&self.mv_rows).copied().collect()
+    }
+
+    /// True when no tuple violates any constraint.
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of rows with `SV = 1` (the paper's `DSV` count, Fig. 7(b)).
+    pub fn num_sv(&self) -> usize {
+        self.sv_rows.len()
+    }
+
+    /// Number of rows with `MV = 1` (the paper's `DMV` count, Fig. 7(b)).
+    pub fn num_mv(&self) -> usize {
+        self.mv_rows.len()
+    }
+
+    /// Number of distinct violating rows.
+    pub fn num_violating_rows(&self) -> usize {
+        self.violating_rows().len()
+    }
+
+    /// Violations grouped by constraint index, e.g. for per-constraint
+    /// reporting in the examples.
+    pub fn by_constraint(&self) -> BTreeMap<usize, Vec<&Violation>> {
+        let mut out: BTreeMap<usize, Vec<&Violation>> = BTreeMap::new();
+        for v in &self.violations {
+            out.entry(v.constraint).or_default().push(v);
+        }
+        out
+    }
+
+    /// Merges another violation set into this one (used when checking a set of
+    /// constraints one by one).
+    pub fn merge(&mut self, other: ViolationSet) {
+        for v in other.violations {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(row: u64, constraint: usize, kind: ViolationKind) -> Violation {
+        Violation {
+            row: RowId(row),
+            constraint,
+            pattern: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn push_classifies_rows_by_kind() {
+        let mut set = ViolationSet::new();
+        set.push(v(1, 0, ViolationKind::SingleTuple));
+        set.push(v(2, 0, ViolationKind::MultiTuple));
+        set.push(v(2, 1, ViolationKind::MultiTuple));
+        set.push(v(3, 1, ViolationKind::SingleTuple));
+        set.push(v(3, 1, ViolationKind::MultiTuple));
+
+        assert_eq!(set.num_sv(), 2);
+        assert_eq!(set.num_mv(), 2);
+        assert_eq!(set.num_violating_rows(), 3);
+        assert_eq!(set.violations().len(), 5);
+        assert!(set.sv_rows().contains(&RowId(3)));
+        assert!(set.mv_rows().contains(&RowId(3)));
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn by_constraint_groups() {
+        let mut set = ViolationSet::new();
+        set.push(v(1, 0, ViolationKind::SingleTuple));
+        set.push(v(2, 1, ViolationKind::MultiTuple));
+        set.push(v(3, 1, ViolationKind::SingleTuple));
+        let grouped = set.by_constraint();
+        assert_eq!(grouped[&0].len(), 1);
+        assert_eq!(grouped[&1].len(), 2);
+    }
+
+    #[test]
+    fn merge_combines_sets() {
+        let mut a = ViolationSet::new();
+        a.push(v(1, 0, ViolationKind::SingleTuple));
+        let mut b = ViolationSet::new();
+        b.push(v(2, 1, ViolationKind::MultiTuple));
+        a.merge(b);
+        assert_eq!(a.num_violating_rows(), 2);
+    }
+
+    #[test]
+    fn empty_set_reports_clean() {
+        let set = ViolationSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.num_sv(), 0);
+        assert_eq!(set.num_mv(), 0);
+        assert!(set.violating_rows().is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! The constraint workload: 10 eCFDs expressing the semantics of the
+//! synthetic data, plus the `|Tp|` scaling used by Figs. 5(c) / 6(c).
+//!
+//! The paper: "We used a set Σ consisting of 10 eCFDs to express real-life
+//! semantics of the real-life data, including the two eCFDs of Fig. 2. …
+//! The number of wildcards ('_'), positive domain constraints (S) and
+//! negative domain constraints (S̄) in the pattern tuples are uniformly
+//! distributed."
+
+use crate::geo::GeoCatalog;
+use crate::items::ITEM_TYPES;
+use ecfd_core::{ECfd, ECfdBuilder, PatternTuple, PatternValue};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The 10-constraint workload over the extended `cust` schema, built against
+/// the standard geographic catalog.
+pub fn workload_constraints() -> Vec<ECfd> {
+    workload_constraints_for(&GeoCatalog::standard())
+}
+
+/// The 10-constraint workload against an explicit catalog.
+pub fn workload_constraints_for(geo: &GeoCatalog) -> Vec<ECfd> {
+    let nyc = geo.city("NYC").expect("catalog has NYC");
+    let li = geo.city("LI").expect("catalog has LI");
+    let nyc_codes: Vec<&str> = nyc.area_codes.iter().map(String::as_str).collect();
+    let li_codes: Vec<&str> = li.area_codes.iter().map(String::as_str).collect();
+    // Area codes shared by several cities: the FD AC → CT only holds outside
+    // these.
+    let shared_codes: Vec<&str> = ["518", "315", "607"]
+        .into_iter()
+        .chain(nyc_codes.iter().copied())
+        .chain(li_codes.iter().copied())
+        .collect();
+    // A handful of NYC zip codes for the zip → city binding (φ5).
+    let nyc_zips: Vec<String> = (0..100).map(|i| format!("100{i:02}")).collect();
+
+    vec![
+        // φ1 (Fig. 2): outside NYC/LI, city determines area code, and the
+        // capital-district cities are bound to 518.
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| {
+                p.in_set("CT", ["Albany", "Troy", "Colonie"])
+                    .constant("AC", "518")
+            })
+            .build()
+            .expect("φ1 is well-formed"),
+        // φ2 (Fig. 2): NYC's admissible area codes.
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.constant("CT", "NYC").in_set("AC", nyc_codes.clone()))
+            .build()
+            .expect("φ2 is well-formed"),
+        // φ3: Long Island's admissible area codes ("Similarly one can specify
+        // the area codes for LI").
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| p.constant("CT", "LI").in_set("AC", li_codes.clone()))
+            .build()
+            .expect("φ3 is well-formed"),
+        // φ4: zip code determines city.
+        ECfdBuilder::new("cust")
+            .lhs(["ZIP"])
+            .fd_rhs(["CT"])
+            .pattern(|p| p)
+            .build()
+            .expect("φ4 is well-formed"),
+        // φ5: Manhattan zip codes belong to NYC.
+        ECfdBuilder::new("cust")
+            .lhs(["ZIP"])
+            .pattern_rhs(["CT"])
+            .pattern(|p| {
+                p.in_set("ZIP", nyc_zips.iter().map(String::as_str))
+                    .constant("CT", "NYC")
+            })
+            .build()
+            .expect("φ5 is well-formed"),
+        // φ6: an item determines its type.
+        ECfdBuilder::new("cust")
+            .lhs(["ITEM"])
+            .fd_rhs(["ITYPE"])
+            .pattern(|p| p)
+            .build()
+            .expect("φ6 is well-formed"),
+        // φ7: item types come from the catalog's enumeration.
+        ECfdBuilder::new("cust")
+            .lhs(["ITEM"])
+            .pattern_rhs(["ITYPE"])
+            .pattern(|p| p.in_set("ITYPE", ITEM_TYPES))
+            .build()
+            .expect("φ7 is well-formed"),
+        // φ8: area code 518 only serves the capital district.
+        ECfdBuilder::new("cust")
+            .lhs(["AC"])
+            .pattern_rhs(["CT"])
+            .pattern(|p| {
+                p.constant("AC", "518")
+                    .in_set("CT", ["Albany", "Troy", "Colonie"])
+            })
+            .build()
+            .expect("φ8 is well-formed"),
+        // φ9: outside the shared area codes, the area code determines the city.
+        ECfdBuilder::new("cust")
+            .lhs(["AC"])
+            .fd_rhs(["CT"])
+            .pattern(|p| p.not_in("AC", shared_codes.clone()))
+            .build()
+            .expect("φ9 is well-formed"),
+        // φ10: NYC addresses carry Manhattan-prefix zip codes.
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["ZIP"])
+            .pattern(|p| {
+                p.constant("CT", "NYC")
+                    .in_set("ZIP", nyc_zips.iter().map(String::as_str))
+            })
+            .build()
+            .expect("φ10 is well-formed"),
+    ]
+}
+
+/// Builds an eCFD on `[CT] → [AC]` with exactly `size` pattern tuples whose
+/// cell kinds (wildcard / positive set / complement set) are uniformly
+/// distributed, as in the paper's `|Tp|` scaling experiments. The pattern
+/// tuples are generated to be consistent with the catalog so that clean data
+/// stays (mostly) clean and the violation rate remains governed by `noise%`.
+pub fn scale_tableau(geo: &GeoCatalog, size: usize, seed: u64) -> ECfd {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all_codes: Vec<String> = geo
+        .cities()
+        .iter()
+        .flat_map(|c| c.area_codes.iter().cloned())
+        .collect();
+    let bogus_codes = ["000", "001", "999", "998", "997"];
+
+    let mut tableau = Vec::with_capacity(size);
+    for _ in 0..size {
+        // LHS cell over CT.
+        let lhs_kind = rng.gen_range(0..3);
+        let sample_cities: Vec<String> = {
+            let mut names: Vec<String> = geo.cities().iter().map(|c| c.name.clone()).collect();
+            names.shuffle(&mut rng);
+            names.truncate(rng.gen_range(1..=4));
+            names
+        };
+        let lhs = match lhs_kind {
+            0 => PatternValue::Wildcard,
+            1 => PatternValue::in_set(sample_cities.iter().map(String::as_str)),
+            _ => PatternValue::not_in_set(sample_cities.iter().map(String::as_str)),
+        };
+        // RHS cell over AC, chosen so that correct area codes always match.
+        let rhs_kind = rng.gen_range(0..3);
+        let rhs = match rhs_kind {
+            0 => PatternValue::Wildcard,
+            1 => {
+                // Admit every catalog area code when the LHS is broad, or the
+                // matching cities' codes when it is a positive set.
+                let codes: Vec<String> = if lhs_kind == 1 {
+                    sample_cities
+                        .iter()
+                        .filter_map(|n| geo.city(n))
+                        .flat_map(|c| c.area_codes.iter().cloned())
+                        .collect()
+                } else {
+                    all_codes.clone()
+                };
+                PatternValue::in_set(codes.iter().map(String::as_str))
+            }
+            _ => PatternValue::not_in_set(bogus_codes),
+        };
+        tableau.push(PatternTuple::new(vec![lhs], vec![rhs]));
+    }
+    ECfd::new(
+        "cust",
+        vec!["CT".into()],
+        vec!["AC".into()],
+        vec![],
+        tableau,
+    )
+    .expect("generated tableaux are well-formed")
+}
+
+/// The workload of Figs. 5(c) / 6(c): the 10 base constraints with one of them
+/// replaced by a scaled-tableau constraint of the requested size.
+pub fn workload_with_scaled_constraint(size: usize, seed: u64) -> Vec<ECfd> {
+    let geo = GeoCatalog::standard();
+    let mut constraints = workload_constraints_for(&geo);
+    constraints[0] = scale_tableau(&geo, size, seed);
+    constraints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cust::{generate, CustConfig};
+    use ecfd_core::normalize::total_pattern_tuples;
+    use ecfd_core::satisfaction;
+
+    #[test]
+    fn workload_has_ten_constraints_including_the_fig2_ecfds() {
+        let constraints = workload_constraints();
+        assert_eq!(constraints.len(), 10);
+        // φ1 has the complement-set pattern and the capital-district binding.
+        assert!(constraints[0].to_string().contains("!{LI, NYC}"));
+        assert!(constraints[1].to_string().contains("{212, 347, 646, 718, 917}"));
+        // The workload uses all three features: wildcards, sets, complements,
+        // and a non-empty Yp somewhere.
+        assert!(constraints.iter().any(|c| !c.pattern_rhs().is_empty()));
+        assert!(constraints.iter().any(|c| c.is_pattern_only()));
+        assert!(constraints.iter().all(|c| c.relation() == "cust"));
+    }
+
+    #[test]
+    fn every_workload_constraint_validates_against_the_cust_schema() {
+        let schema = crate::cust::cust_schema();
+        for c in workload_constraints() {
+            c.validate_against(&schema).unwrap();
+        }
+    }
+
+    #[test]
+    fn scaled_tableaux_have_the_requested_size_and_mixed_kinds() {
+        let geo = GeoCatalog::standard();
+        for size in [10, 50, 200] {
+            let ecfd = scale_tableau(&geo, size, 7);
+            assert_eq!(ecfd.tableau_size(), size);
+        }
+        let ecfd = scale_tableau(&geo, 300, 11);
+        let mut wildcards = 0;
+        let mut positive = 0;
+        let mut negative = 0;
+        for tp in ecfd.tableau() {
+            for cell in tp.lhs.iter().chain(tp.rhs.iter()) {
+                match cell {
+                    PatternValue::Wildcard => wildcards += 1,
+                    PatternValue::In(_) => positive += 1,
+                    PatternValue::NotIn(_) => negative += 1,
+                }
+            }
+        }
+        // "uniformly distributed": each kind accounts for a sizeable share.
+        for count in [wildcards, positive, negative] {
+            assert!(count > 100, "kinds {wildcards}/{positive}/{negative}");
+        }
+    }
+
+    #[test]
+    fn scaled_constraints_keep_clean_data_mostly_clean() {
+        let geo = GeoCatalog::standard();
+        let (db, _) = generate(&CustConfig {
+            size: 300,
+            noise_percent: 0.0,
+            ..CustConfig::default()
+        });
+        let scaled = scale_tableau(&geo, 100, 3);
+        let result = satisfaction::check(&db, &scaled).unwrap();
+        // Clean tuples always carry an admissible area code, so no
+        // single-tuple violations arise; FD-style pattern tuples may flag a
+        // handful of multi-tuple groups for the broad (wildcard-LHS) rows.
+        assert!(result.single_tuple_violations().is_empty());
+    }
+
+    #[test]
+    fn workload_with_scaled_constraint_counts_pattern_tuples() {
+        let constraints = workload_with_scaled_constraint(50, 5);
+        assert_eq!(constraints.len(), 10);
+        assert_eq!(constraints[0].tableau_size(), 50);
+        assert!(total_pattern_tuples(&constraints) >= 50 + 9);
+    }
+
+    #[test]
+    fn scaling_is_deterministic_per_seed() {
+        let geo = GeoCatalog::standard();
+        assert_eq!(scale_tableau(&geo, 40, 9), scale_tableau(&geo, 40, 9));
+        assert_ne!(scale_tableau(&geo, 40, 9), scale_tableau(&geo, 40, 10));
+    }
+}

@@ -1,0 +1,218 @@
+//! Generation of synthetic `cust` instances with controlled noise.
+//!
+//! The schema extends Fig. 1's `cust` relation with the item attributes used
+//! by the paper's experiments ("adds information about items bought by
+//! different customers"): `cust(AC, PN, NM, STR, CT, ZIP, ITEM, ITYPE)`, all
+//! string-typed as in the paper.
+//!
+//! Clean tuples are internally consistent with the geographic and item
+//! catalogs (and therefore satisfy the whole constraint workload of
+//! [`crate::constraints::workload_constraints`]); the noise injector then
+//! modifies `noise%` of the tuples, replacing a right-hand-side attribute of
+//! some eCFD with an incorrect value, exactly as described in Section VI.
+
+use crate::geo::GeoCatalog;
+use crate::items::{self, Item};
+use ecfd_relation::{DataType, Relation, Schema, Tuple};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a generated `cust` instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CustConfig {
+    /// Number of tuples (`|D|`).
+    pub size: usize,
+    /// Percentage (0–100) of tuples modified to violate some eCFD.
+    pub noise_percent: f64,
+    /// RNG seed (experiments fix it for reproducibility).
+    pub seed: u64,
+    /// Number of extra generated towns beyond the hand-written catalog.
+    pub extra_cities: usize,
+    /// Size of the item catalog.
+    pub num_items: usize,
+}
+
+impl Default for CustConfig {
+    fn default() -> Self {
+        CustConfig {
+            size: 1_000,
+            noise_percent: 5.0,
+            seed: 42,
+            extra_cities: 40,
+            num_items: 300,
+        }
+    }
+}
+
+/// The extended `cust` schema used by the experiments.
+pub fn cust_schema() -> Schema {
+    Schema::builder("cust")
+        .attr("AC", DataType::Str)
+        .attr("PN", DataType::Str)
+        .attr("NM", DataType::Str)
+        .attr("STR", DataType::Str)
+        .attr("CT", DataType::Str)
+        .attr("ZIP", DataType::Str)
+        .attr("ITEM", DataType::Str)
+        .attr("ITYPE", DataType::Str)
+        .build()
+}
+
+/// Generates one clean tuple.
+pub fn clean_tuple(geo: &GeoCatalog, item_catalog: &[Item], rng: &mut StdRng) -> Tuple {
+    let city = geo.random_city(rng);
+    let ac = geo.random_area_code(city, rng);
+    let zip = geo.random_zip(city, rng);
+    let item = items::random_item(item_catalog, rng);
+    Tuple::from_iter([
+        ac,
+        format!("{:07}", rng.gen_range(0..10_000_000u32)),
+        format!("Name{:05}", rng.gen_range(0..100_000u32)),
+        format!("{} Main St.", rng.gen_range(1..9999u32)),
+        city.name.clone(),
+        zip,
+        item.title.clone(),
+        item.item_type.clone(),
+    ])
+}
+
+/// The kinds of noise the injector applies, mirroring "changing tuples in D in
+/// attributes in the right-hand side of some eCFDs from a correct to an
+/// incorrect value".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NoiseKind {
+    /// Replace the area code with one that is wrong for the city.
+    WrongAreaCode,
+    /// Replace the item type with a value outside {book, cd, dvd}.
+    WrongItemType,
+    /// Replace the city, keeping the zip code (breaks ZIP → CT).
+    WrongCity,
+}
+
+/// Generates a `cust` instance according to `config`. Returns the relation and
+/// the number of tuples that were actually modified by the noise injector.
+pub fn generate(config: &CustConfig) -> (Relation, usize) {
+    let geo = GeoCatalog::with_extra_cities(config.extra_cities);
+    let item_catalog = items::item_catalog(config.num_items.max(3));
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut tuples: Vec<Tuple> = (0..config.size)
+        .map(|_| clean_tuple(&geo, &item_catalog, &mut rng))
+        .collect();
+
+    let noisy = ((config.size as f64) * config.noise_percent / 100.0).round() as usize;
+    let mut indices: Vec<usize> = (0..tuples.len()).collect();
+    indices.shuffle(&mut rng);
+    let kinds = [
+        NoiseKind::WrongAreaCode,
+        NoiseKind::WrongItemType,
+        NoiseKind::WrongCity,
+    ];
+    for &idx in indices.iter().take(noisy) {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        corrupt(&geo, &mut tuples[idx], kind, &mut rng);
+    }
+
+    let relation =
+        Relation::with_tuples(cust_schema(), tuples).expect("generated tuples match the schema");
+    (relation, noisy.min(config.size))
+}
+
+fn corrupt(geo: &GeoCatalog, tuple: &mut Tuple, kind: NoiseKind, rng: &mut StdRng) {
+    let schema = cust_schema();
+    let ct_idx = schema.attr_id("CT").expect("CT exists");
+    let city_name = tuple.value(ct_idx).as_str().expect("CT is a string").to_string();
+    let city = geo.city(&city_name).expect("generated city exists");
+    match kind {
+        NoiseKind::WrongAreaCode => {
+            let ac_idx = schema.attr_id("AC").expect("AC exists");
+            tuple.set(ac_idx, geo.wrong_area_code(city, rng).into());
+        }
+        NoiseKind::WrongItemType => {
+            let ty_idx = schema.attr_id("ITYPE").expect("ITYPE exists");
+            tuple.set(ty_idx, items::invalid_item_type(rng).into());
+        }
+        NoiseKind::WrongCity => {
+            // Pick a different city but keep the zip code.
+            let other = loop {
+                let candidate = geo.random_city(rng);
+                if candidate.name != city.name {
+                    break candidate;
+                }
+            };
+            tuple.set(ct_idx, other.name.clone().into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::workload_constraints;
+    use ecfd_core::satisfaction;
+
+    #[test]
+    fn generates_the_requested_number_of_tuples() {
+        let (db, noisy) = generate(&CustConfig {
+            size: 500,
+            noise_percent: 4.0,
+            ..CustConfig::default()
+        });
+        assert_eq!(db.len(), 500);
+        assert_eq!(noisy, 20);
+        assert_eq!(db.schema(), &cust_schema());
+    }
+
+    #[test]
+    fn zero_noise_data_satisfies_the_whole_workload() {
+        let (db, noisy) = generate(&CustConfig {
+            size: 400,
+            noise_percent: 0.0,
+            ..CustConfig::default()
+        });
+        assert_eq!(noisy, 0);
+        let constraints = workload_constraints();
+        assert_eq!(constraints.len(), 10);
+        let result = satisfaction::check_all(&db, &constraints).unwrap();
+        assert!(
+            result.is_satisfied(),
+            "clean data must satisfy all 10 constraints; violations: {:?}",
+            result.violations().violations().iter().take(5).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn noise_produces_violations_roughly_proportional_to_the_rate() {
+        let constraints = workload_constraints();
+        let (db, noisy) = generate(&CustConfig {
+            size: 600,
+            noise_percent: 5.0,
+            ..CustConfig::default()
+        });
+        assert_eq!(noisy, 30);
+        let result = satisfaction::check_all(&db, &constraints).unwrap();
+        let violating = result.violations().num_violating_rows();
+        assert!(
+            violating >= noisy / 2,
+            "expected at least {} violating rows, found {violating}",
+            noisy / 2
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_fixed_seed() {
+        let config = CustConfig {
+            size: 200,
+            ..CustConfig::default()
+        };
+        let (a, _) = generate(&config);
+        let (b, _) = generate(&config);
+        assert_eq!(a, b);
+        let (c, _) = generate(&CustConfig {
+            seed: 43,
+            ..config
+        });
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,188 @@
+//! Synthetic geographic catalog: cities, area codes and zip prefixes.
+//!
+//! Substitution for the paper's scraped "real-life CT, AC, ZIP data for
+//! cities and towns in the US": a generated catalog with the same structure —
+//! most cities have exactly one area code, while NYC and LI (Long Island)
+//! have several, which is precisely the irregularity the eCFDs of Example 1.1
+//! are designed to express.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A city with its admissible area codes and its zip-code prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct City {
+    /// City name (the `CT` attribute).
+    pub name: String,
+    /// Admissible area codes (`AC`); a single element for regular cities.
+    pub area_codes: Vec<String>,
+    /// Three-digit zip prefix; full zips are `prefix` + two more digits.
+    pub zip_prefix: String,
+}
+
+impl City {
+    /// True when the city has a single admissible area code.
+    pub fn has_unique_area_code(&self) -> bool {
+        self.area_codes.len() == 1
+    }
+}
+
+/// The catalog of cities used by the generator and by the constraint
+/// workload.
+#[derive(Debug, Clone)]
+pub struct GeoCatalog {
+    cities: Vec<City>,
+}
+
+/// The hand-written core of the catalog: the cities named in the paper plus
+/// the two multi-area-code regions.
+fn seed_cities() -> Vec<City> {
+    let single = [
+        ("Albany", "518", "122"),
+        ("Troy", "518", "121"),
+        // Synthetic zip prefixes are unique per city so that ZIP → CT is a
+        // genuine functional dependency of the clean data (real-world Albany
+        // and Colonie share the 122xx prefix; our constraint workload includes
+        // ZIP → CT, so the catalog keeps prefixes disjoint).
+        ("Colonie", "518", "120"),
+        ("Buffalo", "716", "142"),
+        ("Syracuse", "315", "132"),
+        ("Utica", "315", "135"),
+        ("Yonkers", "914", "107"),
+        ("Rochester", "585", "146"),
+        ("Ithaca", "607", "148"),
+        ("Binghamton", "607", "139"),
+    ];
+    let mut cities: Vec<City> = single
+        .iter()
+        .map(|(name, ac, zip)| City {
+            name: (*name).to_string(),
+            area_codes: vec![(*ac).to_string()],
+            zip_prefix: (*zip).to_string(),
+        })
+        .collect();
+    cities.push(City {
+        name: "NYC".to_string(),
+        area_codes: ["212", "718", "646", "347", "917"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        zip_prefix: "100".to_string(),
+    });
+    cities.push(City {
+        name: "LI".to_string(),
+        area_codes: ["516", "631"].iter().map(|s| s.to_string()).collect(),
+        zip_prefix: "115".to_string(),
+    });
+    cities
+}
+
+impl GeoCatalog {
+    /// Builds a catalog with the hand-written cities plus `extra` generated
+    /// cities, each with a fresh unique area code.
+    pub fn with_extra_cities(extra: usize) -> Self {
+        let mut cities = seed_cities();
+        for i in 0..extra {
+            cities.push(City {
+                name: format!("Town{i:03}"),
+                area_codes: vec![format!("{}", 200 + (i % 700))],
+                zip_prefix: format!("{:03}", 200 + (i % 800)),
+            });
+        }
+        GeoCatalog { cities }
+    }
+
+    /// The default catalog (the hand-written cities plus 40 generated towns).
+    pub fn standard() -> Self {
+        GeoCatalog::with_extra_cities(40)
+    }
+
+    /// All cities.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// The cities with several admissible area codes (NYC, LI).
+    pub fn multi_code_cities(&self) -> Vec<&City> {
+        self.cities.iter().filter(|c| !c.has_unique_area_code()).collect()
+    }
+
+    /// The cities with a single admissible area code.
+    pub fn single_code_cities(&self) -> Vec<&City> {
+        self.cities.iter().filter(|c| c.has_unique_area_code()).collect()
+    }
+
+    /// Picks a random city.
+    pub fn random_city<'a>(&'a self, rng: &mut StdRng) -> &'a City {
+        &self.cities[rng.gen_range(0..self.cities.len())]
+    }
+
+    /// Picks a random admissible area code of `city`.
+    pub fn random_area_code(&self, city: &City, rng: &mut StdRng) -> String {
+        city.area_codes[rng.gen_range(0..city.area_codes.len())].clone()
+    }
+
+    /// A full zip code consistent with the city's prefix.
+    pub fn random_zip(&self, city: &City, rng: &mut StdRng) -> String {
+        format!("{}{:02}", city.zip_prefix, rng.gen_range(0..100))
+    }
+
+    /// An area code that is *not* admissible for the city — used by the noise
+    /// injector to create violations.
+    pub fn wrong_area_code(&self, city: &City, rng: &mut StdRng) -> String {
+        loop {
+            let other = self.random_city(rng);
+            let candidate = self.random_area_code(other, rng);
+            if !city.area_codes.contains(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Looks a city up by name.
+    pub fn city(&self, name: &str) -> Option<&City> {
+        self.cities.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_catalog_has_the_paper_structure() {
+        let geo = GeoCatalog::standard();
+        assert!(geo.cities().len() > 40);
+        let multi: Vec<&str> = geo.multi_code_cities().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(multi, vec!["NYC", "LI"]);
+        assert!(geo.single_code_cities().len() >= 10);
+        let nyc = geo.city("NYC").unwrap();
+        assert_eq!(nyc.area_codes.len(), 5);
+        assert!(geo.city("Albany").unwrap().has_unique_area_code());
+        assert!(geo.city("Atlantis").is_none());
+    }
+
+    #[test]
+    fn random_helpers_stay_consistent_with_the_catalog() {
+        let geo = GeoCatalog::standard();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let city = geo.random_city(&mut rng);
+            let ac = geo.random_area_code(city, &mut rng);
+            assert!(city.area_codes.contains(&ac));
+            let zip = geo.random_zip(city, &mut rng);
+            assert!(zip.starts_with(&city.zip_prefix));
+            assert_eq!(zip.len(), 5);
+            let wrong = geo.wrong_area_code(city, &mut rng);
+            assert!(!city.area_codes.contains(&wrong));
+        }
+    }
+
+    #[test]
+    fn extra_cities_scale_the_catalog() {
+        let small = GeoCatalog::with_extra_cities(0);
+        let large = GeoCatalog::with_extra_cities(100);
+        assert_eq!(large.cities().len(), small.cities().len() + 100);
+    }
+}

@@ -1,0 +1,84 @@
+//! Synthetic store items (books, CDs, DVDs).
+//!
+//! Substitution for the items the paper scraped "from online stores": a small
+//! generated catalog with the same shape — an item has a type drawn from
+//! {book, cd, dvd} and a title — so the constraint "ITYPE must be one of
+//! book, cd, dvd" and the FD "ITEM → ITYPE" are meaningful.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The admissible item types.
+pub const ITEM_TYPES: [&str; 3] = ["book", "cd", "dvd"];
+
+/// A store item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Item title (the `ITEM` attribute).
+    pub title: String,
+    /// Item type (the `ITYPE` attribute), one of [`ITEM_TYPES`].
+    pub item_type: String,
+}
+
+/// Generates a deterministic catalog of `n` items cycling through the three
+/// item types.
+pub fn item_catalog(n: usize) -> Vec<Item> {
+    (0..n)
+        .map(|i| {
+            let item_type = ITEM_TYPES[i % ITEM_TYPES.len()];
+            Item {
+                title: format!("{}-{:04}", item_type, i),
+                item_type: item_type.to_string(),
+            }
+        })
+        .collect()
+}
+
+/// Picks a random item from a catalog.
+pub fn random_item<'a>(catalog: &'a [Item], rng: &mut StdRng) -> &'a Item {
+    &catalog[rng.gen_range(0..catalog.len())]
+}
+
+/// An item type that is *not* valid — used by the noise injector.
+pub fn invalid_item_type(rng: &mut StdRng) -> String {
+    let bogus = ["vinyl", "cassette", "betamax", "laserdisc"];
+    bogus[rng.gen_range(0..bogus.len())].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalog_cycles_types_and_titles_are_unique() {
+        let items = item_catalog(30);
+        assert_eq!(items.len(), 30);
+        assert!(items.iter().all(|i| ITEM_TYPES.contains(&i.item_type.as_str())));
+        let titles: std::collections::BTreeSet<_> = items.iter().map(|i| &i.title).collect();
+        assert_eq!(titles.len(), 30);
+        // Title prefix matches the type, so ITEM → ITYPE is a real FD.
+        for item in &items {
+            assert!(item.title.starts_with(&item.item_type));
+        }
+    }
+
+    #[test]
+    fn invalid_types_are_never_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let t = invalid_item_type(&mut rng);
+            assert!(!ITEM_TYPES.contains(&t.as_str()));
+        }
+    }
+
+    #[test]
+    fn random_item_draws_from_the_catalog() {
+        let items = item_catalog(5);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let item = random_item(&items, &mut rng);
+            assert!(items.contains(item));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # ecfd-datagen
+//!
+//! Synthetic workload generation reproducing the experimental setting of
+//! Section VI of the paper.
+//!
+//! The paper extends the `cust` relation of Fig. 1 with information about
+//! items bought by customers, scrapes real-life city / area-code / zip data
+//! and online-store item data, and generates synthetic datasets parameterised
+//! by `|D|` (10k–100k tuples) and `noise%` (0–9% of tuples modified to violate
+//! an eCFD). The constraint workload consists of 10 eCFDs expressing the
+//! semantics of the data, whose pattern tableaux are scaled from 10 to 500
+//! pattern tuples with a uniform mix of wildcards, positive sets and
+//! complement sets.
+//!
+//! We cannot scrape the original data, so [`geo`] embeds a synthetic but
+//! structurally faithful catalog: most cities have a single area code while
+//! NYC and LI have several, and zip prefixes determine cities. [`items`]
+//! provides synthetic book / CD / DVD titles. Everything else follows the
+//! paper: [`cust::generate`] produces instances with controlled noise,
+//! [`constraints`] builds the 10-constraint workload and scales `|Tp|`, and
+//! [`updates::generate_delta`] produces disjoint `ΔD⁺` / `ΔD⁻` batches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod cust;
+pub mod geo;
+pub mod items;
+pub mod updates;
+
+pub use constraints::{scale_tableau, workload_constraints};
+pub use cust::{cust_schema, generate, CustConfig};
+pub use geo::{GeoCatalog, City};
+pub use updates::{generate_delta, UpdateConfig};

@@ -1,0 +1,98 @@
+//! # ecfd-detect
+//!
+//! eCFD violation detection (Section V of the paper): the tableau-as-data
+//! encoding, the SQL-based batch algorithm `BATCHDETECT`, the incremental
+//! algorithm `INCDETECT`, and a native "semantic" detector used as an oracle
+//! and as a fast baseline.
+//!
+//! ## Architecture
+//!
+//! * [`encode`] builds the auxiliary relations of Fig. 3: a single `enc`
+//!   relation describing, for every single-pattern constraint, which
+//!   attributes occur in `X`, `Y`, `Yp` and with which cell kind (set,
+//!   complement set, wildcard), plus one value table per attribute side
+//!   holding the set elements. The encoding is linear in the size of the
+//!   constraints and its schema depends only on the relation schema `R`,
+//!   never on the number of constraints.
+//! * [`sqlgen`] generates the fixed pair of detection statements of Fig. 4:
+//!   an `UPDATE` driven by the single-tuple-violation condition (`Q_sv`) and
+//!   the `macro`/group-by query for multi-tuple violations (`Q_mv`), plus the
+//!   statement that flags tuples matching an offending group. The number and
+//!   shape of these statements is independent of how many eCFDs are checked.
+//! * [`batch`] (`BATCHDETECT`) runs those statements on the
+//!   [`ecfd_engine::Engine`] and reads back the violation flags.
+//! * [`incremental`] (`INCDETECT`) maintains the violation flags and the
+//!   auxiliary relation `Aux(D)` under tuple insertions and deletions,
+//!   touching only affected tuples and groups.
+//! * [`semantic`] is a pure-Rust detector with the same output, used for
+//!   differential testing and as the "native" baseline in the ablation
+//!   benchmarks.
+//!
+//! All detectors report a [`DetectionReport`] with the same shape, so they can
+//! be compared directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod encode;
+pub mod incremental;
+pub mod report;
+pub mod semantic;
+pub mod sqlgen;
+
+pub use batch::BatchDetector;
+pub use encode::Encoding;
+pub use incremental::IncrementalDetector;
+pub use report::DetectionReport;
+pub use semantic::SemanticDetector;
+
+use std::fmt;
+
+/// Result alias for detection operations.
+pub type Result<T> = std::result::Result<T, DetectError>;
+
+/// Errors produced by the detection layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectError {
+    /// The constraints are not supported by the SQL encoding (e.g. a
+    /// constrained attribute is not string-typed).
+    Unsupported(String),
+    /// Error from the constraint library.
+    Core(ecfd_core::CoreError),
+    /// Error from the SQL engine.
+    Engine(ecfd_engine::EngineError),
+    /// Error from the storage layer.
+    Relation(ecfd_relation::RelationError),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::Unsupported(msg) => write!(f, "unsupported constraint shape: {msg}"),
+            DetectError::Core(e) => write!(f, "constraint error: {e}"),
+            DetectError::Engine(e) => write!(f, "SQL engine error: {e}"),
+            DetectError::Relation(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+impl From<ecfd_core::CoreError> for DetectError {
+    fn from(e: ecfd_core::CoreError) -> Self {
+        DetectError::Core(e)
+    }
+}
+
+impl From<ecfd_engine::EngineError> for DetectError {
+    fn from(e: ecfd_engine::EngineError) -> Self {
+        DetectError::Engine(e)
+    }
+}
+
+impl From<ecfd_relation::RelationError> for DetectError {
+    fn from(e: ecfd_relation::RelationError) -> Self {
+        DetectError::Relation(e)
+    }
+}

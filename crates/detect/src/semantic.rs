@@ -1,0 +1,363 @@
+//! The native ("semantic") detector: a direct, index-based implementation of
+//! the eCFD satisfaction semantics over the storage layer.
+//!
+//! This detector is not part of the paper — its detection technique is
+//! SQL-only — but it serves two purposes in the reproduction:
+//!
+//! * it is the *oracle* for differential testing of the SQL path (both must
+//!   flag exactly the same rows); and
+//! * it is the "native" baseline of the `bench_sql_vs_native` ablation, which
+//!   quantifies how much the SQL layer costs on our (unoptimised) engine.
+//!
+//! It also exposes the group bookkeeping (`(CID, X-projection) → distinct Y
+//! projections`) that the incremental detector maintains.
+
+use crate::report::DetectionReport;
+use crate::Result;
+use ecfd_core::matching::BoundECfd;
+use ecfd_core::normalize::split_patterns;
+use ecfd_core::ECfd;
+use ecfd_relation::{Catalog, Relation, RowId, Schema, Value};
+use std::collections::HashMap;
+
+/// A key identifying one enforcement group: the single-pattern constraint id
+/// (index into the split constraint list) plus the tuple's `X` projection.
+pub type GroupKey = (usize, Vec<Value>);
+
+/// Per-group state: how many group members carry each distinct `Y` projection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupState {
+    /// Count of member tuples per distinct `Y` projection.
+    pub y_counts: HashMap<Vec<Value>, usize>,
+}
+
+impl GroupState {
+    /// Number of member tuples.
+    pub fn size(&self) -> usize {
+        self.y_counts.values().sum()
+    }
+
+    /// The group violates the embedded FD iff it contains members with at
+    /// least two distinct `Y` projections.
+    pub fn violates(&self) -> bool {
+        self.y_counts.len() > 1
+    }
+}
+
+/// The native detector.
+#[derive(Debug, Clone)]
+pub struct SemanticDetector {
+    ecfds: Vec<ECfd>,
+    singles: Vec<ECfd>,
+}
+
+impl SemanticDetector {
+    /// Creates a detector for `ecfds` on `schema`.
+    pub fn new(schema: &Schema, ecfds: &[ECfd]) -> Result<Self> {
+        for e in ecfds {
+            e.validate_against(schema)?;
+        }
+        let singles = split_patterns(ecfds).into_iter().map(|s| s.ecfd).collect();
+        Ok(SemanticDetector {
+            ecfds: ecfds.to_vec(),
+            singles,
+        })
+    }
+
+    /// The original constraints.
+    pub fn ecfds(&self) -> &[ECfd] {
+        &self.ecfds
+    }
+
+    /// The split single-pattern constraints (aligned with incremental group
+    /// constraint indices).
+    pub fn singles(&self) -> &[ECfd] {
+        &self.singles
+    }
+
+    /// Detects violations in a relation, returning the report without
+    /// modifying the relation.
+    pub fn detect(&self, relation: &Relation) -> Result<DetectionReport> {
+        let (report, _) = self.detect_with_groups(relation)?;
+        Ok(report)
+    }
+
+    /// Detects violations in the named catalog table.
+    pub fn detect_in_catalog(&self, catalog: &Catalog, table: &str) -> Result<DetectionReport> {
+        self.detect(catalog.get(table)?)
+    }
+
+    /// Detects violations and also returns the group state, which is the seed
+    /// state of the incremental detector.
+    pub fn detect_with_groups(
+        &self,
+        relation: &Relation,
+    ) -> Result<(DetectionReport, HashMap<GroupKey, GroupState>)> {
+        let bounds = self.bind(relation.schema())?;
+        let mut report = DetectionReport {
+            total_rows: relation.len(),
+            ..Default::default()
+        };
+        let mut groups: HashMap<GroupKey, GroupState> = HashMap::new();
+        // Remember which rows belong to which groups so the MV pass does not
+        // need a second scan per group.
+        let mut memberships: HashMap<GroupKey, Vec<RowId>> = HashMap::new();
+
+        for (row_id, tuple) in relation.iter() {
+            for (ci, bound) in bounds.iter().enumerate() {
+                if !bound.lhs_matches(tuple, 0) {
+                    continue;
+                }
+                if !bound.rhs_matches(tuple, 0) {
+                    report.sv_rows.insert(row_id);
+                }
+                if !bound.fd_rhs_ids().is_empty() {
+                    let key = (ci, bound.lhs_key(tuple));
+                    let y = bound.fd_rhs_key(tuple);
+                    *groups.entry(key.clone()).or_default().y_counts.entry(y).or_insert(0) += 1;
+                    memberships.entry(key).or_default().push(row_id);
+                }
+            }
+        }
+        for (key, state) in &groups {
+            if state.violates() {
+                if let Some(rows) = memberships.get(key) {
+                    report.mv_rows.extend(rows.iter().copied());
+                }
+            }
+        }
+        Ok((report, groups))
+    }
+
+    /// Detects violations and writes the `SV` / `MV` flag columns of the named
+    /// table in place (adding the columns if the table does not have them).
+    /// This is the "native BATCHDETECT" baseline used by the ablation
+    /// benchmarks.
+    pub fn detect_and_flag(&self, catalog: &mut Catalog, table: &str) -> Result<DetectionReport> {
+        ensure_flag_columns(catalog, table)?;
+        let report = {
+            let relation = catalog.get(table)?;
+            self.detect(relation)?
+        };
+        write_flags(catalog, table, &report)?;
+        Ok(report)
+    }
+
+    /// Resolves the split constraints against a (possibly extended) schema.
+    pub fn bind<'a>(&'a self, schema: &Schema) -> Result<Vec<BoundECfd<'a>>> {
+        self.singles
+            .iter()
+            .map(|e| BoundECfd::bind(e, schema).map_err(Into::into))
+            .collect()
+    }
+}
+
+/// Adds integer `SV` / `MV` columns (initialised to 0) to `table` if absent,
+/// and resets them to 0 if present.
+pub fn ensure_flag_columns(catalog: &mut Catalog, table: &str) -> Result<()> {
+    let needs_extend = {
+        let relation = catalog.get(table)?;
+        relation.schema().attr_id("SV").is_none()
+    };
+    if needs_extend {
+        let relation = catalog.get(table)?;
+        let extended = relation.extend_schema(
+            vec![
+                ecfd_relation::Attribute::new("SV", ecfd_relation::DataType::Int),
+                ecfd_relation::Attribute::new("MV", ecfd_relation::DataType::Int),
+            ],
+            Value::Int(0),
+        )?;
+        catalog.create_or_replace(extended);
+    } else {
+        let relation = catalog.get_mut(table)?;
+        let sv = relation.schema().require_attr("SV")?;
+        let mv = relation.schema().require_attr("MV")?;
+        for row_id in relation.row_ids() {
+            relation.update_value(row_id, sv, Value::Int(0))?;
+            relation.update_value(row_id, mv, Value::Int(0))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the report's flags into the `SV` / `MV` columns of `table`.
+pub fn write_flags(catalog: &mut Catalog, table: &str, report: &DetectionReport) -> Result<()> {
+    let relation = catalog.get_mut(table)?;
+    let sv = relation.schema().require_attr("SV")?;
+    let mv = relation.schema().require_attr("MV")?;
+    for row_id in report.sv_rows.iter() {
+        relation.update_value(*row_id, sv, Value::Int(1))?;
+    }
+    for row_id in report.mv_rows.iter() {
+        relation.update_value(*row_id, mv, Value::Int(1))?;
+    }
+    Ok(())
+}
+
+/// Fig. 1's instance `D0` plus the two constraints of Fig. 2 — shared by the
+/// tests of several modules in this crate.
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use super::*;
+    use ecfd_core::ECfdBuilder;
+    use ecfd_relation::{DataType, Tuple};
+
+    pub fn cust_schema() -> Schema {
+        Schema::builder("cust")
+            .attr("AC", DataType::Str)
+            .attr("PN", DataType::Str)
+            .attr("NM", DataType::Str)
+            .attr("STR", DataType::Str)
+            .attr("CT", DataType::Str)
+            .attr("ZIP", DataType::Str)
+            .build()
+    }
+
+    pub fn d0() -> Relation {
+        Relation::with_tuples(
+            cust_schema(),
+            [
+                Tuple::from_iter(["718", "1111111", "Mike", "Tree Ave.", "Albany", "12238"]),
+                Tuple::from_iter(["518", "2222222", "Joe", "Elm Str.", "Colonie", "12205"]),
+                Tuple::from_iter(["518", "2222222", "Jim", "Oak Ave.", "Troy", "12181"]),
+                Tuple::from_iter(["100", "1111111", "Rick", "8th Ave.", "NYC", "10001"]),
+                Tuple::from_iter(["212", "3333333", "Ben", "5th Ave.", "NYC", "10016"]),
+                Tuple::from_iter(["646", "4444444", "Ian", "High St.", "NYC", "10011"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    pub fn phi1() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.not_in("CT", ["NYC", "LI"]))
+            .pattern(|p| {
+                p.in_set("CT", ["Albany", "Troy", "Colonie"])
+                    .constant("AC", "518")
+            })
+            .build()
+            .unwrap()
+    }
+
+    pub fn phi2() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .pattern_rhs(["AC"])
+            .pattern(|p| {
+                p.constant("CT", "NYC")
+                    .in_set("AC", ["212", "718", "646", "347", "917"])
+            })
+            .build()
+            .unwrap()
+    }
+
+    /// An FD-style constraint that D0 violates with two tuples once we add a
+    /// second Albany row with a different area code.
+    pub fn fd_ct_ac() -> ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p)
+            .build()
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::*;
+    use super::*;
+    use ecfd_relation::Tuple;
+
+    #[test]
+    fn d0_has_the_two_violations_of_example_2_2() {
+        let detector = SemanticDetector::new(&cust_schema(), &[phi1(), phi2()]).unwrap();
+        let db = d0();
+        let report = detector.detect(&db).unwrap();
+        let rows = db.row_ids();
+        assert_eq!(report.sv_rows, [rows[0], rows[3]].into_iter().collect());
+        assert!(report.mv_rows.is_empty());
+        assert_eq!(report.num_violations(), 2);
+    }
+
+    #[test]
+    fn multi_tuple_violations_flag_the_whole_group() {
+        let mut db = d0();
+        // A second Albany row with a different area code violates the FD part
+        // of φ1's first pattern tuple together with t1.
+        db.insert(Tuple::from_iter([
+            "519", "7", "Zoe", "Pine St.", "Albany", "12239",
+        ]))
+        .unwrap();
+        let detector = SemanticDetector::new(&cust_schema(), &[phi1()]).unwrap();
+        let (report, groups) = detector.detect_with_groups(&db).unwrap();
+        let rows = db.row_ids();
+        assert!(report.mv_rows.contains(&rows[0]));
+        assert!(report.mv_rows.contains(&rows[6]));
+        assert_eq!(report.mv_rows.len(), 2);
+        // The Albany group of the first single-pattern constraint violates.
+        let albany_groups: Vec<&GroupState> = groups
+            .iter()
+            .filter(|((_, key), _)| key == &vec![Value::str("Albany")])
+            .map(|(_, state)| state)
+            .collect();
+        assert!(albany_groups.iter().any(|g| g.violates()));
+    }
+
+    #[test]
+    fn detect_and_flag_writes_sv_mv_columns() {
+        let mut catalog = Catalog::new();
+        catalog.create(d0()).unwrap();
+        let detector = SemanticDetector::new(&cust_schema(), &[phi1(), phi2()]).unwrap();
+        let report = detector.detect_and_flag(&mut catalog, "cust").unwrap();
+        assert_eq!(report.num_sv(), 2);
+        let read_back = DetectionReport::from_catalog(&catalog, "cust").unwrap();
+        assert_eq!(read_back, report);
+        // Re-running resets the flags and produces the same answer.
+        let report2 = detector.detect_and_flag(&mut catalog, "cust").unwrap();
+        assert_eq!(report2.sv_rows, report.sv_rows);
+    }
+
+    #[test]
+    fn group_state_size_and_violation() {
+        let mut state = GroupState::default();
+        *state.y_counts.entry(vec![Value::str("518")]).or_insert(0) += 2;
+        assert_eq!(state.size(), 2);
+        assert!(!state.violates());
+        *state.y_counts.entry(vec![Value::str("718")]).or_insert(0) += 1;
+        assert_eq!(state.size(), 3);
+        assert!(state.violates());
+    }
+
+    #[test]
+    fn agreement_with_the_core_reference_semantics() {
+        // The detector must agree with ecfd_core::satisfaction on every flag.
+        let mut db = d0();
+        db.insert(Tuple::from_iter(["519", "7", "Zoe", "Pine St.", "Albany", "12239"]))
+            .unwrap();
+        let constraints = [phi1(), phi2(), fd_ct_ac()];
+        let detector = SemanticDetector::new(&cust_schema(), &constraints).unwrap();
+        let report = detector.detect(&db).unwrap();
+        let reference = ecfd_core::satisfaction::check_all(&db, &constraints).unwrap();
+        let expected = DetectionReport::from_violation_set(reference.violations(), db.len());
+        assert_eq!(report.sv_rows, expected.sv_rows);
+        assert_eq!(report.mv_rows, expected.mv_rows);
+    }
+
+    #[test]
+    fn clean_data_produces_a_clean_report() {
+        let db = Relation::with_tuples(
+            cust_schema(),
+            [
+                Tuple::from_iter(["518", "1", "A", "S", "Albany", "12238"]),
+                Tuple::from_iter(["212", "2", "B", "S", "NYC", "10001"]),
+            ],
+        )
+        .unwrap();
+        let detector = SemanticDetector::new(&cust_schema(), &[phi1(), phi2()]).unwrap();
+        assert!(detector.detect(&db).unwrap().is_clean());
+    }
+}

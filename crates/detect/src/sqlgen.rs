@@ -1,0 +1,292 @@
+//! Generation of the fixed pair of detection statements (Fig. 4).
+//!
+//! Given the relation schema `R` and the installed encoding, this module
+//! produces SQL *text*:
+//!
+//! * [`single_violation_update`] — the `Q_sv`-driven statement: one `UPDATE`
+//!   that sets `SV = 1` for every tuple that matches some constraint's LHS
+//!   pattern but fails its RHS pattern. The membership tests `value ∈ S` /
+//!   `value ∉ S` become `EXISTS` / `NOT EXISTS` against the per-attribute
+//!   value tables, exactly as in the paper.
+//! * [`aux_insert`] — the `Q_mv` statement: the `macro` derived table blanks
+//!   out (with `'@'`) every attribute irrelevant to the embedded FD using
+//!   `CASE`, `SELECT DISTINCT` collapses duplicate `(X, Y)` combinations, and
+//!   a `GROUP BY … HAVING COUNT(*) > 1` finds the groups with more than one
+//!   distinct `Y` value. The offending `(CID, X-values)` groups are inserted
+//!   into the auxiliary relation.
+//! * [`multi_violation_update`] — flags `MV = 1` for every tuple matching an
+//!   offending group in the auxiliary relation.
+//!
+//! The *number* and *shape* of these statements is independent of the number
+//! of eCFDs, of the number of pattern tuples, and of the size of the sets in
+//! the pattern cells — those only influence the contents of the encoding
+//! relations. That is the paper's central systems claim and it is asserted by
+//! the tests below.
+
+use crate::encode::{
+    enc_left_col, enc_right_col, value_table_left, value_table_right, AUX_TABLE, BLANK, ENC_TABLE,
+};
+use ecfd_relation::Schema;
+
+/// Name of the auxiliary-table column holding the (possibly blanked) value of
+/// attribute `attr` for the violating group.
+pub fn aux_col(attr: &str) -> String {
+    format!("{attr}_X")
+}
+
+/// The `EXISTS (...)` membership test: does the value-table for `attr` (on the
+/// given side) contain the value of `<data_ref>.<attr>` under constraint
+/// `c.CID`?
+fn membership(data_ref: &str, attr: &str, right: bool) -> String {
+    let table = if right {
+        value_table_right(attr)
+    } else {
+        value_table_left(attr)
+    };
+    format!(
+        "EXISTS (SELECT x.VAL FROM {table} x WHERE x.CID = c.CID AND x.VAL = {data_ref}.{attr})"
+    )
+}
+
+/// The per-attribute LHS match condition: the data value satisfies the cell
+/// of `attr` in `X` (codes 0 and 3 — absent and wildcard — are trivially
+/// satisfied, code 1 requires membership, code 2 requires non-membership).
+fn lhs_attr_condition(data_ref: &str, attr: &str) -> String {
+    let code = enc_left_col(attr);
+    let member = membership(data_ref, attr, false);
+    format!("(c.{code} <> 1 OR {member}) AND (c.{code} <> 2 OR NOT {member})")
+}
+
+/// The conjunction of LHS match conditions over every attribute of `R`.
+fn lhs_match(schema: &Schema, data_ref: &str) -> String {
+    schema
+        .attributes()
+        .iter()
+        .map(|a| lhs_attr_condition(data_ref, &a.name))
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+/// The per-attribute RHS *violation* condition. `ABS` folds the `Y` (positive)
+/// and `Yp` (negative) codes together, as in the paper.
+fn rhs_attr_violation(data_ref: &str, attr: &str) -> String {
+    let code = enc_right_col(attr);
+    let member = membership(data_ref, attr, true);
+    format!(
+        "(ABS(c.{code}) = 1 AND NOT {member}) OR (ABS(c.{code}) = 2 AND {member})"
+    )
+}
+
+/// The disjunction of RHS violation conditions over every attribute of `R`.
+fn rhs_violation(schema: &Schema, data_ref: &str) -> String {
+    schema
+        .attributes()
+        .iter()
+        .map(|a| rhs_attr_violation(data_ref, &a.name))
+        .collect::<Vec<_>>()
+        .join(" OR ")
+}
+
+/// The `Q_sv` statement: flags single-tuple (pattern-constraint) violations.
+pub fn single_violation_update(schema: &Schema, table: &str) -> String {
+    format!(
+        "UPDATE {table} SET SV = 1 WHERE EXISTS (SELECT c.CID FROM {ENC_TABLE} c WHERE {lhs} AND ({rhs}))",
+        lhs = lhs_match(schema, table),
+        rhs = rhs_violation(schema, table),
+    )
+}
+
+/// The SELECT-only form of `Q_sv` (Fig. 4 top): returns the violating tuples
+/// themselves. Used by the incremental detector on the `ΔD⁺` staging table
+/// and handy for debugging.
+pub fn single_violation_select(schema: &Schema, table: &str) -> String {
+    let cols: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| format!("t.{}", a.name))
+        .collect();
+    format!(
+        "SELECT DISTINCT {cols} FROM {table} t, {ENC_TABLE} c WHERE {lhs} AND ({rhs})",
+        cols = cols.join(", "),
+        lhs = lhs_match(schema, "t"),
+        rhs = rhs_violation(schema, "t"),
+    )
+}
+
+/// The `macro` derived table of Fig. 4 (bottom): one row per distinct
+/// `(CID, X-projection, Y-projection)` of the tuples matching each
+/// constraint's LHS pattern, with irrelevant attributes blanked to `'@'`.
+fn macro_query(schema: &Schema, table: &str) -> String {
+    let mut projections = vec!["c.CID AS CID".to_string()];
+    for a in schema.attributes() {
+        let name = &a.name;
+        projections.push(format!(
+            "(CASE WHEN c.{lcode} > 0 THEN t.{name} ELSE '{BLANK}' END) AS {xcol}",
+            lcode = enc_left_col(name),
+            xcol = aux_col(name),
+        ));
+        projections.push(format!(
+            "(CASE WHEN c.{rcode} > 0 THEN t.{name} ELSE '{BLANK}' END) AS {name}_Y",
+            rcode = enc_right_col(name),
+        ));
+    }
+    format!(
+        "SELECT DISTINCT {projections} FROM {table} t, {ENC_TABLE} c WHERE {lhs}",
+        projections = projections.join(", "),
+        lhs = lhs_match(schema, "t"),
+    )
+}
+
+/// The `Q_mv` statement: materialises the offending `(CID, X-values)` groups —
+/// those with more than one distinct `Y` projection — into the auxiliary
+/// relation.
+pub fn aux_insert(schema: &Schema, table: &str) -> String {
+    let group_cols: Vec<String> = std::iter::once("m.CID".to_string())
+        .chain(schema.attributes().iter().map(|a| format!("m.{}", aux_col(&a.name))))
+        .collect();
+    format!(
+        "INSERT INTO {AUX_TABLE} SELECT {select} FROM ({macro_q}) m GROUP BY {group} HAVING COUNT(*) > 1",
+        select = group_cols.join(", "),
+        macro_q = macro_query(schema, table),
+        group = group_cols.join(", "),
+    )
+}
+
+/// The statement that flags `MV = 1` for every tuple of `table` matching an
+/// offending group recorded in the auxiliary relation.
+pub fn multi_violation_update(schema: &Schema, table: &str) -> String {
+    let match_conditions: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| {
+            format!(
+                "(a.{col} = '{BLANK}' OR a.{col} = {table}.{name})",
+                col = aux_col(&a.name),
+                name = a.name,
+            )
+        })
+        .collect();
+    format!(
+        "UPDATE {table} SET MV = 1 WHERE EXISTS (SELECT a.CID FROM {AUX_TABLE} a WHERE {cond})",
+        cond = match_conditions.join(" AND "),
+    )
+}
+
+/// The statement that clears `MV` for tuples no longer matching any offending
+/// group (used after deletions by the incremental detector).
+pub fn multi_violation_clear(schema: &Schema, table: &str) -> String {
+    let match_conditions: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| {
+            format!(
+                "(a.{col} = '{BLANK}' OR a.{col} = {table}.{name})",
+                col = aux_col(&a.name),
+                name = a.name,
+            )
+        })
+        .collect();
+    format!(
+        "UPDATE {table} SET MV = 0 WHERE MV = 1 AND NOT EXISTS (SELECT a.CID FROM {AUX_TABLE} a WHERE {cond})",
+        cond = match_conditions.join(" AND "),
+    )
+}
+
+/// `CREATE TABLE` statement for the auxiliary relation.
+pub fn create_aux_table(schema: &Schema) -> String {
+    let mut cols = vec!["CID INT".to_string()];
+    for a in schema.attributes() {
+        cols.push(format!("{} STR", aux_col(&a.name)));
+    }
+    format!("CREATE TABLE {AUX_TABLE} ({})", cols.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfd_relation::DataType;
+
+    fn cust_schema() -> Schema {
+        Schema::builder("cust")
+            .attr("AC", DataType::Str)
+            .attr("CT", DataType::Str)
+            .attr("ZIP", DataType::Str)
+            .build()
+    }
+
+    fn wide_schema(n: usize) -> Schema {
+        let mut b = Schema::builder("wide");
+        for i in 0..n {
+            b = b.attr(format!("A{i}"), DataType::Str);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sv_update_uses_exists_and_abs_like_the_paper() {
+        let sql = single_violation_update(&cust_schema(), "cust");
+        assert!(sql.starts_with("UPDATE cust SET SV = 1"));
+        assert!(sql.contains("EXISTS (SELECT x.VAL FROM ecfd_t_CT_L x"));
+        assert!(sql.contains("NOT EXISTS"));
+        assert!(sql.contains("ABS(c.AC_R) = 1"));
+        assert!(sql.contains("ABS(c.AC_R) = 2"));
+        // Membership tests only touch the encoding tables, never nest another
+        // scan of the data table.
+        assert_eq!(sql.matches("FROM cust").count(), 0);
+    }
+
+    #[test]
+    fn mv_pipeline_blanks_with_case_and_groups_by_cid_and_x() {
+        let schema = cust_schema();
+        let sql = aux_insert(&schema, "cust");
+        assert!(sql.contains("CASE WHEN c.CT_L > 0 THEN t.CT ELSE '@' END"));
+        assert!(sql.contains("CASE WHEN c.AC_R > 0 THEN t.AC ELSE '@' END"));
+        assert!(sql.contains("GROUP BY m.CID, m.AC_X, m.CT_X, m.ZIP_X"));
+        assert!(sql.contains("HAVING COUNT(*) > 1"));
+        assert!(sql.contains("SELECT DISTINCT"));
+
+        let update = multi_violation_update(&schema, "cust");
+        assert!(update.contains("a.CT_X = '@' OR a.CT_X = cust.CT"));
+        let clear = multi_violation_clear(&schema, "cust");
+        assert!(clear.contains("MV = 0"));
+        assert!(clear.contains("NOT EXISTS"));
+    }
+
+    #[test]
+    fn statement_count_and_shape_are_independent_of_the_constraints() {
+        // The generated SQL depends only on the schema R and the table name —
+        // exactly the paper's "fixed number of SQL queries, no matter how many
+        // eCFDs are in Σ".
+        let schema = cust_schema();
+        let a = single_violation_update(&schema, "cust");
+        let b = single_violation_update(&schema, "cust");
+        assert_eq!(a, b);
+        // Query size grows with the number of attributes of R (each attribute
+        // contributes a fixed number of conditions), not with |Σ| or |Tp|.
+        let narrow = single_violation_update(&wide_schema(4), "wide").len();
+        let wide = single_violation_update(&wide_schema(8), "wide").len();
+        assert!(wide < narrow * 3, "growth should be linear in |attr(R)|");
+    }
+
+    #[test]
+    fn generated_sql_parses_in_the_engine() {
+        let schema = cust_schema();
+        for sql in [
+            single_violation_update(&schema, "cust"),
+            single_violation_select(&schema, "cust"),
+            aux_insert(&schema, "cust"),
+            multi_violation_update(&schema, "cust"),
+            multi_violation_clear(&schema, "cust"),
+            create_aux_table(&schema),
+        ] {
+            ecfd_engine::parse_statement(&sql)
+                .unwrap_or_else(|e| panic!("generated SQL must parse: {e}\n{sql}"));
+        }
+    }
+
+    #[test]
+    fn aux_table_ddl_covers_every_attribute() {
+        let sql = create_aux_table(&cust_schema());
+        assert_eq!(sql, "CREATE TABLE ecfd_aux (CID INT, AC_X STR, CT_X STR, ZIP_X STR)");
+    }
+}

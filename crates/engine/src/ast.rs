@@ -1,0 +1,337 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use ecfd_relation::Value;
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, optionally qualified by a table alias (`t.AC`).
+    Column {
+        /// Table alias / name qualifier, if written.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation `NOT e`.
+    Not(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)` / `expr NOT IN (...)` with literal list.
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The candidate values.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `EXISTS (subquery)` / `NOT EXISTS (subquery)`.
+    Exists {
+        /// The subquery (may be correlated with the outer query).
+        subquery: Box<Select>,
+        /// True for `NOT EXISTS`.
+        negated: bool,
+    },
+    /// Searched `CASE WHEN cond THEN value [WHEN ..]* [ELSE value] END`.
+    Case {
+        /// `(condition, result)` pairs, tried in order.
+        branches: Vec<(Expr, Expr)>,
+        /// The `ELSE` result (NULL when omitted).
+        else_result: Option<Box<Expr>>,
+    },
+    /// Function call (`ABS(x)`, `COALESCE(a, b)`, ...).
+    Function {
+        /// Function name, upper-cased.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `COUNT(*)` — the only aggregate the detection queries need.
+    CountStar,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column of every FROM item, in order.
+    Wildcard,
+    /// `alias.*` — every column of one FROM item.
+    QualifiedWildcard(String),
+    /// An expression with an optional output alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Output column name (`AS alias`).
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in the FROM clause: a base table or a parenthesised
+/// subquery, with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named base table.
+    Table {
+        /// Table name in the catalog.
+        name: String,
+        /// Alias (defaults to the table name).
+        alias: Option<String>,
+    },
+    /// A derived table `(SELECT ...) alias`.
+    Subquery {
+        /// The subquery.
+        query: Box<Select>,
+        /// Mandatory alias.
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The name this FROM item is referred to by (alias if given).
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Subquery { alias, .. } => alias,
+        }
+    }
+}
+
+/// An `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Expression to sort by.
+    pub expr: Expr,
+    /// True for descending order.
+    pub descending: bool,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM items (comma-joined: cross product).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Type name (`INT`, `STR`/`TEXT`/`VARCHAR`, `BOOL`).
+    pub type_name: String,
+}
+
+/// A SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A query.
+    Select(Select),
+    /// `INSERT INTO table [(cols)] VALUES (..), (..)` or `INSERT INTO table [(cols)] SELECT ..`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, if written.
+        columns: Option<Vec<String>>,
+        /// The rows to insert.
+        source: InsertSource,
+    },
+    /// `UPDATE table SET col = expr, .. [WHERE ..]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, value expression)` assignments.
+        assignments: Vec<(String, Expr)>,
+        /// Row filter.
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE ..]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter.
+        where_clause: Option<Expr>,
+    },
+    /// `CREATE TABLE name (col TYPE, ..)`.
+    CreateTable {
+        /// New table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `DROP TABLE name`.
+    DropTable {
+        /// Table to drop.
+        name: String,
+    },
+}
+
+/// Source of rows for an INSERT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// Literal `VALUES` rows.
+    Values(Vec<Vec<Expr>>),
+    /// Rows produced by a query.
+    Query(Box<Select>),
+}
+
+impl Expr {
+    /// Convenience constructor for an unqualified column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Convenience constructor for a qualified column reference.
+    pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// True when the expression contains an aggregate (`COUNT(*)`).
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::CountStar => true,
+            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Not(e) => e.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Exists { .. } => false,
+            Expr::Case {
+                branches,
+                else_result,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
+                    || else_result
+                        .as_ref()
+                        .map(|e| e.contains_aggregate())
+                        .unwrap_or(false)
+            }
+            Expr::Function { args, .. } => args.iter().any(Expr::contains_aggregate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_expected_nodes() {
+        assert_eq!(
+            Expr::col("CT"),
+            Expr::Column {
+                qualifier: None,
+                name: "CT".into()
+            }
+        );
+        assert_eq!(
+            Expr::qcol("t", "CT"),
+            Expr::Column {
+                qualifier: Some("t".into()),
+                name: "CT".into()
+            }
+        );
+        assert_eq!(Expr::lit(5i64), Expr::Literal(Value::Int(5)));
+    }
+
+    #[test]
+    fn aggregate_detection_recurses() {
+        let agg = Expr::Binary {
+            left: Box::new(Expr::CountStar),
+            op: BinaryOp::Gt,
+            right: Box::new(Expr::lit(1i64)),
+        };
+        assert!(agg.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let case = Expr::Case {
+            branches: vec![(Expr::col("c"), Expr::CountStar)],
+            else_result: None,
+        };
+        assert!(case.contains_aggregate());
+    }
+
+    #[test]
+    fn table_ref_binding_names() {
+        let t = TableRef::Table {
+            name: "cust".into(),
+            alias: Some("t".into()),
+        };
+        assert_eq!(t.binding_name(), "t");
+        let t = TableRef::Table {
+            name: "cust".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding_name(), "cust");
+    }
+}

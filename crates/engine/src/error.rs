@@ -1,0 +1,97 @@
+//! Error type for the SQL engine.
+
+use std::fmt;
+
+/// Result alias used throughout `ecfd-engine`.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors produced while lexing, parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The SQL text could not be tokenised.
+    Lex {
+        /// Byte position of the offending character.
+        position: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The token stream could not be parsed.
+    Parse {
+        /// Index of the offending token.
+        token_index: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// A column reference could not be resolved.
+    UnknownColumn(String),
+    /// A column reference is ambiguous between two FROM items.
+    AmbiguousColumn(String),
+    /// A table alias or name was not found.
+    UnknownTable(String),
+    /// A function is not supported.
+    UnknownFunction(String),
+    /// An expression was evaluated on operands of incompatible types.
+    Type(String),
+    /// The statement is structurally invalid for execution (e.g. aggregates in
+    /// the WHERE clause, wrong VALUES arity).
+    Semantic(String),
+    /// Error bubbled up from the storage layer.
+    Relation(ecfd_relation::RelationError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            EngineError::Parse {
+                token_index,
+                message,
+            } => write!(f, "parse error near token {token_index}: {message}"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EngineError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            EngineError::Type(msg) => write!(f, "type error: {msg}"),
+            EngineError::Semantic(msg) => write!(f, "invalid statement: {msg}"),
+            EngineError::Relation(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ecfd_relation::RelationError> for EngineError {
+    fn from(e: ecfd_relation::RelationError) -> Self {
+        EngineError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EngineError::UnknownColumn("t.AC".into())
+            .to_string()
+            .contains("t.AC"));
+        assert!(EngineError::Parse {
+            token_index: 3,
+            message: "expected FROM".into()
+        }
+        .to_string()
+        .contains("FROM"));
+        let e: EngineError = ecfd_relation::RelationError::UnknownRelation("x".into()).into();
+        assert!(matches!(e, EngineError::Relation(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,538 @@
+//! Scalar expression evaluation with SQL-ish three-valued logic.
+
+use crate::ast::{BinaryOp, Expr};
+use crate::error::{EngineError, Result};
+use ecfd_relation::{Catalog, Tuple, Value};
+
+/// A row binding: the current tuple of one FROM item, addressable by its
+/// alias and column names.
+#[derive(Debug, Clone)]
+pub struct Binding<'a> {
+    /// Alias (or table name) this FROM item is referred to by.
+    pub name: String,
+    /// Column names, in tuple order.
+    pub columns: Vec<String>,
+    /// The current row.
+    pub tuple: &'a Tuple,
+}
+
+/// Evaluation environment: the row bindings of the current query level plus an
+/// optional parent environment for correlated subqueries, and the group row
+/// count when evaluating aggregate contexts (`HAVING COUNT(*) > 1`).
+#[derive(Debug, Clone, Default)]
+pub struct Env<'a> {
+    /// Bindings of the current query level.
+    pub bindings: Vec<Binding<'a>>,
+    /// Enclosing environment (for correlated subqueries).
+    pub parent: Option<&'a Env<'a>>,
+    /// Number of rows in the current group, when aggregating.
+    pub group_count: Option<i64>,
+}
+
+impl<'a> Env<'a> {
+    /// An environment with no bindings (literal-only evaluation).
+    pub fn empty() -> Self {
+        Env::default()
+    }
+
+    /// Resolves a column reference to a value.
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value> {
+        match self.try_resolve(qualifier, name)? {
+            Some(v) => Ok(v),
+            None => match self.parent {
+                Some(parent) => parent.resolve(qualifier, name),
+                None => Err(EngineError::UnknownColumn(match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                })),
+            },
+        }
+    }
+
+    /// Resolves within this level only; `Ok(None)` means "not found here".
+    fn try_resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Option<Value>> {
+        match qualifier {
+            Some(q) => {
+                for b in &self.bindings {
+                    if b.name == q {
+                        return match b.columns.iter().position(|c| c == name) {
+                            Some(idx) => Ok(Some(b.tuple.values()[idx].clone())),
+                            None => Err(EngineError::UnknownColumn(format!("{q}.{name}"))),
+                        };
+                    }
+                }
+                Ok(None)
+            }
+            None => {
+                let mut found: Option<Value> = None;
+                for b in &self.bindings {
+                    if let Some(idx) = b.columns.iter().position(|c| c == name) {
+                        if found.is_some() {
+                            return Err(EngineError::AmbiguousColumn(name.to_string()));
+                        }
+                        found = Some(b.tuple.values()[idx].clone());
+                    }
+                }
+                Ok(found)
+            }
+        }
+    }
+}
+
+/// Callback used to evaluate `EXISTS (subquery)`: returns whether the subquery
+/// produces at least one row under the given outer environment.
+///
+/// The executor supplies this; keeping it a function pointer avoids a circular
+/// type dependency between evaluation and execution.
+pub type ExistsFn<'a> =
+    &'a dyn Fn(&Catalog, &crate::ast::Select, &Env<'_>) -> Result<bool>;
+
+/// Evaluates an expression to a value.
+pub fn evaluate(
+    catalog: &Catalog,
+    env: &Env<'_>,
+    expr: &Expr,
+    exists_fn: ExistsFn<'_>,
+) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => env.resolve(qualifier.as_deref(), name),
+        Expr::CountStar => env
+            .group_count
+            .map(Value::Int)
+            .ok_or_else(|| EngineError::Semantic("COUNT(*) outside an aggregate context".into())),
+        Expr::Not(e) => {
+            let v = evaluate(catalog, env, e, exists_fn)?;
+            Ok(match v {
+                Value::Null => Value::Null,
+                other => Value::Bool(!other.is_truthy()),
+            })
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = evaluate(catalog, env, expr, exists_fn)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = evaluate(catalog, env, expr, exists_fn)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in list {
+                let w = evaluate(catalog, env, item, exists_fn)?;
+                if !w.is_null() && w == v {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::Exists { subquery, negated } => {
+            let any = exists_fn(catalog, subquery, env)?;
+            Ok(Value::Bool(any != *negated))
+        }
+        Expr::Case {
+            branches,
+            else_result,
+        } => {
+            for (cond, result) in branches {
+                if evaluate(catalog, env, cond, exists_fn)?.is_truthy() {
+                    return evaluate(catalog, env, result, exists_fn);
+                }
+            }
+            match else_result {
+                Some(e) => evaluate(catalog, env, e, exists_fn),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Function { name, args } => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(evaluate(catalog, env, a, exists_fn)?);
+            }
+            apply_function(name, &values)
+        }
+        Expr::Binary { left, op, right } => {
+            let l = evaluate(catalog, env, left, exists_fn)?;
+            // Short-circuit AND / OR on the left operand.
+            match op {
+                BinaryOp::And if !l.is_null() && !l.is_truthy() => return Ok(Value::Bool(false)),
+                BinaryOp::Or if !l.is_null() && l.is_truthy() => return Ok(Value::Bool(true)),
+                _ => {}
+            }
+            let r = evaluate(catalog, env, right, exists_fn)?;
+            apply_binary(*op, &l, &r)
+        }
+    }
+}
+
+fn apply_function(name: &str, args: &[Value]) -> Result<Value> {
+    match name {
+        "ABS" => match args {
+            [Value::Int(i)] => Ok(Value::Int(i.abs())),
+            [Value::Null] => Ok(Value::Null),
+            _ => Err(EngineError::Type(format!("ABS expects one integer, got {args:?}"))),
+        },
+        "COALESCE" => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
+        "UPPER" => match args {
+            [Value::Str(s)] => Ok(Value::Str(s.to_uppercase())),
+            [Value::Null] => Ok(Value::Null),
+            _ => Err(EngineError::Type("UPPER expects one string".into())),
+        },
+        "LOWER" => match args {
+            [Value::Str(s)] => Ok(Value::Str(s.to_lowercase())),
+            [Value::Null] => Ok(Value::Null),
+            _ => Err(EngineError::Type("LOWER expects one string".into())),
+        },
+        "LENGTH" => match args {
+            [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
+            [Value::Null] => Ok(Value::Null),
+            _ => Err(EngineError::Type("LENGTH expects one string".into())),
+        },
+        other => Err(EngineError::UnknownFunction(other.to_string())),
+    }
+}
+
+fn apply_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    match op {
+        And => Ok(three_valued_and(l, r)),
+        Or => Ok(three_valued_or(l, r)),
+        Eq | NotEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let eq = l == r;
+            Ok(Value::Bool(if op == Eq { eq } else { !eq }))
+        }
+        Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = compare(l, r)?;
+            let b = match op {
+                Lt => ord.is_lt(),
+                LtEq => ord.is_le(),
+                Gt => ord.is_gt(),
+                GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Plus | Minus => match (l, r) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(if op == Plus {
+                a.wrapping_add(*b)
+            } else {
+                a.wrapping_sub(*b)
+            })),
+            _ => Err(EngineError::Type(format!(
+                "arithmetic requires integers, got {l} and {r}"
+            ))),
+        },
+    }
+}
+
+fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+        (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+        (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+        _ => Err(EngineError::Type(format!(
+            "cannot compare {l} with {r} (different types)"
+        ))),
+    }
+}
+
+fn three_valued_and(l: &Value, r: &Value) -> Value {
+    let lt = if l.is_null() { None } else { Some(l.is_truthy()) };
+    let rt = if r.is_null() { None } else { Some(r.is_truthy()) };
+    match (lt, rt) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+fn three_valued_or(l: &Value, r: &Value) -> Value {
+    let lt = if l.is_null() { None } else { Some(l.is_truthy()) };
+    let rt = if r.is_null() { None } else { Some(r.is_truthy()) };
+    match (lt, rt) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr as E;
+
+    fn no_exists(_: &Catalog, _: &crate::ast::Select, _: &Env<'_>) -> Result<bool> {
+        panic!("no subqueries expected in this test")
+    }
+
+    fn eval(env: &Env<'_>, expr: &Expr) -> Result<Value> {
+        let catalog = Catalog::new();
+        evaluate(&catalog, env, expr, &no_exists)
+    }
+
+    fn row_env<'a>(tuple: &'a Tuple) -> Env<'a> {
+        Env {
+            bindings: vec![Binding {
+                name: "t".into(),
+                columns: vec!["CT".into(), "AC".into(), "N".into()],
+                tuple,
+            }],
+            parent: None,
+            group_count: None,
+        }
+    }
+
+    #[test]
+    fn column_resolution_qualified_and_unqualified() {
+        let tuple = Tuple::from_iter([Value::str("NYC"), Value::str("212"), Value::int(3)]);
+        let env = row_env(&tuple);
+        assert_eq!(eval(&env, &E::qcol("t", "CT")).unwrap(), Value::str("NYC"));
+        assert_eq!(eval(&env, &E::col("AC")).unwrap(), Value::str("212"));
+        assert!(matches!(
+            eval(&env, &E::col("missing")),
+            Err(EngineError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            eval(&env, &E::qcol("x", "CT")),
+            Err(EngineError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_columns_are_rejected_but_qualification_disambiguates() {
+        let t1 = Tuple::from_iter([Value::str("NYC")]);
+        let t2 = Tuple::from_iter([Value::str("LI")]);
+        let env = Env {
+            bindings: vec![
+                Binding {
+                    name: "a".into(),
+                    columns: vec!["CT".into()],
+                    tuple: &t1,
+                },
+                Binding {
+                    name: "b".into(),
+                    columns: vec!["CT".into()],
+                    tuple: &t2,
+                },
+            ],
+            parent: None,
+            group_count: None,
+        };
+        let catalog = Catalog::new();
+        assert!(matches!(
+            evaluate(&catalog, &env, &E::col("CT"), &no_exists),
+            Err(EngineError::AmbiguousColumn(_))
+        ));
+        assert_eq!(
+            evaluate(&catalog, &env, &E::qcol("b", "CT"), &no_exists).unwrap(),
+            Value::str("LI")
+        );
+    }
+
+    #[test]
+    fn correlated_resolution_falls_back_to_parent() {
+        let outer_tuple = Tuple::from_iter([Value::str("Albany")]);
+        let outer = Env {
+            bindings: vec![Binding {
+                name: "o".into(),
+                columns: vec!["CT".into()],
+                tuple: &outer_tuple,
+            }],
+            parent: None,
+            group_count: None,
+        };
+        let inner_tuple = Tuple::from_iter([Value::int(1)]);
+        let inner = Env {
+            bindings: vec![Binding {
+                name: "i".into(),
+                columns: vec!["CID".into()],
+                tuple: &inner_tuple,
+            }],
+            parent: Some(&outer),
+            group_count: None,
+        };
+        let catalog = Catalog::new();
+        assert_eq!(
+            evaluate(&catalog, &inner, &E::qcol("o", "CT"), &no_exists).unwrap(),
+            Value::str("Albany")
+        );
+        assert_eq!(
+            evaluate(&catalog, &inner, &E::col("CID"), &no_exists).unwrap(),
+            Value::int(1)
+        );
+    }
+
+    #[test]
+    fn comparisons_and_three_valued_logic() {
+        let tuple = Tuple::from_iter([Value::str("NYC"), Value::Null, Value::int(3)]);
+        let env = row_env(&tuple);
+        let eq = E::Binary {
+            left: Box::new(E::col("CT")),
+            op: BinaryOp::Eq,
+            right: Box::new(E::lit("NYC")),
+        };
+        assert_eq!(eval(&env, &eq).unwrap(), Value::Bool(true));
+
+        // NULL = anything → NULL; NULL AND false → false; NULL OR true → true.
+        let null_eq = E::Binary {
+            left: Box::new(E::col("AC")),
+            op: BinaryOp::Eq,
+            right: Box::new(E::lit("212")),
+        };
+        assert_eq!(eval(&env, &null_eq).unwrap(), Value::Null);
+        let and_false = E::Binary {
+            left: Box::new(null_eq.clone()),
+            op: BinaryOp::And,
+            right: Box::new(E::lit(false)),
+        };
+        assert_eq!(eval(&env, &and_false).unwrap(), Value::Bool(false));
+        let or_true = E::Binary {
+            left: Box::new(null_eq.clone()),
+            op: BinaryOp::Or,
+            right: Box::new(E::lit(true)),
+        };
+        assert_eq!(eval(&env, &or_true).unwrap(), Value::Bool(true));
+        let and_null = E::Binary {
+            left: Box::new(E::lit(true)),
+            op: BinaryOp::And,
+            right: Box::new(null_eq),
+        };
+        assert_eq!(eval(&env, &and_null).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn numeric_comparisons_arithmetic_and_type_errors() {
+        let env = Env::empty();
+        let lt = E::Binary {
+            left: Box::new(E::lit(2i64)),
+            op: BinaryOp::Lt,
+            right: Box::new(E::lit(5i64)),
+        };
+        assert_eq!(eval(&env, &lt).unwrap(), Value::Bool(true));
+        let plus = E::Binary {
+            left: Box::new(E::lit(2i64)),
+            op: BinaryOp::Plus,
+            right: Box::new(E::lit(5i64)),
+        };
+        assert_eq!(eval(&env, &plus).unwrap(), Value::Int(7));
+        let bad = E::Binary {
+            left: Box::new(E::lit(2i64)),
+            op: BinaryOp::Lt,
+            right: Box::new(E::lit("x")),
+        };
+        assert!(matches!(eval(&env, &bad), Err(EngineError::Type(_))));
+        // String comparison is lexicographic.
+        let cmp = E::Binary {
+            left: Box::new(E::lit("a")),
+            op: BinaryOp::Lt,
+            right: Box::new(E::lit("b")),
+        };
+        assert_eq!(eval(&env, &cmp).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn functions_case_in_list_is_null() {
+        let env = Env::empty();
+        let abs = E::Function {
+            name: "ABS".into(),
+            args: vec![E::lit(-3i64)],
+        };
+        assert_eq!(eval(&env, &abs).unwrap(), Value::Int(3));
+        let coalesce = E::Function {
+            name: "COALESCE".into(),
+            args: vec![E::Literal(Value::Null), E::lit("x")],
+        };
+        assert_eq!(eval(&env, &coalesce).unwrap(), Value::str("x"));
+        assert!(matches!(
+            eval(
+                &env,
+                &E::Function {
+                    name: "NOPE".into(),
+                    args: vec![]
+                }
+            ),
+            Err(EngineError::UnknownFunction(_))
+        ));
+
+        let case = E::Case {
+            branches: vec![
+                (E::lit(false), E::lit("first")),
+                (E::lit(true), E::lit("second")),
+            ],
+            else_result: Some(Box::new(E::lit("else"))),
+        };
+        assert_eq!(eval(&env, &case).unwrap(), Value::str("second"));
+        let case_else = E::Case {
+            branches: vec![(E::lit(false), E::lit("first"))],
+            else_result: None,
+        };
+        assert_eq!(eval(&env, &case_else).unwrap(), Value::Null);
+
+        let in_list = E::InList {
+            expr: Box::new(E::lit("NYC")),
+            list: vec![E::lit("NYC"), E::lit("LI")],
+            negated: false,
+        };
+        assert_eq!(eval(&env, &in_list).unwrap(), Value::Bool(true));
+        let not_in = E::InList {
+            expr: Box::new(E::lit("Albany")),
+            list: vec![E::lit("NYC")],
+            negated: true,
+        };
+        assert_eq!(eval(&env, &not_in).unwrap(), Value::Bool(true));
+
+        let is_null = E::IsNull {
+            expr: Box::new(E::Literal(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(eval(&env, &is_null).unwrap(), Value::Bool(true));
+        let is_not_null = E::IsNull {
+            expr: Box::new(E::lit(1i64)),
+            negated: true,
+        };
+        assert_eq!(eval(&env, &is_not_null).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn count_star_requires_group_context() {
+        let env = Env::empty();
+        assert!(matches!(
+            eval(&env, &E::CountStar),
+            Err(EngineError::Semantic(_))
+        ));
+        let grouped = Env {
+            group_count: Some(4),
+            ..Env::empty()
+        };
+        assert_eq!(eval(&grouped, &E::CountStar).unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn not_inverts_truthiness_and_propagates_null() {
+        let env = Env::empty();
+        assert_eq!(
+            eval(&env, &E::Not(Box::new(E::lit(false)))).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&env, &E::Not(Box::new(E::Literal(Value::Null)))).unwrap(),
+            Value::Null
+        );
+    }
+}

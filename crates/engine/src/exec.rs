@@ -1,0 +1,914 @@
+//! Statement execution: queries (SELECT) and updates (DML / DDL).
+
+use crate::ast::*;
+use crate::error::{EngineError, Result};
+use crate::eval::{evaluate, Binding, Env};
+use crate::parser::{parse_script, parse_statement};
+use crate::result::ResultSet;
+use ecfd_relation::{Attribute, Catalog, DataType, Relation, RowId, Schema, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// The SQL engine. Stateless: every call takes the catalog to run against.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Engine;
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new() -> Self {
+        Engine
+    }
+
+    /// Runs a SELECT statement and returns its result set.
+    pub fn query(&self, catalog: &Catalog, sql: &str) -> Result<ResultSet> {
+        match parse_statement(sql)? {
+            Statement::Select(select) => execute_select(catalog, &select, None),
+            other => Err(EngineError::Semantic(format!(
+                "expected a SELECT statement, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs any statement; DML/DDL statements mutate the catalog. Returns the
+    /// number of affected rows (result rows for SELECT).
+    pub fn execute(&self, catalog: &mut Catalog, sql: &str) -> Result<usize> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(catalog, &stmt)
+    }
+
+    /// Runs a `;`-separated script, returning the affected-row count per
+    /// statement.
+    pub fn run_script(&self, catalog: &mut Catalog, sql: &str) -> Result<Vec<usize>> {
+        let stmts = parse_script(sql)?;
+        stmts
+            .iter()
+            .map(|s| self.execute_statement(catalog, s))
+            .collect()
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute_statement(&self, catalog: &mut Catalog, stmt: &Statement) -> Result<usize> {
+        match stmt {
+            Statement::Select(select) => Ok(execute_select(catalog, select, None)?.len()),
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => execute_insert(catalog, table, columns.as_deref(), source),
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => execute_update(catalog, table, assignments, where_clause.as_ref()),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => execute_delete(catalog, table, where_clause.as_ref()),
+            Statement::CreateTable { name, columns } => {
+                let schema = schema_from_defs(name, columns)?;
+                catalog.create(Relation::new(schema))?;
+                Ok(0)
+            }
+            Statement::DropTable { name } => {
+                catalog.drop_table(name)?;
+                Ok(0)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT execution
+// ---------------------------------------------------------------------------
+
+/// Materialised FROM item: binding name, column names and rows.
+struct Source {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Tuple>,
+}
+
+fn exists_subquery(catalog: &Catalog, select: &Select, outer: &Env<'_>) -> Result<bool> {
+    let result = execute_select_bounded(catalog, select, Some(outer), Some(1))?;
+    Ok(!result.is_empty())
+}
+
+/// Executes a SELECT; `outer` supplies correlation bindings for subqueries.
+pub fn execute_select(
+    catalog: &Catalog,
+    select: &Select,
+    outer: Option<&Env<'_>>,
+) -> Result<ResultSet> {
+    execute_select_bounded(catalog, select, outer, None)
+}
+
+/// Like [`execute_select`] but stops after `row_limit` output rows (used for
+/// `EXISTS`, which only needs to know whether any row exists). The early stop
+/// is only taken on the non-aggregating, non-sorting, non-distinct path — the
+/// others need all rows anyway.
+fn execute_select_bounded(
+    catalog: &Catalog,
+    select: &Select,
+    outer: Option<&Env<'_>>,
+    row_limit: Option<usize>,
+) -> Result<ResultSet> {
+    let sources = resolve_sources(catalog, &select.from, outer)?;
+    let aggregating = !select.group_by.is_empty()
+        || select
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || select
+            .having
+            .as_ref()
+            .map(Expr::contains_aggregate)
+            .unwrap_or(false);
+    let can_stop_early = !aggregating
+        && !select.distinct
+        && select.order_by.is_empty()
+        && select.limit.is_none();
+
+    // Enumerate the cross product of the FROM items, keeping combinations that
+    // pass the WHERE clause.
+    let mut combos: Vec<Vec<usize>> = Vec::new();
+    let mut indices = vec![0usize; sources.len()];
+    let empty_from = sources.is_empty();
+    let any_empty = sources.iter().any(|s| s.rows.is_empty());
+    if empty_from {
+        // SELECT without FROM: a single pseudo-row.
+        let env = make_env(&sources, &[], outer, None);
+        if eval_predicate(catalog, &env, select.where_clause.as_ref())? {
+            combos.push(Vec::new());
+        }
+    } else if !any_empty {
+        'outer: loop {
+            let env = make_env(&sources, &indices, outer, None);
+            if eval_predicate(catalog, &env, select.where_clause.as_ref())? {
+                combos.push(indices.clone());
+                if can_stop_early {
+                    if let Some(limit) = row_limit {
+                        if combos.len() >= limit {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            // Advance the odometer.
+            let mut level = sources.len();
+            loop {
+                if level == 0 {
+                    break 'outer;
+                }
+                level -= 1;
+                indices[level] += 1;
+                if indices[level] < sources[level].rows.len() {
+                    break;
+                }
+                indices[level] = 0;
+            }
+        }
+    }
+
+    let columns = output_columns(&sources, &select.items);
+
+    let mut keyed_rows: Vec<(Vec<Value>, Tuple)> = Vec::new();
+    if aggregating {
+        // Group combinations by the GROUP BY key.
+        let mut groups: HashMap<Vec<Value>, (Vec<usize>, i64)> = HashMap::new();
+        let mut group_order: Vec<Vec<Value>> = Vec::new();
+        for combo in &combos {
+            let env = make_env(&sources, combo, outer, None);
+            let key: Vec<Value> = select
+                .group_by
+                .iter()
+                .map(|e| evaluate(catalog, &env, e, &exists_subquery))
+                .collect::<Result<_>>()?;
+            match groups.get_mut(&key) {
+                Some((_, count)) => *count += 1,
+                None => {
+                    group_order.push(key.clone());
+                    groups.insert(key, (combo.clone(), 1));
+                }
+            }
+        }
+        // A global aggregate over zero rows still produces one group.
+        if select.group_by.is_empty() && groups.is_empty() {
+            group_order.push(Vec::new());
+            groups.insert(Vec::new(), (vec![0; sources.len()], 0));
+        }
+        for key in group_order {
+            let (combo, count) = &groups[&key];
+            // For an empty global group there is no representative row; guard
+            // by checking sources are non-empty before building bindings.
+            let representative: Vec<usize> = if *count == 0 { Vec::new() } else { combo.clone() };
+            let env = make_env(&sources, &representative, outer, Some(*count));
+            if let Some(having) = &select.having {
+                if !evaluate(catalog, &env, having, &exists_subquery)?.is_truthy() {
+                    continue;
+                }
+            }
+            let row = project(catalog, &env, &sources, &select.items, &representative)?;
+            let order_key = order_keys(catalog, &env, &select.order_by)?;
+            keyed_rows.push((order_key, row));
+        }
+    } else {
+        for combo in &combos {
+            let env = make_env(&sources, combo, outer, None);
+            let row = project(catalog, &env, &sources, &select.items, combo)?;
+            let order_key = order_keys(catalog, &env, &select.order_by)?;
+            keyed_rows.push((order_key, row));
+        }
+    }
+
+    if select.distinct {
+        let mut seen = HashSet::new();
+        keyed_rows.retain(|(_, row)| seen.insert(row.clone()));
+    }
+    if !select.order_by.is_empty() {
+        let descending: Vec<bool> = select.order_by.iter().map(|k| k.descending).collect();
+        keyed_rows.sort_by(|(a, _), (b, _)| {
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                let ord = x.cmp(y);
+                let ord = if descending.get(i).copied().unwrap_or(false) {
+                    ord.reverse()
+                } else {
+                    ord
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    let mut rows: Vec<Tuple> = keyed_rows.into_iter().map(|(_, r)| r).collect();
+    if let Some(limit) = select.limit {
+        rows.truncate(limit);
+    }
+    if let Some(limit) = row_limit {
+        rows.truncate(limit);
+    }
+    Ok(ResultSet::new(columns, rows))
+}
+
+fn resolve_sources(
+    catalog: &Catalog,
+    from: &[TableRef],
+    outer: Option<&Env<'_>>,
+) -> Result<Vec<Source>> {
+    let mut sources = Vec::with_capacity(from.len());
+    for item in from {
+        match item {
+            TableRef::Table { name, alias } => {
+                let relation = catalog
+                    .get(name)
+                    .map_err(|_| EngineError::UnknownTable(name.clone()))?;
+                sources.push(Source {
+                    name: alias.clone().unwrap_or_else(|| name.clone()),
+                    columns: relation
+                        .schema()
+                        .attr_names()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    rows: relation.to_tuples(),
+                });
+            }
+            TableRef::Subquery { query, alias } => {
+                let result = execute_select(catalog, query, outer)?;
+                sources.push(Source {
+                    name: alias.clone(),
+                    columns: result.columns().to_vec(),
+                    rows: result.into_rows(),
+                });
+            }
+        }
+    }
+    Ok(sources)
+}
+
+fn make_env<'a>(
+    sources: &'a [Source],
+    indices: &[usize],
+    outer: Option<&'a Env<'a>>,
+    group_count: Option<i64>,
+) -> Env<'a> {
+    let bindings = sources
+        .iter()
+        .zip(indices)
+        .map(|(source, idx)| Binding {
+            name: source.name.clone(),
+            columns: source.columns.clone(),
+            tuple: &source.rows[*idx],
+        })
+        .collect();
+    Env {
+        bindings,
+        parent: outer,
+        group_count,
+    }
+}
+
+fn eval_predicate(catalog: &Catalog, env: &Env<'_>, predicate: Option<&Expr>) -> Result<bool> {
+    match predicate {
+        None => Ok(true),
+        Some(p) => Ok(evaluate(catalog, env, p, &exists_subquery)?.is_truthy()),
+    }
+}
+
+fn output_columns(sources: &[Source], items: &[SelectItem]) -> Vec<String> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for s in sources {
+                    out.extend(s.columns.iter().cloned());
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                if let Some(s) = sources.iter().find(|s| &s.name == q) {
+                    out.extend(s.columns.iter().cloned());
+                }
+            }
+            SelectItem::Expr { expr, alias } => out.push(match alias {
+                Some(a) => a.clone(),
+                None => match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    Expr::CountStar => "COUNT".to_string(),
+                    _ => "?column?".to_string(),
+                },
+            }),
+        }
+    }
+    out
+}
+
+fn project(
+    catalog: &Catalog,
+    env: &Env<'_>,
+    sources: &[Source],
+    items: &[SelectItem],
+    combo: &[usize],
+) -> Result<Tuple> {
+    let mut values = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for (source, idx) in sources.iter().zip(combo) {
+                    values.extend(source.rows[*idx].values().iter().cloned());
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                if let Some((source, idx)) = sources
+                    .iter()
+                    .zip(combo)
+                    .find(|(source, _)| &source.name == q)
+                {
+                    values.extend(source.rows[*idx].values().iter().cloned());
+                } else {
+                    return Err(EngineError::UnknownTable(q.clone()));
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                values.push(evaluate(catalog, env, expr, &exists_subquery)?);
+            }
+        }
+    }
+    Ok(Tuple::new(values))
+}
+
+fn order_keys(catalog: &Catalog, env: &Env<'_>, keys: &[OrderKey]) -> Result<Vec<Value>> {
+    keys.iter()
+        .map(|k| evaluate(catalog, env, &k.expr, &exists_subquery))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// DML / DDL execution
+// ---------------------------------------------------------------------------
+
+fn schema_from_defs(name: &str, columns: &[ColumnDef]) -> Result<Schema> {
+    let mut attrs = Vec::with_capacity(columns.len());
+    for c in columns {
+        let ty = match c.type_name.as_str() {
+            "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+            "STR" | "TEXT" | "VARCHAR" | "CHAR" | "STRING" => DataType::Str,
+            "BOOL" | "BOOLEAN" => DataType::Bool,
+            other => {
+                return Err(EngineError::Semantic(format!(
+                    "unsupported column type `{other}`"
+                )))
+            }
+        };
+        attrs.push(Attribute::new(c.name.clone(), ty));
+    }
+    Schema::try_new(name, attrs).map_err(EngineError::from)
+}
+
+/// Coerces a value into the declared type of an attribute where a sensible
+/// coercion exists (ints ↔ bools, anything → NULL stays NULL).
+fn coerce(value: Value, ty: DataType) -> Value {
+    match (ty, &value) {
+        (DataType::Bool, Value::Int(i)) => Value::Bool(*i != 0),
+        (DataType::Int, Value::Bool(b)) => Value::Int(i64::from(*b)),
+        _ => value,
+    }
+}
+
+fn execute_insert(
+    catalog: &mut Catalog,
+    table: &str,
+    columns: Option<&[String]>,
+    source: &InsertSource,
+) -> Result<usize> {
+    // Materialise the rows to insert before taking a mutable borrow.
+    let input_rows: Vec<Vec<Value>> = match source {
+        InsertSource::Values(rows) => {
+            let env = Env::empty();
+            rows.iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|e| evaluate(catalog, &env, e, &exists_subquery))
+                        .collect()
+                })
+                .collect::<Result<_>>()?
+        }
+        InsertSource::Query(query) => execute_select(catalog, query, None)?
+            .into_rows()
+            .into_iter()
+            .map(Tuple::into_values)
+            .collect(),
+    };
+
+    let relation = catalog
+        .get_mut(table)
+        .map_err(|_| EngineError::UnknownTable(table.to_string()))?;
+    let schema = relation.schema().clone();
+    let target_positions: Vec<usize> = match columns {
+        Some(cols) => cols
+            .iter()
+            .map(|c| {
+                schema
+                    .attr_id(c)
+                    .map(|id| id.index())
+                    .ok_or_else(|| EngineError::UnknownColumn(c.clone()))
+            })
+            .collect::<Result<_>>()?,
+        None => (0..schema.arity()).collect(),
+    };
+
+    let mut inserted = 0;
+    for row in input_rows {
+        if row.len() != target_positions.len() {
+            return Err(EngineError::Semantic(format!(
+                "INSERT provides {} values for {} columns",
+                row.len(),
+                target_positions.len()
+            )));
+        }
+        let mut values = vec![Value::Null; schema.arity()];
+        for (value, pos) in row.into_iter().zip(&target_positions) {
+            values[*pos] = coerce(value, schema.attributes()[*pos].data_type());
+        }
+        relation.insert(Tuple::new(values))?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+/// Evaluates `WHERE` for every row of `table`, returning the matching row ids.
+fn matching_rows(
+    catalog: &Catalog,
+    table: &str,
+    where_clause: Option<&Expr>,
+) -> Result<Vec<RowId>> {
+    let relation = catalog
+        .get(table)
+        .map_err(|_| EngineError::UnknownTable(table.to_string()))?;
+    let columns: Vec<String> = relation
+        .schema()
+        .attr_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    for (row_id, tuple) in relation.iter() {
+        let env = Env {
+            bindings: vec![Binding {
+                name: table.to_string(),
+                columns: columns.clone(),
+                tuple,
+            }],
+            parent: None,
+            group_count: None,
+        };
+        if eval_predicate(catalog, &env, where_clause)? {
+            out.push(row_id);
+        }
+    }
+    Ok(out)
+}
+
+fn execute_update(
+    catalog: &mut Catalog,
+    table: &str,
+    assignments: &[(String, Expr)],
+    where_clause: Option<&Expr>,
+) -> Result<usize> {
+    // Phase 1 (immutable): find the rows and compute the new values.
+    let targets = matching_rows(catalog, table, where_clause)?;
+    let relation = catalog.get(table)?;
+    let schema = relation.schema().clone();
+    let columns: Vec<String> = schema.attr_names().iter().map(|s| s.to_string()).collect();
+
+    let mut planned: Vec<(RowId, Vec<(usize, Value)>)> = Vec::with_capacity(targets.len());
+    for row_id in targets {
+        let tuple = relation.get(row_id).expect("row id from matching_rows");
+        let env = Env {
+            bindings: vec![Binding {
+                name: table.to_string(),
+                columns: columns.clone(),
+                tuple,
+            }],
+            parent: None,
+            group_count: None,
+        };
+        let mut updates = Vec::with_capacity(assignments.len());
+        for (col, expr) in assignments {
+            let pos = schema
+                .attr_id(col)
+                .map(|id| id.index())
+                .ok_or_else(|| EngineError::UnknownColumn(col.clone()))?;
+            let value = evaluate(catalog, &env, expr, &exists_subquery)?;
+            updates.push((pos, coerce(value, schema.attributes()[pos].data_type())));
+        }
+        planned.push((row_id, updates));
+    }
+
+    // Phase 2 (mutable): apply.
+    let relation = catalog.get_mut(table)?;
+    let count = planned.len();
+    for (row_id, updates) in planned {
+        for (pos, value) in updates {
+            relation.update_value(row_id, ecfd_relation::AttrId(pos), value)?;
+        }
+    }
+    Ok(count)
+}
+
+fn execute_delete(
+    catalog: &mut Catalog,
+    table: &str,
+    where_clause: Option<&Expr>,
+) -> Result<usize> {
+    let targets = matching_rows(catalog, table, where_clause)?;
+    let relation = catalog.get_mut(table)?;
+    let count = targets.len();
+    for row_id in targets {
+        relation.delete(row_id)?;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Catalog {
+        let mut catalog = Catalog::new();
+        let cust = Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .attr("ZIP", DataType::Str)
+            .build();
+        catalog
+            .create(
+                Relation::with_tuples(
+                    cust,
+                    [
+                        Tuple::from_iter(["Albany", "518", "12238"]),
+                        Tuple::from_iter(["NYC", "212", "10001"]),
+                        Tuple::from_iter(["NYC", "718", "10002"]),
+                        Tuple::from_iter(["Troy", "518", "12181"]),
+                        Tuple::from_iter(["NYC", "212", "10003"]),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let enc = Schema::builder("enc")
+            .attr("CID", DataType::Int)
+            .attr("CTL", DataType::Int)
+            .build();
+        catalog
+            .create(
+                Relation::with_tuples(
+                    enc,
+                    [
+                        Tuple::from_iter([Value::int(1), Value::int(2)]),
+                        Tuple::from_iter([Value::int(2), Value::int(1)]),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let tctl = Schema::builder("TCTL")
+            .attr("CID", DataType::Int)
+            .attr("V", DataType::Str)
+            .build();
+        catalog
+            .create(
+                Relation::with_tuples(
+                    tctl,
+                    [
+                        Tuple::from_iter([Value::int(1), Value::str("NYC")]),
+                        Tuple::from_iter([Value::int(2), Value::str("Albany")]),
+                        Tuple::from_iter([Value::int(2), Value::str("Troy")]),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        catalog
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let catalog = setup();
+        let engine = Engine::new();
+        let rs = engine
+            .query(&catalog, "SELECT CT, ZIP FROM cust WHERE AC = '518'")
+            .unwrap();
+        assert_eq!(rs.columns(), &["CT".to_string(), "ZIP".to_string()]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.value(0, "CT"), Some(&Value::str("Albany")));
+    }
+
+    #[test]
+    fn cross_join_with_aliases() {
+        let catalog = setup();
+        let engine = Engine::new();
+        let rs = engine
+            .query(
+                &catalog,
+                "SELECT t.CT, c.CID FROM cust t, enc c WHERE c.CID = 1 AND t.AC = '518'",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn correlated_exists_and_not_exists() {
+        let catalog = setup();
+        let engine = Engine::new();
+        // Cities present in TCTL under constraint 2.
+        let rs = engine
+            .query(
+                &catalog,
+                "SELECT DISTINCT t.CT FROM cust t WHERE EXISTS (SELECT x.V FROM TCTL x WHERE x.CID = 2 AND x.V = t.CT)",
+            )
+            .unwrap();
+        let mut cities: Vec<String> = rs
+            .rows()
+            .iter()
+            .map(|r| r.values()[0].as_str().unwrap().to_string())
+            .collect();
+        cities.sort();
+        assert_eq!(cities, vec!["Albany", "Troy"]);
+
+        let rs = engine
+            .query(
+                &catalog,
+                "SELECT DISTINCT t.CT FROM cust t WHERE NOT EXISTS (SELECT x.V FROM TCTL x WHERE x.CID = 2 AND x.V = t.CT)",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.value(0, "CT"), Some(&Value::str("NYC")));
+    }
+
+    #[test]
+    fn group_by_having_count() {
+        let catalog = setup();
+        let engine = Engine::new();
+        let rs = engine
+            .query(
+                &catalog,
+                "SELECT CT, COUNT(*) AS n FROM cust GROUP BY CT HAVING COUNT(*) > 1 ORDER BY CT",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.value(0, "CT"), Some(&Value::str("NYC")));
+        assert_eq!(rs.value(0, "n"), Some(&Value::int(3)));
+    }
+
+    #[test]
+    fn group_by_multiple_keys_and_case_blanking() {
+        let catalog = setup();
+        let engine = Engine::new();
+        // The macro-style query of the paper: blank out AC when CTL <= 0.
+        let rs = engine
+            .query(
+                &catalog,
+                "SELECT DISTINCT c.CID, (CASE WHEN c.CTL > 0 THEN t.CT ELSE '@' END) AS CTL \
+                 FROM cust t, enc c ORDER BY c.CID, CTL",
+            )
+            .unwrap();
+        // CID 1 has CTL = 2 > 0 → city names; CID 2 has CTL = 1 > 0 → city names.
+        assert!(rs.len() >= 2);
+        assert!(rs.rows().iter().all(|r| r.values()[1] != Value::str("@")));
+
+        let rs = engine
+            .query(
+                &catalog,
+                "SELECT (CASE WHEN c.CTL > 5 THEN t.CT ELSE '@' END) AS X FROM cust t, enc c GROUP BY (CASE WHEN c.CTL > 5 THEN t.CT ELSE '@' END)",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.value(0, "X"), Some(&Value::str("@")));
+    }
+
+    #[test]
+    fn aggregate_without_group_by_counts_all_rows() {
+        let catalog = setup();
+        let engine = Engine::new();
+        let rs = engine.query(&catalog, "SELECT COUNT(*) FROM cust").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::int(5)));
+        let rs = engine
+            .query(&catalog, "SELECT COUNT(*) FROM cust WHERE CT = 'Nowhere'")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::int(0)));
+    }
+
+    #[test]
+    fn order_by_distinct_limit_and_derived_tables() {
+        let catalog = setup();
+        let engine = Engine::new();
+        let rs = engine
+            .query(
+                &catalog,
+                "SELECT CT FROM (SELECT DISTINCT CT FROM cust) d ORDER BY CT DESC LIMIT 2",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.value(0, "CT"), Some(&Value::str("Troy")));
+        assert_eq!(rs.value(1, "CT"), Some(&Value::str("NYC")));
+    }
+
+    #[test]
+    fn wildcard_projection() {
+        let catalog = setup();
+        let engine = Engine::new();
+        let rs = engine
+            .query(&catalog, "SELECT * FROM enc ORDER BY CID")
+            .unwrap();
+        assert_eq!(rs.columns(), &["CID".to_string(), "CTL".to_string()]);
+        assert_eq!(rs.len(), 2);
+        let rs = engine
+            .query(
+                &catalog,
+                "SELECT c.* FROM enc c, cust t WHERE t.CT = 'Albany'",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.columns().len(), 2);
+    }
+
+    #[test]
+    fn insert_update_delete_round_trip() {
+        let mut catalog = setup();
+        let engine = Engine::new();
+        let n = engine
+            .execute(
+                &mut catalog,
+                "INSERT INTO cust (CT, AC, ZIP) VALUES ('LI', '516', '11501'), ('Utica', '315', '13501')",
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(catalog.get("cust").unwrap().len(), 7);
+
+        let n = engine
+            .execute(&mut catalog, "UPDATE cust SET AC = '917' WHERE CT = 'NYC'")
+            .unwrap();
+        assert_eq!(n, 3);
+        let rs = engine
+            .query(&catalog, "SELECT COUNT(*) FROM cust WHERE AC = '917'")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::int(3)));
+
+        let n = engine
+            .execute(&mut catalog, "DELETE FROM cust WHERE CT = 'NYC'")
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(catalog.get("cust").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn insert_from_select_and_partial_columns() {
+        let mut catalog = setup();
+        let engine = Engine::new();
+        engine
+            .execute(&mut catalog, "CREATE TABLE vio (CT STR, AC STR)")
+            .unwrap();
+        let n = engine
+            .execute(
+                &mut catalog,
+                "INSERT INTO vio SELECT CT, AC FROM cust WHERE CT = 'NYC'",
+            )
+            .unwrap();
+        assert_eq!(n, 3);
+        // Partial column insert: ZIP defaults to NULL.
+        engine
+            .execute(&mut catalog, "CREATE TABLE extra (CT STR, AC STR, ZIP STR)")
+            .unwrap();
+        engine
+            .execute(&mut catalog, "INSERT INTO extra (CT) VALUES ('X')")
+            .unwrap();
+        let rs = engine
+            .query(&catalog, "SELECT AC FROM extra WHERE CT = 'X'")
+            .unwrap();
+        assert!(rs.rows()[0].values()[0].is_null());
+    }
+
+    #[test]
+    fn create_table_types_bool_coercion_and_drop() {
+        let mut catalog = Catalog::new();
+        let engine = Engine::new();
+        engine
+            .execute(&mut catalog, "CREATE TABLE flags (ID INT, SV BOOL, MV BOOL)")
+            .unwrap();
+        engine
+            .execute(&mut catalog, "INSERT INTO flags VALUES (1, 0, 1)")
+            .unwrap();
+        let rs = engine
+            .query(&catalog, "SELECT SV, MV FROM flags WHERE ID = 1")
+            .unwrap();
+        assert_eq!(rs.value(0, "SV"), Some(&Value::bool(false)));
+        assert_eq!(rs.value(0, "MV"), Some(&Value::bool(true)));
+        // UPDATE with an integer literal also coerces.
+        engine
+            .execute(&mut catalog, "UPDATE flags SET SV = 1 WHERE ID = 1")
+            .unwrap();
+        let rs = engine.query(&catalog, "SELECT SV FROM flags").unwrap();
+        assert_eq!(rs.value(0, "SV"), Some(&Value::bool(true)));
+
+        engine.execute(&mut catalog, "DROP TABLE flags").unwrap();
+        assert!(!catalog.contains("flags"));
+        assert!(engine.execute(&mut catalog, "DROP TABLE flags").is_err());
+    }
+
+    #[test]
+    fn run_script_executes_in_order() {
+        let mut catalog = Catalog::new();
+        let engine = Engine::new();
+        let counts = engine
+            .run_script(
+                &mut catalog,
+                "CREATE TABLE t (A INT);\n INSERT INTO t VALUES (1), (2);\n SELECT * FROM t;",
+            )
+            .unwrap();
+        assert_eq!(counts, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn errors_for_unknown_tables_columns_and_wrong_statement_kind() {
+        let mut catalog = setup();
+        let engine = Engine::new();
+        assert!(matches!(
+            engine.query(&catalog, "SELECT * FROM nope"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            engine.query(&catalog, "SELECT nope FROM cust"),
+            Err(EngineError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            engine.query(&catalog, "UPDATE cust SET AC = '1'"),
+            Err(EngineError::Semantic(_))
+        ));
+        assert!(matches!(
+            engine.execute(&mut catalog, "INSERT INTO cust (CT) VALUES ('a', 'b')"),
+            Err(EngineError::Semantic(_))
+        ));
+        assert!(matches!(
+            engine.execute(&mut catalog, "UPDATE cust SET nope = 1"),
+            Err(EngineError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn empty_tables_and_empty_from() {
+        let mut catalog = Catalog::new();
+        let engine = Engine::new();
+        engine
+            .execute(&mut catalog, "CREATE TABLE empty (A INT)")
+            .unwrap();
+        let rs = engine.query(&catalog, "SELECT A FROM empty").unwrap();
+        assert!(rs.is_empty());
+        let rs = engine
+            .query(&catalog, "SELECT COUNT(*) FROM empty")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::int(0)));
+        // SELECT without FROM.
+        let rs = engine.query(&catalog, "SELECT 1 + 2 AS x").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::int(3)));
+    }
+}

@@ -1,0 +1,274 @@
+//! SQL tokeniser.
+
+use crate::error::{EngineError, Result};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognised case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// String literal (single-quoted, `''` escapes a quote).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+}
+
+impl Token {
+    /// True if the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenises SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // `--` starts a comment that runs to end of line.
+                if chars.get(i + 1) == Some(&'-') {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(EngineError::Lex {
+                        position: i,
+                        message: "unexpected `!` (did you mean `!=`?)".into(),
+                    });
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            s.push(*c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(EngineError::Lex {
+                                position: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| EngineError::Lex {
+                    position: start,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                tokens.push(Token::Int(value));
+            }
+            c if c.is_alphabetic() || c == '_' || c == '@' || c == '"' => {
+                // Double-quoted identifiers are allowed and preserved verbatim.
+                if c == '"' {
+                    let mut s = String::new();
+                    i += 1;
+                    loop {
+                        match chars.get(i) {
+                            Some('"') => {
+                                i += 1;
+                                break;
+                            }
+                            Some(c) => {
+                                s.push(*c);
+                                i += 1;
+                            }
+                            None => {
+                                return Err(EngineError::Lex {
+                                    position: i,
+                                    message: "unterminated quoted identifier".into(),
+                                })
+                            }
+                        }
+                    }
+                    tokens.push(Token::Ident(s));
+                } else {
+                    let start = i;
+                    while i < chars.len()
+                        && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '@')
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token::Ident(chars[start..i].iter().collect()));
+                }
+            }
+            other => {
+                return Err(EngineError::Lex {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenises_a_select_statement() {
+        let toks = tokenize("SELECT t.AC, COUNT(*) FROM cust t WHERE t.CT = 'NYC' -- comment\n").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Dot));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Str("NYC".into())));
+        // The trailing comment is dropped.
+        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let toks = tokenize("a <> 1 AND b >= 20 OR c != 3 AND d <= 4 AND e < 5 AND f > 6").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::NotEq).count(), 2);
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::LtEq));
+        assert!(toks.contains(&Token::Int(20)));
+    }
+
+    #[test]
+    fn string_escapes_and_quoted_identifiers() {
+        let toks = tokenize("'it''s' \"Weird Col\"").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+        assert_eq!(toks[1], Token::Ident("Weird Col".into()));
+    }
+
+    #[test]
+    fn at_sign_is_an_identifier_character() {
+        // The blanking constant '@' appears as a string literal in the
+        // generated queries, but '@' inside identifiers must not break the
+        // lexer either.
+        let toks = tokenize("SELECT '@' AS blank FROM t").unwrap();
+        assert!(toks.contains(&Token::Str("@".into())));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(tokenize("SELECT 'oops"), Err(EngineError::Lex { .. })));
+        assert!(matches!(tokenize("a ! b"), Err(EngineError::Lex { .. })));
+        assert!(matches!(tokenize("a ? b"), Err(EngineError::Lex { .. })));
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].is_keyword("SELECT"));
+        assert!(toks[0].is_keyword("select"));
+        assert!(!toks[0].is_keyword("FROM"));
+    }
+}

@@ -1,0 +1,846 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use crate::ast::*;
+use crate::error::{EngineError, Result};
+use crate::lexer::{tokenize, Token};
+use ecfd_relation::Value;
+
+/// Parses a single SQL statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmt = parser.statement()?;
+    parser.eat_semicolons();
+    parser.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a script of `;`-separated statements.
+pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    parser.eat_semicolons();
+    while !parser.at_eof() {
+        out.push(parser.statement()?);
+        parser.eat_semicolons();
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> EngineError {
+        EngineError::Parse {
+            token_index: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_semicolons(&mut self) {
+        while matches!(self.peek(), Some(Token::Semicolon)) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing token {:?}", self.peek())))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.is_keyword(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_token(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, token: Token) -> Result<()> {
+        if self.eat_token(&token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {token:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected an identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek_keyword("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_keyword("INSERT") {
+            self.insert()
+        } else if self.eat_keyword("UPDATE") {
+            self.update()
+        } else if self.eat_keyword("DELETE") {
+            self.delete()
+        } else if self.eat_keyword("CREATE") {
+            self.create_table()
+        } else if self.eat_keyword("DROP") {
+            self.expect_keyword("TABLE")?;
+            Ok(Statement::DropTable { name: self.ident()? })
+        } else {
+            Err(self.err(format!("expected a statement, found {:?}", self.peek())))
+        }
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.eat_token(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_keyword("FROM") {
+            from.push(self.table_ref()?);
+            while self.eat_token(&Token::Comma) {
+                from.push(self.table_ref()?);
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_token(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let descending = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, descending });
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.bump() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(self.err(format!("expected a LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_token(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (Some(Token::Ident(name)), Some(Token::Dot), Some(Token::Star)) = (
+            self.tokens.get(self.pos),
+            self.tokens.get(self.pos + 1),
+            self.tokens.get(self.pos + 2),
+        ) {
+            let name = name.clone();
+            self.pos += 3;
+            return Ok(SelectItem::QualifiedWildcard(name));
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else {
+            // Implicit alias: a bare identifier after an expression, unless it
+            // is a clause keyword.
+            match self.peek() {
+                Some(Token::Ident(s))
+                    if !is_clause_keyword(s) =>
+                {
+                    let s = s.clone();
+                    self.pos += 1;
+                    Some(s)
+                }
+                _ => None,
+            }
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        if self.eat_token(&Token::LParen) {
+            let query = self.select()?;
+            self.expect_token(Token::RParen)?;
+            self.eat_keyword("AS");
+            let alias = self.ident()?;
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        let alias = match self.peek() {
+            Some(Token::Ident(s)) if !is_clause_keyword(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+            _ => {
+                if self.eat_keyword("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                }
+            }
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        let columns = if self.peek() == Some(&Token::LParen) && self.values_follow_column_list() {
+            self.expect_token(Token::LParen)?;
+            let mut cols = vec![self.ident()?];
+            while self.eat_token(&Token::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect_token(Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        if self.eat_keyword("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect_token(Token::LParen)?;
+                let mut row = vec![self.expr()?];
+                while self.eat_token(&Token::Comma) {
+                    row.push(self.expr()?);
+                }
+                self.expect_token(Token::RParen)?;
+                rows.push(row);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            Ok(Statement::Insert {
+                table,
+                columns,
+                source: InsertSource::Values(rows),
+            })
+        } else if self.peek_keyword("SELECT") {
+            let query = self.select()?;
+            Ok(Statement::Insert {
+                table,
+                columns,
+                source: InsertSource::Query(Box::new(query)),
+            })
+        } else {
+            Err(self.err("expected VALUES or SELECT after INSERT INTO"))
+        }
+    }
+
+    /// Distinguishes `INSERT INTO t (a, b) VALUES ...` from
+    /// `INSERT INTO t (SELECT ...)` — the latter is not supported but we want
+    /// a clear error, and `INSERT INTO t VALUES ...` must not consume a paren.
+    fn values_follow_column_list(&self) -> bool {
+        // A column list is `( ident [, ident]* )` followed by VALUES or SELECT.
+        let mut i = self.pos + 1;
+        loop {
+            match self.tokens.get(i) {
+                Some(Token::Ident(_)) => i += 1,
+                _ => return false,
+            }
+            match self.tokens.get(i) {
+                Some(Token::Comma) => i += 1,
+                Some(Token::RParen) => {
+                    return matches!(self.tokens.get(i + 1), Some(t) if t.is_keyword("VALUES") || t.is_keyword("SELECT"))
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_token(Token::Eq)?;
+            let value = self.expr()?;
+            assignments.push((col, value));
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            where_clause,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect_token(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let type_name = self.ident()?;
+            columns.push(ColumnDef {
+                name: col,
+                type_name: type_name.to_ascii_uppercase(),
+            });
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_token(Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    // ---- expressions ---------------------------------------------------
+    //
+    // Precedence (loosest to tightest): OR, AND, NOT, comparison / IN / IS,
+    // additive, primary.
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            if self.peek_keyword("EXISTS") {
+                return self.exists_expr(true);
+            }
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        if self.peek_keyword("EXISTS") {
+            return self.exists_expr(false);
+        }
+        self.comparison()
+    }
+
+    fn exists_expr(&mut self, negated: bool) -> Result<Expr> {
+        self.expect_keyword("EXISTS")?;
+        self.expect_token(Token::LParen)?;
+        let subquery = self.select()?;
+        self.expect_token(Token::RParen)?;
+        Ok(Expr::Exists {
+            subquery: Box::new(subquery),
+            negated,
+        })
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::NotEq) => Some(BinaryOp::NotEq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::LtEq) => Some(BinaryOp::LtEq),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::GtEq) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated_in = if self.peek_keyword("NOT")
+            && matches!(self.tokens.get(self.pos + 1), Some(t) if t.is_keyword("IN"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_keyword("IN") {
+            self.expect_token(Token::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat_token(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect_token(Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated: negated_in,
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Plus,
+                Some(Token::Minus) => BinaryOp::Minus,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.primary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                match self.bump() {
+                    Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(-i))),
+                    other => Err(self.err(format!("expected a number after `-`, found {other:?}"))),
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_token(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                // Keyword-led constructs.
+                if name.eq_ignore_ascii_case("CASE") {
+                    self.pos += 1;
+                    return self.case_expr();
+                }
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("COUNT")
+                    && self.tokens.get(self.pos + 1) == Some(&Token::LParen)
+                    && self.tokens.get(self.pos + 2) == Some(&Token::Star)
+                    && self.tokens.get(self.pos + 3) == Some(&Token::RParen)
+                {
+                    self.pos += 4;
+                    return Ok(Expr::CountStar);
+                }
+                // Function call?
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat_token(&Token::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect_token(Token::RParen)?;
+                    return Ok(Expr::Function {
+                        name: name.to_ascii_uppercase(),
+                        args,
+                    });
+                }
+                // Column reference, possibly qualified. Reserved clause
+                // keywords cannot start an expression.
+                if is_clause_keyword(&name) {
+                    return Err(self.err(format!("unexpected keyword `{name}` in expression")));
+                }
+                self.pos += 1;
+                if self.eat_token(&Token::Dot) {
+                    let col = self.ident()?;
+                    Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    })
+                } else {
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name,
+                    })
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self.expr()?;
+            self.expect_keyword("THEN")?;
+            let result = self.expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN branch"));
+        }
+        let else_result = if self.eat_keyword("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case {
+            branches,
+            else_result,
+        })
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    [
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AS", "ON", "AND", "OR", "NOT",
+        "IN", "IS", "SET", "VALUES", "SELECT", "EXISTS", "WHEN", "THEN", "ELSE", "END", "ASC",
+        "DESC", "BY", "DISTINCT", "UNION",
+    ]
+    .iter()
+    .any(|kw| s.eq_ignore_ascii_case(kw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_select(sql: &str) -> Select {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_select() {
+        let s = parse_select("SELECT CT, AC FROM cust WHERE AC = '518'");
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.len(), 1);
+        assert!(s.where_clause.is_some());
+        assert!(!s.distinct);
+    }
+
+    #[test]
+    fn parses_aliases_joins_and_distinct() {
+        let s = parse_select("SELECT DISTINCT t.CT, c.CID FROM cust t, enc c WHERE t.CT = c.CTL");
+        assert!(s.distinct);
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].binding_name(), "t");
+        assert_eq!(s.from[1].binding_name(), "c");
+        match &s.items[0] {
+            SelectItem::Expr { expr, .. } => assert_eq!(expr, &Expr::qcol("t", "CT")),
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_by_having_count() {
+        let s = parse_select(
+            "SELECT m.CID, m.CTL, COUNT(*) FROM macro m GROUP BY m.CID, m.CTL HAVING COUNT(*) > 1",
+        );
+        assert_eq!(s.group_by.len(), 2);
+        let having = s.having.unwrap();
+        assert!(having.contains_aggregate());
+        assert!(matches!(s.items[2], SelectItem::Expr { ref expr, .. } if *expr == Expr::CountStar));
+    }
+
+    #[test]
+    fn parses_exists_and_not_exists_subqueries() {
+        let s = parse_select(
+            "SELECT t.CT FROM cust t, enc c WHERE (c.CTL <> 1 OR (EXISTS (SELECT T.A FROM TA T WHERE T.CID = c.CID AND t.CT = T.A) AND c.CTL = 1)) AND NOT EXISTS (SELECT T.A FROM TB T WHERE T.CID = c.CID)",
+        );
+        let w = s.where_clause.unwrap();
+        // Just make sure both polarities appear somewhere in the tree.
+        fn count_exists(e: &Expr, negated: bool) -> usize {
+            match e {
+                Expr::Exists { negated: n, .. } => usize::from(*n == negated),
+                Expr::Binary { left, right, .. } => {
+                    count_exists(left, negated) + count_exists(right, negated)
+                }
+                Expr::Not(inner) => count_exists(inner, negated),
+                _ => 0,
+            }
+        }
+        assert_eq!(count_exists(&w, false), 1);
+        assert_eq!(count_exists(&w, true), 1);
+    }
+
+    #[test]
+    fn parses_case_when_and_functions() {
+        let s = parse_select(
+            "SELECT CASE WHEN c.CTL > 0 THEN t.CT ELSE '@' END AS CTL, ABS(c.ACR) FROM cust t, enc c",
+        );
+        match &s.items[0] {
+            SelectItem::Expr { expr, alias } => {
+                assert_eq!(alias.as_deref(), Some("CTL"));
+                assert!(matches!(expr, Expr::Case { .. }));
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+        match &s.items[1] {
+            SelectItem::Expr { expr, .. } => {
+                assert_eq!(
+                    expr,
+                    &Expr::Function {
+                        name: "ABS".into(),
+                        args: vec![Expr::qcol("c", "ACR")]
+                    }
+                );
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_list_is_null_order_limit() {
+        let s = parse_select(
+            "SELECT * FROM cust WHERE CT IN ('NYC', 'LI') AND AC IS NOT NULL AND ZIP NOT IN ('0') ORDER BY CT DESC, AC LIMIT 10",
+        );
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].descending);
+        assert!(!s.order_by[1].descending);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_wildcards_and_derived_tables() {
+        let s = parse_select("SELECT t.*, * FROM (SELECT CT FROM cust) t");
+        assert!(matches!(s.items[0], SelectItem::QualifiedWildcard(ref q) if q == "t"));
+        assert!(matches!(s.items[1], SelectItem::Wildcard));
+        assert!(matches!(s.from[0], TableRef::Subquery { .. }));
+    }
+
+    #[test]
+    fn parses_insert_update_delete_create_drop() {
+        let stmt = parse_statement("INSERT INTO cust (CT, AC) VALUES ('NYC', '212'), ('LI', '516')").unwrap();
+        match stmt {
+            Statement::Insert {
+                table,
+                columns,
+                source: InsertSource::Values(rows),
+            } => {
+                assert_eq!(table, "cust");
+                assert_eq!(columns.unwrap(), vec!["CT", "AC"]);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let stmt = parse_statement("INSERT INTO vio SELECT CT, AC FROM cust WHERE AC = '999'").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::Insert {
+                source: InsertSource::Query(_),
+                ..
+            }
+        ));
+
+        let stmt = parse_statement("UPDATE cust SET SV = 1, MV = 0 WHERE CT = 'NYC'").unwrap();
+        match stmt {
+            Statement::Update { assignments, where_clause, .. } => {
+                assert_eq!(assignments.len(), 2);
+                assert!(where_clause.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let stmt = parse_statement("DELETE FROM cust WHERE CT = 'NYC'").unwrap();
+        assert!(matches!(stmt, Statement::Delete { .. }));
+
+        let stmt = parse_statement("CREATE TABLE enc (CID INT, CTL INT, ACR INT)").unwrap();
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "enc");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[0].type_name, "INT");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        assert!(matches!(
+            parse_statement("DROP TABLE enc").unwrap(),
+            Statement::DropTable { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_scripts_and_reports_errors() {
+        let script = parse_script("SELECT 1; SELECT 2;").unwrap();
+        assert_eq!(script.len(), 2);
+
+        assert!(matches!(
+            parse_statement("SELECT FROM"),
+            Err(EngineError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_statement("SELECT 1 extra junk ("),
+            Err(EngineError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_statement("FLY ME TO THE MOON"),
+            Err(EngineError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_statement("SELECT CASE END"),
+            Err(EngineError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_numbers_and_precedence() {
+        let s = parse_select("SELECT A FROM t WHERE A = -2 OR B = 1 AND C = 2");
+        // AND binds tighter than OR.
+        match s.where_clause.unwrap() {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Query result sets.
+
+use ecfd_relation::{Tuple, Value};
+use std::fmt;
+
+/// The result of a SELECT: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Tuple>,
+}
+
+impl ResultSet {
+    /// Creates a result set.
+    pub fn new(columns: Vec<String>, rows: Vec<Tuple>) -> Self {
+        ResultSet { columns, rows }
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Result rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Consumes the result set and returns its rows.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of an output column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The value at `(row, column-name)`, if both exist.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let col = self.column_index(column)?;
+        self.rows.get(row).map(|r| &r.values()[col])
+    }
+
+    /// The single value of a single-row, single-column result (e.g. a
+    /// `SELECT COUNT(*)`), if the shape matches.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.columns.len() == 1 {
+            Some(&self.rows[0].values()[0])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultSet {
+        ResultSet::new(
+            vec!["CT".into(), "N".into()],
+            vec![
+                Tuple::from_iter([Value::str("NYC"), Value::int(3)]),
+                Tuple::from_iter([Value::str("Albany"), Value::int(1)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let rs = sample();
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.is_empty());
+        assert_eq!(rs.column_index("N"), Some(1));
+        assert_eq!(rs.value(0, "CT"), Some(&Value::str("NYC")));
+        assert_eq!(rs.value(5, "CT"), None);
+        assert_eq!(rs.value(0, "nope"), None);
+        assert!(rs.scalar().is_none());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let rs = ResultSet::new(vec!["c".into()], vec![Tuple::from_iter([Value::int(7)])]);
+        assert_eq!(rs.scalar(), Some(&Value::int(7)));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let text = sample().to_string();
+        assert!(text.contains("CT | N"));
+        assert!(text.contains("NYC | 3"));
+    }
+}

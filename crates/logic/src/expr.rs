@@ -1,0 +1,360 @@
+//! Propositional Boolean expressions.
+//!
+//! The MAXSS → MAXGSAT reduction of the paper produces *generalized* Boolean
+//! formulas — arbitrary combinations of conjunction, disjunction, negation and
+//! implication over variables `x(i, a)` ("attribute `A_i` takes constant `a`").
+//! [`BoolExpr`] represents exactly that, without any CNF normal-form
+//! requirement (that is what makes the target problem MAX**G**SAT rather than
+//! MAXSAT).
+
+use crate::assignment::Assignment;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a propositional variable (index into a [`crate::VarPool`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An arbitrary propositional formula.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoolExpr {
+    /// A constant `true` / `false`.
+    Const(bool),
+    /// A propositional variable.
+    Var(VarId),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// N-ary conjunction. The empty conjunction is `true`.
+    And(Vec<BoolExpr>),
+    /// N-ary disjunction. The empty disjunction is `false`.
+    Or(Vec<BoolExpr>),
+    /// Implication `lhs → rhs`.
+    Implies(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// The constant `true`.
+    pub fn t() -> Self {
+        BoolExpr::Const(true)
+    }
+
+    /// The constant `false`.
+    pub fn f() -> Self {
+        BoolExpr::Const(false)
+    }
+
+    /// A variable reference.
+    pub fn var(v: VarId) -> Self {
+        BoolExpr::Var(v)
+    }
+
+    /// Negation of `self`.
+    pub fn not(self) -> Self {
+        BoolExpr::Not(Box::new(self))
+    }
+
+    /// Conjunction of the given formulas (flattening nested conjunctions).
+    pub fn and(exprs: impl IntoIterator<Item = BoolExpr>) -> Self {
+        let mut flat = Vec::new();
+        for e in exprs {
+            match e {
+                BoolExpr::And(inner) => flat.extend(inner),
+                BoolExpr::Const(true) => {}
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => BoolExpr::Const(true),
+            1 => flat.pop().expect("len checked"),
+            _ => BoolExpr::And(flat),
+        }
+    }
+
+    /// Disjunction of the given formulas (flattening nested disjunctions).
+    pub fn or(exprs: impl IntoIterator<Item = BoolExpr>) -> Self {
+        let mut flat = Vec::new();
+        for e in exprs {
+            match e {
+                BoolExpr::Or(inner) => flat.extend(inner),
+                BoolExpr::Const(false) => {}
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => BoolExpr::Const(false),
+            1 => flat.pop().expect("len checked"),
+            _ => BoolExpr::Or(flat),
+        }
+    }
+
+    /// Implication `self → rhs`.
+    pub fn implies(self, rhs: BoolExpr) -> Self {
+        BoolExpr::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluates the formula under an assignment.
+    ///
+    /// Variables beyond the assignment's length evaluate to `false`.
+    pub fn eval(&self, assignment: &Assignment) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Var(v) => assignment.get(*v),
+            BoolExpr::Not(e) => !e.eval(assignment),
+            BoolExpr::And(es) => es.iter().all(|e| e.eval(assignment)),
+            BoolExpr::Or(es) => es.iter().any(|e| e.eval(assignment)),
+            BoolExpr::Implies(a, b) => !a.eval(assignment) || b.eval(assignment),
+        }
+    }
+
+    /// Collects the set of variables occurring in the formula.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            BoolExpr::Const(_) => {}
+            BoolExpr::Var(v) => {
+                out.insert(*v);
+            }
+            BoolExpr::Not(e) => e.collect_vars(out),
+            BoolExpr::And(es) | BoolExpr::Or(es) => {
+                for e in es {
+                    e.collect_vars(out);
+                }
+            }
+            BoolExpr::Implies(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree (a size measure used to verify
+    /// that the MAXSS reduction stays polynomial).
+    pub fn size(&self) -> usize {
+        match self {
+            BoolExpr::Const(_) | BoolExpr::Var(_) => 1,
+            BoolExpr::Not(e) => 1 + e.size(),
+            BoolExpr::And(es) | BoolExpr::Or(es) => 1 + es.iter().map(BoolExpr::size).sum::<usize>(),
+            BoolExpr::Implies(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Constant-folds the formula: removes constants from connectives and
+    /// collapses subtrees whose value no longer depends on any variable.
+    pub fn simplify(&self) -> BoolExpr {
+        match self {
+            BoolExpr::Const(_) | BoolExpr::Var(_) => self.clone(),
+            BoolExpr::Not(e) => match e.simplify() {
+                BoolExpr::Const(b) => BoolExpr::Const(!b),
+                BoolExpr::Not(inner) => *inner,
+                other => BoolExpr::Not(Box::new(other)),
+            },
+            BoolExpr::And(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        BoolExpr::Const(false) => return BoolExpr::Const(false),
+                        BoolExpr::Const(true) => {}
+                        BoolExpr::And(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => BoolExpr::Const(true),
+                    1 => out.pop().expect("len checked"),
+                    _ => BoolExpr::And(out),
+                }
+            }
+            BoolExpr::Or(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        BoolExpr::Const(true) => return BoolExpr::Const(true),
+                        BoolExpr::Const(false) => {}
+                        BoolExpr::Or(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => BoolExpr::Const(false),
+                    1 => out.pop().expect("len checked"),
+                    _ => BoolExpr::Or(out),
+                }
+            }
+            BoolExpr::Implies(a, b) => match (a.simplify(), b.simplify()) {
+                (BoolExpr::Const(false), _) => BoolExpr::Const(true),
+                (BoolExpr::Const(true), rhs) => rhs,
+                (_, BoolExpr::Const(true)) => BoolExpr::Const(true),
+                (lhs, BoolExpr::Const(false)) => BoolExpr::Not(Box::new(lhs)).simplify(),
+                (lhs, rhs) => BoolExpr::Implies(Box::new(lhs), Box::new(rhs)),
+            },
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Const(b) => write!(f, "{b}"),
+            BoolExpr::Var(v) => write!(f, "{v}"),
+            BoolExpr::Not(e) => write!(f, "¬({e})"),
+            BoolExpr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Implies(a, b) => write!(f, "({a} → {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::VarPool;
+
+    fn pool3() -> (VarPool, VarId, VarId, VarId) {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("a");
+        let b = pool.fresh("b");
+        let c = pool.fresh("c");
+        (pool, a, b, c)
+    }
+
+    #[test]
+    fn eval_basic_connectives() {
+        let (pool, a, b, _) = pool3();
+        let mut asg = Assignment::all_false(pool.len());
+        asg.set(a, true);
+
+        assert!(BoolExpr::var(a).eval(&asg));
+        assert!(!BoolExpr::var(b).eval(&asg));
+        assert!(BoolExpr::var(b).not().eval(&asg));
+        assert!(BoolExpr::or([BoolExpr::var(a), BoolExpr::var(b)]).eval(&asg));
+        assert!(!BoolExpr::and([BoolExpr::var(a), BoolExpr::var(b)]).eval(&asg));
+        assert!(BoolExpr::var(b).implies(BoolExpr::var(a)).eval(&asg));
+        assert!(!BoolExpr::var(a).implies(BoolExpr::var(b)).eval(&asg));
+        assert!(BoolExpr::t().eval(&asg));
+        assert!(!BoolExpr::f().eval(&asg));
+    }
+
+    #[test]
+    fn empty_connectives_have_identity_semantics() {
+        let asg = Assignment::all_false(0);
+        assert!(BoolExpr::and(std::iter::empty()).eval(&asg));
+        assert!(!BoolExpr::or(std::iter::empty()).eval(&asg));
+    }
+
+    #[test]
+    fn and_or_flatten_nested_structure() {
+        let (_, a, b, c) = pool3();
+        let e = BoolExpr::and([
+            BoolExpr::and([BoolExpr::var(a), BoolExpr::var(b)]),
+            BoolExpr::var(c),
+        ]);
+        assert_eq!(
+            e,
+            BoolExpr::And(vec![BoolExpr::var(a), BoolExpr::var(b), BoolExpr::var(c)])
+        );
+        let e = BoolExpr::or([
+            BoolExpr::or([BoolExpr::var(a), BoolExpr::var(b)]),
+            BoolExpr::var(c),
+        ]);
+        assert_eq!(
+            e,
+            BoolExpr::Or(vec![BoolExpr::var(a), BoolExpr::var(b), BoolExpr::var(c)])
+        );
+    }
+
+    #[test]
+    fn vars_and_size() {
+        let (_, a, b, c) = pool3();
+        let e = BoolExpr::var(a)
+            .implies(BoolExpr::or([BoolExpr::var(b), BoolExpr::var(c).not()]));
+        assert_eq!(e.vars(), [a, b, c].into_iter().collect());
+        assert_eq!(e.size(), 6);
+    }
+
+    #[test]
+    fn simplify_constant_folds() {
+        let (_, a, _, _) = pool3();
+        let e = BoolExpr::and([BoolExpr::t(), BoolExpr::var(a), BoolExpr::t()]);
+        assert_eq!(e.simplify(), BoolExpr::var(a));
+
+        let e = BoolExpr::and([BoolExpr::var(a), BoolExpr::f()]);
+        assert_eq!(e.simplify(), BoolExpr::f());
+
+        let e = BoolExpr::or([BoolExpr::var(a), BoolExpr::t()]);
+        assert_eq!(e.simplify(), BoolExpr::t());
+
+        let e = BoolExpr::Not(Box::new(BoolExpr::Not(Box::new(BoolExpr::var(a)))));
+        assert_eq!(e.simplify(), BoolExpr::var(a));
+
+        let e = BoolExpr::f().implies(BoolExpr::var(a));
+        assert_eq!(e.simplify(), BoolExpr::t());
+        let e = BoolExpr::t().implies(BoolExpr::var(a));
+        assert_eq!(e.simplify(), BoolExpr::var(a));
+        let e = BoolExpr::var(a).implies(BoolExpr::f());
+        assert_eq!(e.simplify(), BoolExpr::var(a).not());
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_on_all_assignments() {
+        let (pool, a, b, c) = pool3();
+        let exprs = vec![
+            BoolExpr::and([BoolExpr::var(a), BoolExpr::or([BoolExpr::var(b), BoolExpr::f()])]),
+            BoolExpr::var(a).implies(BoolExpr::and([BoolExpr::var(b), BoolExpr::var(c)])),
+            BoolExpr::or([
+                BoolExpr::var(a).not(),
+                BoolExpr::and([BoolExpr::t(), BoolExpr::var(c)]),
+            ]),
+        ];
+        for e in exprs {
+            let s = e.simplify();
+            for bits in 0..(1u32 << pool.len()) {
+                let asg = Assignment::from_bits(bits as u64, pool.len());
+                assert_eq!(e.eval(&asg), s.eval(&asg), "expr {e} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        let (_, a, b, _) = pool3();
+        let e = BoolExpr::and([BoolExpr::var(a), BoolExpr::var(b).not()]);
+        assert_eq!(e.to_string(), "(x0 ∧ ¬(x1))");
+    }
+}

@@ -1,0 +1,34 @@
+//! # ecfd-logic
+//!
+//! Propositional-logic substrate for the eCFD reproduction.
+//!
+//! Section IV of the paper reduces the *maximum satisfiable subset* problem for
+//! eCFDs (MAXSS) to the *Maximum Generalized Satisfiability* problem (MAXGSAT):
+//! given a set of arbitrary Boolean expressions, find a truth assignment that
+//! satisfies as many of them as possible. The paper then "applies existing
+//! approximation algorithms for MAXGSAT"; this crate supplies those algorithms,
+//! along with the Boolean-expression representation the reduction produces:
+//!
+//! * [`BoolExpr`] — arbitrary propositional formulas over [`VarId`] variables,
+//!   allocated from a named [`VarPool`];
+//! * [`Assignment`] — truth assignments and evaluation;
+//! * [`MaxGSatInstance`] — a MAXGSAT instance plus several solvers:
+//!   exhaustive exact search for small instances, repeated random sampling,
+//!   a derandomised conditional-expectation greedy (Johnson-style), and a
+//!   GSAT-flavoured hill-climbing local search.
+//!
+//! The crate has no knowledge of eCFDs; `ecfd-core`'s `maxss` module builds
+//! instances of these types from constraint sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod expr;
+pub mod maxgsat;
+pub mod sat;
+
+pub use assignment::{Assignment, VarPool};
+pub use expr::{BoolExpr, VarId};
+pub use maxgsat::{MaxGSatInstance, MaxGSatOutcome, MaxGSatSolver};
+pub use sat::{is_satisfiable, satisfying_assignment};

@@ -1,0 +1,442 @@
+//! MAXGSAT: maximise the number of satisfied Boolean expressions.
+//!
+//! The *Maximum Generalized Satisfiability* problem (Papadimitriou,
+//! "Computational Complexity", 1994 — reference [7] of the paper) asks, given a
+//! set `Φ = {φ_1, …, φ_m}` of arbitrary Boolean expressions, for a truth
+//! assignment satisfying as many of them as possible. The eCFD MAXSS problem
+//! reduces to it (Section IV), so this module provides several solvers:
+//!
+//! * [`MaxGSatSolver::Exhaustive`] — exact, exponential in the number of
+//!   variables; only used for small instances and as a test oracle;
+//! * [`MaxGSatSolver::RandomSampling`] — best of `k` uniformly random
+//!   assignments. A uniformly random assignment satisfies each formula with
+//!   probability ≥ 2^-size in the worst case, but for the formulas produced by
+//!   the eCFD reduction the expected fraction is much higher in practice;
+//! * [`MaxGSatSolver::GreedyConditional`] — Johnson-style derandomisation by
+//!   the method of conditional expectations: variables are fixed one at a time,
+//!   choosing the value with the larger estimated expected number of satisfied
+//!   formulas (estimated by sampling completions with a fixed seed);
+//! * [`MaxGSatSolver::LocalSearch`] — GSAT-flavoured hill climbing with random
+//!   restarts: repeatedly flip the variable that yields the largest increase in
+//!   satisfied formulas.
+
+use crate::assignment::Assignment;
+use crate::expr::{BoolExpr, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A MAXGSAT instance: a number of variables and a list of formulas over them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxGSatInstance {
+    num_vars: usize,
+    formulas: Vec<BoolExpr>,
+}
+
+/// Which approximation (or exact) algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaxGSatSolver {
+    /// Exact exhaustive search (exponential; refuses instances with more than
+    /// 24 variables).
+    Exhaustive,
+    /// Best of `samples` uniformly random assignments.
+    RandomSampling {
+        /// Number of random assignments to draw.
+        samples: usize,
+    },
+    /// Derandomised greedy by conditional expectations, estimating
+    /// expectations with `samples` random completions per decision.
+    GreedyConditional {
+        /// Number of completions sampled per (variable, value) decision.
+        samples: usize,
+    },
+    /// Hill climbing with `restarts` random restarts and at most `max_flips`
+    /// flips per restart.
+    LocalSearch {
+        /// Number of random restarts.
+        restarts: usize,
+        /// Maximum number of variable flips per restart.
+        max_flips: usize,
+    },
+}
+
+impl Default for MaxGSatSolver {
+    fn default() -> Self {
+        MaxGSatSolver::LocalSearch {
+            restarts: 8,
+            max_flips: 200,
+        }
+    }
+}
+
+/// Result of running a MAXGSAT solver.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxGSatOutcome {
+    /// The best assignment found.
+    pub assignment: Assignment,
+    /// Indices (into the instance's formula list) of the formulas satisfied by
+    /// [`MaxGSatOutcome::assignment`].
+    pub satisfied: Vec<usize>,
+    /// Whether the solver proves this is an optimal solution (only the
+    /// exhaustive solver sets this).
+    pub proven_optimal: bool,
+}
+
+impl MaxGSatOutcome {
+    /// Number of satisfied formulas.
+    pub fn num_satisfied(&self) -> usize {
+        self.satisfied.len()
+    }
+}
+
+impl MaxGSatInstance {
+    /// Creates an instance over `num_vars` variables.
+    pub fn new(num_vars: usize, formulas: Vec<BoolExpr>) -> Self {
+        MaxGSatInstance { num_vars, formulas }
+    }
+
+    /// The formulas of the instance.
+    pub fn formulas(&self) -> &[BoolExpr] {
+        &self.formulas
+    }
+
+    /// Number of formulas.
+    pub fn len(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// True when the instance has no formulas.
+    pub fn is_empty(&self) -> bool {
+        self.formulas.is_empty()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Indices of the formulas satisfied by `assignment`.
+    pub fn satisfied_by(&self, assignment: &Assignment) -> Vec<usize> {
+        self.formulas
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.eval(assignment))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of formulas satisfied by `assignment`.
+    pub fn count_satisfied(&self, assignment: &Assignment) -> usize {
+        self.formulas.iter().filter(|f| f.eval(assignment)).count()
+    }
+
+    /// Variables that actually occur in some formula.
+    pub fn occurring_vars(&self) -> Vec<VarId> {
+        let mut set = BTreeSet::new();
+        for f in &self.formulas {
+            set.extend(f.vars());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Runs the given solver with a deterministic seed.
+    pub fn solve(&self, solver: MaxGSatSolver, seed: u64) -> MaxGSatOutcome {
+        match solver {
+            MaxGSatSolver::Exhaustive => self.solve_exhaustive(),
+            MaxGSatSolver::RandomSampling { samples } => self.solve_random(samples, seed),
+            MaxGSatSolver::GreedyConditional { samples } => self.solve_greedy(samples, seed),
+            MaxGSatSolver::LocalSearch {
+                restarts,
+                max_flips,
+            } => self.solve_local_search(restarts, max_flips, seed),
+        }
+    }
+
+    fn outcome(&self, assignment: Assignment, proven_optimal: bool) -> MaxGSatOutcome {
+        let satisfied = self.satisfied_by(&assignment);
+        MaxGSatOutcome {
+            assignment,
+            satisfied,
+            proven_optimal,
+        }
+    }
+
+    /// Exact exhaustive search. Panics if the instance has more than 24
+    /// variables (use an approximation solver instead).
+    pub fn solve_exhaustive(&self) -> MaxGSatOutcome {
+        assert!(
+            self.num_vars <= 24,
+            "exhaustive MAXGSAT limited to 24 variables, instance has {}",
+            self.num_vars
+        );
+        let mut best = Assignment::all_false(self.num_vars);
+        let mut best_count = self.count_satisfied(&best);
+        for bits in 1..(1u64 << self.num_vars) {
+            let asg = Assignment::from_bits(bits, self.num_vars);
+            let count = self.count_satisfied(&asg);
+            if count > best_count {
+                best_count = count;
+                best = asg;
+                if best_count == self.formulas.len() {
+                    break;
+                }
+            }
+        }
+        self.outcome(best, true)
+    }
+
+    fn random_assignment(&self, rng: &mut StdRng) -> Assignment {
+        Assignment::from_vec((0..self.num_vars).map(|_| rng.gen_bool(0.5)).collect())
+    }
+
+    fn solve_random(&self, samples: usize, seed: u64) -> MaxGSatOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best = Assignment::all_false(self.num_vars);
+        let mut best_count = self.count_satisfied(&best);
+        for _ in 0..samples.max(1) {
+            let asg = self.random_assignment(&mut rng);
+            let count = self.count_satisfied(&asg);
+            if count > best_count {
+                best_count = count;
+                best = asg;
+                if best_count == self.formulas.len() {
+                    break;
+                }
+            }
+        }
+        self.outcome(best, false)
+    }
+
+    /// Estimates E[#satisfied | prefix fixed] by sampling completions.
+    fn estimate_expectation(
+        &self,
+        fixed: &Assignment,
+        fixed_upto: usize,
+        samples: usize,
+        rng: &mut StdRng,
+    ) -> f64 {
+        if fixed_upto >= self.num_vars {
+            return self.count_satisfied(fixed) as f64;
+        }
+        let mut total = 0usize;
+        for _ in 0..samples.max(1) {
+            let mut asg = fixed.clone();
+            for v in fixed_upto..self.num_vars {
+                asg.set(VarId(v), rng.gen_bool(0.5));
+            }
+            total += self.count_satisfied(&asg);
+        }
+        total as f64 / samples.max(1) as f64
+    }
+
+    fn solve_greedy(&self, samples: usize, seed: u64) -> MaxGSatOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut assignment = Assignment::all_false(self.num_vars);
+        for v in 0..self.num_vars {
+            let var = VarId(v);
+            assignment.set(var, true);
+            let with_true = self.estimate_expectation(&assignment, v + 1, samples, &mut rng);
+            assignment.set(var, false);
+            let with_false = self.estimate_expectation(&assignment, v + 1, samples, &mut rng);
+            assignment.set(var, with_true > with_false);
+        }
+        self.outcome(assignment, false)
+    }
+
+    fn solve_local_search(&self, restarts: usize, max_flips: usize, seed: u64) -> MaxGSatOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vars = self.occurring_vars();
+        let mut best: Option<(usize, Assignment)> = None;
+        for restart in 0..restarts.max(1) {
+            let mut current = if restart == 0 {
+                // First restart starts from all-false, a useful baseline for
+                // sparse instances; later restarts are random.
+                Assignment::all_false(self.num_vars)
+            } else {
+                self.random_assignment(&mut rng)
+            };
+            let mut current_count = self.count_satisfied(&current);
+            for _ in 0..max_flips {
+                if current_count == self.formulas.len() {
+                    break;
+                }
+                // Find the best single flip.
+                let mut best_flip: Option<(usize, VarId)> = None;
+                for &var in &vars {
+                    current.flip(var);
+                    let count = self.count_satisfied(&current);
+                    current.flip(var);
+                    if count > current_count
+                        && best_flip.map(|(c, _)| count > c).unwrap_or(true)
+                    {
+                        best_flip = Some((count, var));
+                    }
+                }
+                match best_flip {
+                    Some((count, var)) => {
+                        current.flip(var);
+                        current_count = count;
+                    }
+                    None => break, // local optimum
+                }
+            }
+            if best
+                .as_ref()
+                .map(|(c, _)| current_count > *c)
+                .unwrap_or(true)
+            {
+                best = Some((current_count, current));
+            }
+            if let Some((c, _)) = &best {
+                if *c == self.formulas.len() {
+                    break;
+                }
+            }
+        }
+        let (_, assignment) = best.expect("at least one restart ran");
+        self.outcome(assignment, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::VarPool;
+
+    /// A small instance where exactly `m - 1` formulas can be satisfied:
+    /// {a, ¬a, a ∨ b, b}.
+    fn conflicting_instance() -> (MaxGSatInstance, usize) {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("a");
+        let b = pool.fresh("b");
+        let formulas = vec![
+            BoolExpr::var(a),
+            BoolExpr::var(a).not(),
+            BoolExpr::or([BoolExpr::var(a), BoolExpr::var(b)]),
+            BoolExpr::var(b),
+        ];
+        (MaxGSatInstance::new(pool.len(), formulas), 3)
+    }
+
+    #[test]
+    fn exhaustive_finds_optimum() {
+        let (inst, opt) = conflicting_instance();
+        let outcome = inst.solve_exhaustive();
+        assert_eq!(outcome.num_satisfied(), opt);
+        assert!(outcome.proven_optimal);
+        // The satisfied index list is consistent with the assignment.
+        for &i in &outcome.satisfied {
+            assert!(inst.formulas()[i].eval(&outcome.assignment));
+        }
+    }
+
+    #[test]
+    fn all_solvers_reach_optimum_on_small_instances() {
+        let (inst, opt) = conflicting_instance();
+        for solver in [
+            MaxGSatSolver::RandomSampling { samples: 64 },
+            MaxGSatSolver::GreedyConditional { samples: 32 },
+            MaxGSatSolver::LocalSearch {
+                restarts: 4,
+                max_flips: 50,
+            },
+        ] {
+            let outcome = inst.solve(solver, 7);
+            assert_eq!(
+                outcome.num_satisfied(),
+                opt,
+                "solver {solver:?} should reach the optimum on a 2-variable instance"
+            );
+        }
+    }
+
+    #[test]
+    fn fully_satisfiable_instance_is_fully_satisfied() {
+        let mut pool = VarPool::new();
+        let vars: Vec<VarId> = (0..6).map(|i| pool.fresh(format!("v{i}"))).collect();
+        // Chain of implications plus a few disjunctions — satisfiable by all-true.
+        let mut formulas: Vec<BoolExpr> = vars
+            .windows(2)
+            .map(|w| BoolExpr::var(w[0]).implies(BoolExpr::var(w[1])))
+            .collect();
+        formulas.push(BoolExpr::or(vars.iter().map(|v| BoolExpr::var(*v))));
+        let inst = MaxGSatInstance::new(pool.len(), formulas.clone());
+
+        let exact = inst.solve_exhaustive();
+        assert_eq!(exact.num_satisfied(), formulas.len());
+        let ls = inst.solve(MaxGSatSolver::default(), 3);
+        assert_eq!(ls.num_satisfied(), formulas.len());
+    }
+
+    #[test]
+    fn approximation_quality_on_random_instances() {
+        // On random instances with ≤ 12 variables every approximate solver
+        // should satisfy at least half of what the exact optimum satisfies —
+        // a loose bound that guards against gross regressions.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..5 {
+            let n_vars = 6 + trial;
+            let mut formulas = Vec::new();
+            for _ in 0..12 {
+                let a = VarId(rng.gen_range(0..n_vars));
+                let b = VarId(rng.gen_range(0..n_vars));
+                let lit_a = if rng.gen_bool(0.5) {
+                    BoolExpr::var(a)
+                } else {
+                    BoolExpr::var(a).not()
+                };
+                let lit_b = if rng.gen_bool(0.5) {
+                    BoolExpr::var(b)
+                } else {
+                    BoolExpr::var(b).not()
+                };
+                formulas.push(if rng.gen_bool(0.5) {
+                    BoolExpr::and([lit_a, lit_b])
+                } else {
+                    BoolExpr::or([lit_a, lit_b])
+                });
+            }
+            let inst = MaxGSatInstance::new(n_vars, formulas);
+            let opt = inst.solve_exhaustive().num_satisfied();
+            for solver in [
+                MaxGSatSolver::RandomSampling { samples: 100 },
+                MaxGSatSolver::GreedyConditional { samples: 30 },
+                MaxGSatSolver::LocalSearch {
+                    restarts: 5,
+                    max_flips: 100,
+                },
+            ] {
+                let approx = inst.solve(solver, 42 + trial as u64).num_satisfied();
+                assert!(
+                    approx * 2 >= opt,
+                    "solver {solver:?}: {approx} satisfied vs optimum {opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = MaxGSatInstance::new(0, vec![]);
+        assert!(inst.is_empty());
+        let outcome = inst.solve_exhaustive();
+        assert_eq!(outcome.num_satisfied(), 0);
+    }
+
+    #[test]
+    fn solvers_are_deterministic_for_a_fixed_seed() {
+        let (inst, _) = conflicting_instance();
+        let a = inst.solve(MaxGSatSolver::RandomSampling { samples: 10 }, 99);
+        let b = inst.solve(MaxGSatSolver::RandomSampling { samples: 10 }, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive MAXGSAT limited")]
+    fn exhaustive_rejects_large_instances() {
+        let inst = MaxGSatInstance::new(30, vec![BoolExpr::t()]);
+        let _ = inst.solve_exhaustive();
+    }
+}

@@ -1,0 +1,140 @@
+//! Exact satisfiability of conjunctions of Boolean expressions.
+//!
+//! Used as a small exact oracle in tests and by the exact MAXGSAT solver. The
+//! search is a straightforward backtracking procedure over the variables that
+//! actually occur in the formulas, with constant-propagation via
+//! [`BoolExpr::simplify`]-style evaluation at the leaves. Instances coming
+//! from eCFD satisfiability tests are small (one variable per attribute /
+//! active-domain-constant pair), so exponential worst-case behaviour is
+//! acceptable — the problem is NP-complete after all (Proposition 3.1).
+
+use crate::assignment::Assignment;
+use crate::expr::{BoolExpr, VarId};
+use std::collections::BTreeSet;
+
+/// Maximum number of distinct variables the exact solver will attempt.
+pub const MAX_EXACT_VARS: usize = 40;
+
+/// Returns a satisfying assignment for the conjunction of `formulas`, if one
+/// exists, or `None` if the conjunction is unsatisfiable.
+///
+/// Returns `None` as well when the instance has more than [`MAX_EXACT_VARS`]
+/// distinct variables *and* no assignment was found within the budget; callers
+/// that need to distinguish "unsat" from "too large" should check
+/// [`exact_is_feasible`] first.
+pub fn satisfying_assignment(formulas: &[BoolExpr]) -> Option<Assignment> {
+    let vars: Vec<VarId> = {
+        let mut set = BTreeSet::new();
+        for f in formulas {
+            set.extend(f.vars());
+        }
+        set.into_iter().collect()
+    };
+    let n_total = vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+    let mut assignment = Assignment::all_false(n_total);
+    if backtrack(formulas, &vars, 0, &mut assignment) {
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+/// True when the conjunction of `formulas` is satisfiable.
+pub fn is_satisfiable(formulas: &[BoolExpr]) -> bool {
+    satisfying_assignment(formulas).is_some()
+}
+
+/// Whether the instance is small enough for the exact solver to be meaningful.
+pub fn exact_is_feasible(formulas: &[BoolExpr]) -> bool {
+    let mut set = BTreeSet::new();
+    for f in formulas {
+        set.extend(f.vars());
+        if set.len() > MAX_EXACT_VARS {
+            return false;
+        }
+    }
+    true
+}
+
+fn backtrack(formulas: &[BoolExpr], vars: &[VarId], depth: usize, assignment: &mut Assignment) -> bool {
+    if depth == vars.len() {
+        return formulas.iter().all(|f| f.eval(assignment));
+    }
+    // Early pruning: if some formula is already false regardless of the
+    // remaining (all-false-initialised) variables we cannot prune soundly in
+    // general for non-monotone formulas, so we only prune at the leaves.
+    for value in [true, false] {
+        assignment.set(vars[depth], value);
+        if backtrack(formulas, vars, depth + 1, assignment) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::VarPool;
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("a");
+        let b = pool.fresh("b");
+
+        // a ∧ ¬b is satisfiable.
+        let formulas = vec![BoolExpr::var(a), BoolExpr::var(b).not()];
+        let asg = satisfying_assignment(&formulas).expect("should be satisfiable");
+        assert!(asg.get(a));
+        assert!(!asg.get(b));
+
+        // a ∧ ¬a is not.
+        let formulas = vec![BoolExpr::var(a), BoolExpr::var(a).not()];
+        assert!(!is_satisfiable(&formulas));
+    }
+
+    #[test]
+    fn exactly_one_constraint() {
+        // The MAXSS reduction's φ_i: at least one x(i,a) true, and pairwise
+        // implications forcing at most one.
+        let mut pool = VarPool::new();
+        let xs: Vec<VarId> = (0..4).map(|i| pool.fresh(format!("x{i}"))).collect();
+        let at_least_one = BoolExpr::or(xs.iter().map(|v| BoolExpr::var(*v)));
+        let mut at_most_one = Vec::new();
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if i != j {
+                    at_most_one
+                        .push(BoolExpr::var(xs[i]).implies(BoolExpr::var(xs[j]).not()));
+                }
+            }
+        }
+        let mut formulas = vec![at_least_one];
+        formulas.extend(at_most_one);
+        let asg = satisfying_assignment(&formulas).expect("exactly-one is satisfiable");
+        assert_eq!(asg.true_vars().len(), 1);
+
+        // Forcing two distinct variables true makes it unsatisfiable.
+        formulas.push(BoolExpr::var(xs[0]));
+        formulas.push(BoolExpr::var(xs[1]));
+        assert!(!is_satisfiable(&formulas));
+    }
+
+    #[test]
+    fn empty_and_constant_instances() {
+        assert!(is_satisfiable(&[]));
+        assert!(is_satisfiable(&[BoolExpr::t()]));
+        assert!(!is_satisfiable(&[BoolExpr::f()]));
+    }
+
+    #[test]
+    fn feasibility_check_counts_distinct_vars() {
+        let mut pool = VarPool::new();
+        let many: Vec<BoolExpr> = (0..MAX_EXACT_VARS + 5)
+            .map(|i| BoolExpr::var(pool.fresh(format!("v{i}"))))
+            .collect();
+        assert!(!exact_is_feasible(&many));
+        assert!(exact_is_feasible(&many[..10]));
+    }
+}

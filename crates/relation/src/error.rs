@@ -1,0 +1,115 @@
+//! Error type shared by the storage substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A tuple had a different arity than the relation's schema.
+    ArityMismatch {
+        /// Arity the schema expects.
+        expected: usize,
+        /// Arity the offending tuple actually had.
+        actual: usize,
+    },
+    /// A value's type did not match the declared attribute type.
+    TypeMismatch {
+        /// The attribute whose declared type was violated.
+        attribute: String,
+        /// Declared type name.
+        expected: String,
+        /// Value that violated it (display form).
+        actual: String,
+    },
+    /// An attribute name was not found in a schema.
+    UnknownAttribute {
+        /// The attribute that was requested.
+        name: String,
+        /// The relation/schema it was requested from.
+        relation: String,
+    },
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// A relation with the given name already exists in the catalog.
+    DuplicateRelation(String),
+    /// A row id was not present in the relation.
+    UnknownRow(u64),
+    /// A CSV line could not be parsed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Human readable reason.
+        message: String,
+    },
+    /// Schema construction error (e.g. duplicate attribute name).
+    Schema(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+            }
+            RelationError::TypeMismatch {
+                attribute,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "value `{actual}` does not have the declared type {expected} of attribute {attribute}"
+            ),
+            RelationError::UnknownAttribute { name, relation } => {
+                write!(f, "attribute `{name}` does not exist in relation `{relation}`")
+            }
+            RelationError::UnknownRelation(name) => {
+                write!(f, "relation `{name}` does not exist in the catalog")
+            }
+            RelationError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists in the catalog")
+            }
+            RelationError::UnknownRow(id) => write!(f, "row id {id} does not exist"),
+            RelationError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            RelationError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::ArityMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("arity 5"));
+        assert!(e.to_string().contains("arity 6"));
+
+        let e = RelationError::UnknownAttribute {
+            name: "AC".into(),
+            relation: "cust".into(),
+        };
+        assert!(e.to_string().contains("AC"));
+        assert!(e.to_string().contains("cust"));
+
+        let e = RelationError::Csv {
+            line: 3,
+            message: "too few fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(RelationError::UnknownRelation("x".into()));
+    }
+}

@@ -1,0 +1,156 @@
+//! Secondary hash indexes over relations.
+//!
+//! The incremental detection algorithm repeatedly asks "which tuples of `D`
+//! match this key on attributes `X`?" (e.g. when joining the auxiliary
+//! relation `Aux(D)` with the update set). A [`HashIndex`] answers those
+//! lookups without scanning the base relation.
+
+use crate::relation::{Relation, RowId};
+use crate::schema::AttrId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index mapping the projection of a tuple on a fixed list of
+/// attributes to the row ids holding that projection.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    attrs: Vec<AttrId>,
+    buckets: HashMap<Vec<Value>, Vec<RowId>>,
+}
+
+impl HashIndex {
+    /// Builds an index on `attrs` over the current contents of `relation`.
+    pub fn build(relation: &Relation, attrs: Vec<AttrId>) -> Self {
+        let mut index = HashIndex {
+            attrs,
+            buckets: HashMap::new(),
+        };
+        for (id, tuple) in relation.iter() {
+            index.insert(id, tuple);
+        }
+        index
+    }
+
+    /// The attributes this index is keyed on.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
+        self.attrs
+            .iter()
+            .map(|a| tuple.value(*a).clone())
+            .collect()
+    }
+
+    /// Registers a tuple under its key.
+    pub fn insert(&mut self, id: RowId, tuple: &Tuple) {
+        let key = self.key_of(tuple);
+        self.buckets.entry(key).or_default().push(id);
+    }
+
+    /// Removes a tuple's registration. Returns true if the row was present.
+    pub fn remove(&mut self, id: RowId, tuple: &Tuple) -> bool {
+        let key = self.key_of(tuple);
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|r| *r == id) {
+                bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    self.buckets.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Row ids whose projection on the index attributes equals `key`.
+    pub fn lookup(&self, key: &[Value]) -> &[RowId] {
+        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row ids matching the projection of `tuple` on the index attributes.
+    pub fn lookup_tuple(&self, tuple: &Tuple) -> &[RowId] {
+        let key = self.key_of(tuple);
+        self.buckets.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over `(key, row-ids)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<RowId>)> + '_ {
+        self.buckets.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    fn sample() -> Relation {
+        let schema = Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build();
+        Relation::with_tuples(
+            schema,
+            [
+                Tuple::from_iter(["Albany", "518"]),
+                Tuple::from_iter(["NYC", "212"]),
+                Tuple::from_iter(["NYC", "718"]),
+                Tuple::from_iter(["Troy", "518"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let rel = sample();
+        let idx = HashIndex::build(&rel, vec![AttrId(0)]);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.lookup(&[Value::str("NYC")]).len(), 2);
+        assert_eq!(idx.lookup(&[Value::str("Albany")]).len(), 1);
+        assert!(idx.lookup(&[Value::str("LI")]).is_empty());
+    }
+
+    #[test]
+    fn composite_key() {
+        let rel = sample();
+        let idx = HashIndex::build(&rel, vec![AttrId(0), AttrId(1)]);
+        assert_eq!(idx.lookup(&[Value::str("NYC"), Value::str("212")]).len(), 1);
+        assert_eq!(
+            idx.lookup_tuple(&Tuple::from_iter(["NYC", "718"])).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_buckets() {
+        let rel = sample();
+        let mut idx = HashIndex::build(&rel, vec![AttrId(0)]);
+        let new_tuple = Tuple::from_iter(["NYC", "646"]);
+        idx.insert(RowId(100), &new_tuple);
+        assert_eq!(idx.lookup(&[Value::str("NYC")]).len(), 3);
+
+        assert!(idx.remove(RowId(100), &new_tuple));
+        assert_eq!(idx.lookup(&[Value::str("NYC")]).len(), 2);
+        // Removing something that is not indexed reports false.
+        assert!(!idx.remove(RowId(100), &new_tuple));
+
+        // Removing the only Albany row empties and drops its bucket.
+        let albany = Tuple::from_iter(["Albany", "518"]);
+        let albany_id = rel
+            .iter()
+            .find(|(_, t)| *t == &albany)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(idx.remove(albany_id, &albany));
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+}

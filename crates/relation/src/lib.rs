@@ -1,0 +1,51 @@
+//! # ecfd-relation
+//!
+//! In-memory relational storage substrate for the eCFD reproduction.
+//!
+//! The paper ("Increasing the Expressivity of Conditional Functional Dependencies
+//! without Extra Complexity", ICDE 2008) evaluates its detection algorithms on a
+//! `cust` relation stored in a commercial RDBMS. This crate provides the storage
+//! layer that substitutes for that RDBMS: typed values and domains, schemas,
+//! tuples, relations with stable row identifiers, secondary hash indexes, a named
+//! catalog, CSV import/export and update batches (the paper's `ΔD⁺` / `ΔD⁻`).
+//!
+//! The crate is deliberately free of any eCFD-specific logic so that it can be
+//! reused by the SQL engine ([`ecfd-engine`]), the constraint library
+//! ([`ecfd-core`]) and the detection algorithms ([`ecfd-detect`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use ecfd_relation::{Schema, DataType, Relation, Tuple, Value};
+//!
+//! let schema = Schema::builder("cust")
+//!     .attr("CT", DataType::Str)
+//!     .attr("AC", DataType::Str)
+//!     .build();
+//! let mut cust = Relation::new(schema);
+//! cust.insert(Tuple::new(vec![Value::str("Albany"), Value::str("518")])).unwrap();
+//! cust.insert(Tuple::new(vec![Value::str("NYC"), Value::str("212")])).unwrap();
+//! assert_eq!(cust.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod index;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod update;
+pub mod value;
+
+pub use catalog::{Catalog, SharedCatalog};
+pub use error::{RelationError, Result};
+pub use index::HashIndex;
+pub use relation::{Relation, RowId};
+pub use schema::{AttrId, Attribute, DataType, Domain, Schema, SchemaBuilder};
+pub use tuple::Tuple;
+pub use update::{Delta, UpdateStats};
+pub use value::Value;

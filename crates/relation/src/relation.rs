@@ -1,0 +1,399 @@
+//! Relations (tables) with stable row identifiers.
+//!
+//! Stable [`RowId`]s matter for the incremental detection algorithm
+//! (`INCDETECT`, Section V-B of the paper): the violation flags SV / MV are
+//! updated in place for individual rows, and deletions `ΔD⁻` must remove
+//! specific rows without disturbing the identity of the remaining ones.
+
+use crate::error::{RelationError, Result};
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable identifier of a row within a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    /// Returns the numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An in-memory relation instance: a schema plus a bag of tuples with stable
+/// row identifiers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    next_row_id: u64,
+    /// Row storage in insertion order (after deletions, order of survivors is
+    /// preserved).
+    rows: Vec<(RowId, Tuple)>,
+    /// Index from row id to position in `rows`.
+    #[serde(skip)]
+    positions: HashMap<RowId, usize>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            next_row_id: 0,
+            rows: Vec::new(),
+            positions: HashMap::new(),
+        }
+    }
+
+    /// Creates a relation and bulk-inserts the given tuples.
+    pub fn with_tuples(schema: Schema, tuples: impl IntoIterator<Item = Tuple>) -> Result<Self> {
+        let mut rel = Relation::new(schema);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The schema of the relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Name of the relation (from the schema).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation contains no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn validate(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        for (attr, value) in self.schema.attributes().iter().zip(tuple.values()) {
+            if !attr.data_type().admits(value) {
+                return Err(RelationError::TypeMismatch {
+                    attribute: attr.name.clone(),
+                    expected: attr.data_type().name().to_string(),
+                    actual: value.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a tuple, returning the assigned row id.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<RowId> {
+        self.validate(&tuple)?;
+        let id = RowId(self.next_row_id);
+        self.next_row_id += 1;
+        self.positions.insert(id, self.rows.len());
+        self.rows.push((id, tuple));
+        Ok(id)
+    }
+
+    /// Inserts many tuples, returning their row ids.
+    pub fn insert_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<Vec<RowId>> {
+        tuples.into_iter().map(|t| self.insert(t)).collect()
+    }
+
+    /// Deletes a row by id, returning the removed tuple.
+    pub fn delete(&mut self, id: RowId) -> Result<Tuple> {
+        let pos = self
+            .positions
+            .remove(&id)
+            .ok_or(RelationError::UnknownRow(id.0))?;
+        let (_, tuple) = self.rows.remove(pos);
+        // Re-index all rows after the removed position.
+        for (i, (rid, _)) in self.rows.iter().enumerate().skip(pos) {
+            self.positions.insert(*rid, i);
+        }
+        Ok(tuple)
+    }
+
+    /// Deletes every row whose tuple equals `tuple` (bag semantics: all
+    /// duplicates go). Returns the ids of the deleted rows.
+    pub fn delete_matching(&mut self, tuple: &Tuple) -> Vec<RowId> {
+        let ids: Vec<RowId> = self
+            .rows
+            .iter()
+            .filter(|(_, t)| t == tuple)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &ids {
+            let _ = self.delete(*id);
+        }
+        ids
+    }
+
+    /// Returns the tuple stored under `id`.
+    pub fn get(&self, id: RowId) -> Option<&Tuple> {
+        self.positions.get(&id).map(|&pos| &self.rows[pos].1)
+    }
+
+    /// Returns true if the relation still contains the row `id`.
+    pub fn contains_row(&self, id: RowId) -> bool {
+        self.positions.contains_key(&id)
+    }
+
+    /// Replaces the tuple stored under `id`.
+    pub fn replace(&mut self, id: RowId, tuple: Tuple) -> Result<Tuple> {
+        self.validate(&tuple)?;
+        let pos = *self
+            .positions
+            .get(&id)
+            .ok_or(RelationError::UnknownRow(id.0))?;
+        Ok(std::mem::replace(&mut self.rows[pos].1, tuple))
+    }
+
+    /// Updates a single attribute of a row in place.
+    pub fn update_value(&mut self, id: RowId, attr: AttrId, value: Value) -> Result<Value> {
+        let pos = *self
+            .positions
+            .get(&id)
+            .ok_or(RelationError::UnknownRow(id.0))?;
+        let attr_meta = self
+            .schema
+            .attribute(attr)
+            .ok_or_else(|| RelationError::UnknownAttribute {
+                name: attr.to_string(),
+                relation: self.schema.name().to_string(),
+            })?;
+        if !attr_meta.data_type().admits(&value) {
+            return Err(RelationError::TypeMismatch {
+                attribute: attr_meta.name.clone(),
+                expected: attr_meta.data_type().name().to_string(),
+                actual: value.to_string(),
+            });
+        }
+        Ok(self.rows[pos].1.set(attr, value).expect("validated position"))
+    }
+
+    /// Iterates over `(RowId, &Tuple)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Tuple)> + '_ {
+        self.rows.iter().map(|(id, t)| (*id, t))
+    }
+
+    /// Iterates over tuples only.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rows.iter().map(|(_, t)| t)
+    }
+
+    /// All row ids in storage order.
+    pub fn row_ids(&self) -> Vec<RowId> {
+        self.rows.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Collects all tuples into a vector (cloning).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.rows.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    /// Resolves a list of attribute names to ids against this relation's schema.
+    pub fn attr_ids(&self, names: &[&str]) -> Result<Vec<AttrId>> {
+        names.iter().map(|n| self.schema.require_attr(n)).collect()
+    }
+
+    /// Creates a new relation with the same tuples but a schema extended by the
+    /// given attributes, filling the new columns with `fill`.
+    pub fn extend_schema(
+        &self,
+        extra: Vec<crate::schema::Attribute>,
+        fill: Value,
+    ) -> Result<Relation> {
+        let n_extra = extra.len();
+        let schema = self.schema.extend(extra)?;
+        let mut rel = Relation::new(schema);
+        for (_, t) in &self.rows {
+            rel.insert(t.extended(std::iter::repeat(fill.clone()).take(n_extra)))?;
+        }
+        Ok(rel)
+    }
+
+    /// Renders the relation as an ASCII table (for examples and debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let names = self.schema.attr_names();
+        out.push_str(&names.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for (_, t) in &self.rows {
+            let row: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
+            out.push_str(&row.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rebuilds the row-id position index; required after deserialisation.
+    pub fn rebuild_positions(&mut self) {
+        self.positions = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i))
+            .collect();
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn schema() -> Schema {
+        Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build()
+    }
+
+    fn rel_with(rows: &[(&str, &str)]) -> Relation {
+        Relation::with_tuples(
+            schema(),
+            rows.iter().map(|(ct, ac)| Tuple::from_iter([*ct, *ac])),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_assigns_monotonic_ids() {
+        let mut r = Relation::new(schema());
+        let a = r.insert(Tuple::from_iter(["Albany", "518"])).unwrap();
+        let b = r.insert(Tuple::from_iter(["Troy", "518"])).unwrap();
+        assert!(b > a);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(a).unwrap(), &Tuple::from_iter(["Albany", "518"]));
+    }
+
+    #[test]
+    fn insert_validates_arity_and_types() {
+        let mut r = Relation::new(schema());
+        assert!(matches!(
+            r.insert(Tuple::from_iter(["justone"])),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            r.insert(Tuple::new(vec![Value::int(1), Value::str("518")])),
+            Err(RelationError::TypeMismatch { .. })
+        ));
+        // NULLs are admitted by every type.
+        assert!(r
+            .insert(Tuple::new(vec![Value::Null, Value::str("518")]))
+            .is_ok());
+    }
+
+    #[test]
+    fn delete_preserves_remaining_order_and_ids() {
+        let mut r = rel_with(&[("Albany", "518"), ("Troy", "518"), ("NYC", "212")]);
+        let ids = r.row_ids();
+        r.delete(ids[1]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(ids[0]).unwrap()[AttrId(0)], Value::str("Albany"));
+        assert_eq!(r.get(ids[2]).unwrap()[AttrId(0)], Value::str("NYC"));
+        assert!(!r.contains_row(ids[1]));
+        // Deleting again fails.
+        assert!(r.delete(ids[1]).is_err());
+        // Remaining iteration order is stable.
+        let cities: Vec<_> = r.tuples().map(|t| t[AttrId(0)].clone()).collect();
+        assert_eq!(cities, vec![Value::str("Albany"), Value::str("NYC")]);
+    }
+
+    #[test]
+    fn delete_matching_removes_duplicates() {
+        let mut r = rel_with(&[("NYC", "212"), ("NYC", "212"), ("NYC", "718")]);
+        let removed = r.delete_matching(&Tuple::from_iter(["NYC", "212"]));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(r.len(), 1);
+        assert!(r.delete_matching(&Tuple::from_iter(["Nowhere", "000"])).is_empty());
+    }
+
+    #[test]
+    fn update_value_respects_types() {
+        let mut r = rel_with(&[("Albany", "718")]);
+        let id = r.row_ids()[0];
+        let old = r
+            .update_value(id, AttrId(1), Value::str("518"))
+            .unwrap();
+        assert_eq!(old, Value::str("718"));
+        assert_eq!(r.get(id).unwrap()[AttrId(1)], Value::str("518"));
+        assert!(r.update_value(id, AttrId(1), Value::int(5)).is_err());
+        assert!(r
+            .update_value(RowId(999), AttrId(1), Value::str("x"))
+            .is_err());
+    }
+
+    #[test]
+    fn replace_swaps_whole_tuple() {
+        let mut r = rel_with(&[("Albany", "718")]);
+        let id = r.row_ids()[0];
+        let old = r.replace(id, Tuple::from_iter(["Albany", "518"])).unwrap();
+        assert_eq!(old, Tuple::from_iter(["Albany", "718"]));
+        assert!(r.replace(RowId(77), Tuple::from_iter(["x", "y"])).is_err());
+    }
+
+    #[test]
+    fn extend_schema_adds_flag_columns() {
+        let r = rel_with(&[("Albany", "518"), ("NYC", "212")]);
+        let extended = r
+            .extend_schema(
+                vec![
+                    crate::schema::Attribute::new("SV", DataType::Bool),
+                    crate::schema::Attribute::new("MV", DataType::Bool),
+                ],
+                Value::bool(false),
+            )
+            .unwrap();
+        assert_eq!(extended.schema().arity(), 4);
+        for t in extended.tuples() {
+            assert_eq!(t[AttrId(2)], Value::bool(false));
+            assert_eq!(t[AttrId(3)], Value::bool(false));
+        }
+    }
+
+    #[test]
+    fn render_contains_header_and_rows() {
+        let r = rel_with(&[("Albany", "518")]);
+        let s = r.render();
+        assert!(s.contains("CT | AC"));
+        assert!(s.contains("Albany | 518"));
+    }
+
+    #[test]
+    fn rebuild_positions_restores_lookup() {
+        let mut r = rel_with(&[("Albany", "518"), ("Troy", "518")]);
+        let ids = r.row_ids();
+        r.positions.clear();
+        r.rebuild_positions();
+        assert!(r.get(ids[1]).is_some());
+    }
+}

@@ -1,0 +1,199 @@
+//! Tuples: ordered lists of values conforming to a schema.
+
+use crate::schema::{AttrId, Schema};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data tuple.
+///
+/// A tuple does not carry its schema; the owning [`crate::Relation`] validates
+/// arity and types on insertion. Projections by [`AttrId`] are cheap and are
+/// the main operation the eCFD matching semantics needs (`t[X]`, `t[Y, Yp]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from a value list.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Creates a tuple from anything convertible into values.
+    pub fn from_iter<V: Into<Value>>(values: impl IntoIterator<Item = V>) -> Self {
+        Tuple {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to all values.
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    /// The value at attribute position `id`, if in range.
+    pub fn get(&self, id: AttrId) -> Option<&Value> {
+        self.values.get(id.index())
+    }
+
+    /// The value at attribute position `id`; panics when out of range.
+    ///
+    /// Detection code resolves attribute ids against the relation schema before
+    /// iterating tuples, so an out-of-range access is a programming error.
+    pub fn value(&self, id: AttrId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Replaces the value at `id`, returning the previous value.
+    pub fn set(&mut self, id: AttrId, value: Value) -> Option<Value> {
+        let slot = self.values.get_mut(id.index())?;
+        Some(std::mem::replace(slot, value))
+    }
+
+    /// Projects the tuple onto the given attribute positions (the paper's
+    /// `t[Z]` notation).
+    pub fn project(&self, attrs: &[AttrId]) -> Tuple {
+        Tuple {
+            values: attrs.iter().map(|a| self.values[a.index()].clone()).collect(),
+        }
+    }
+
+    /// Projects by attribute name using a schema.
+    pub fn project_named(&self, schema: &Schema, names: &[&str]) -> Option<Tuple> {
+        let mut vals = Vec::with_capacity(names.len());
+        for n in names {
+            let id = schema.attr_id(n)?;
+            vals.push(self.values.get(id.index())?.clone());
+        }
+        Some(Tuple { values: vals })
+    }
+
+    /// Concatenates two tuples (used by the join operator of the SQL engine).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Returns a new tuple with `extra` values appended.
+    pub fn extended(&self, extra: impl IntoIterator<Item = Value>) -> Tuple {
+        let mut values = self.values.clone();
+        values.extend(extra);
+        Tuple { values }
+    }
+
+    /// Consumes the tuple and returns its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl std::ops::Index<AttrId> for Tuple {
+    type Output = Value;
+    fn index(&self, index: AttrId) -> &Value {
+        &self.values[index.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn t1() -> Tuple {
+        // Tuple t1 of Fig. 1 in the paper.
+        Tuple::from_iter(["718", "1111111", "Mike", "Tree Ave.", "Albany", "12238"])
+    }
+
+    fn cust_schema() -> Schema {
+        Schema::builder("cust")
+            .attr("AC", DataType::Str)
+            .attr("PN", DataType::Str)
+            .attr("NM", DataType::Str)
+            .attr("STR", DataType::Str)
+            .attr("CT", DataType::Str)
+            .attr("ZIP", DataType::Str)
+            .build()
+    }
+
+    #[test]
+    fn accessors() {
+        let t = t1();
+        assert_eq!(t.arity(), 6);
+        assert_eq!(t.get(AttrId(0)), Some(&Value::str("718")));
+        assert_eq!(t.get(AttrId(6)), None);
+        assert_eq!(t[AttrId(4)], Value::str("Albany"));
+    }
+
+    #[test]
+    fn set_replaces_value() {
+        let mut t = t1();
+        let old = t.set(AttrId(0), Value::str("518"));
+        assert_eq!(old, Some(Value::str("718")));
+        assert_eq!(t[AttrId(0)], Value::str("518"));
+        assert_eq!(t.set(AttrId(42), Value::Null), None);
+    }
+
+    #[test]
+    fn projection_by_id_and_name() {
+        let t = t1();
+        let s = cust_schema();
+        let p = t.project(&[AttrId(4), AttrId(0)]);
+        assert_eq!(p, Tuple::from_iter(["Albany", "718"]));
+        let p = t.project_named(&s, &["CT", "AC"]).unwrap();
+        assert_eq!(p, Tuple::from_iter(["Albany", "718"]));
+        assert!(t.project_named(&s, &["NOPE"]).is_none());
+    }
+
+    #[test]
+    fn concat_and_extend() {
+        let a = Tuple::from_iter([1i64, 2]);
+        let b = Tuple::from_iter(["x"]);
+        assert_eq!(
+            a.concat(&b).values(),
+            &[Value::int(1), Value::int(2), Value::str("x")]
+        );
+        assert_eq!(
+            a.extended([Value::bool(true)]).values(),
+            &[Value::int(1), Value::int(2), Value::bool(true)]
+        );
+    }
+
+    #[test]
+    fn display_formats_all_values() {
+        let t = Tuple::from_iter([Value::int(1), Value::Null, Value::str("a")]);
+        assert_eq!(t.to_string(), "(1, NULL, a)");
+    }
+}

@@ -1,0 +1,277 @@
+//! Typed scalar values stored in relations.
+//!
+//! The eCFD paper only needs string- and integer-valued attributes (city names,
+//! area codes, zip codes, counts produced by `GROUP BY ... HAVING COUNT(*)`),
+//! plus SQL `NULL` for attributes blanked out by the `CASE` construct of the
+//! multi-tuple-violation query. [`Value`] covers exactly that.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar value held by a tuple attribute.
+///
+/// Values are totally ordered so that they can be used as keys in sorted
+/// containers and in `GROUP BY` evaluation; the order places `Null` first,
+/// then integers, then booleans, then strings. Comparisons across types are
+/// well-defined but never considered "equal" unless both type and payload
+/// match.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL / absent value.
+    Null,
+    /// 64-bit signed integer (used for counts and the eCFD encoding codes).
+    Int(i64),
+    /// Boolean (used for the SV / MV violation flags).
+    Bool(bool),
+    /// UTF-8 string (used for cities, area codes, names, the '@' blank marker).
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Convenience constructor for boolean values.
+    pub fn bool(b: bool) -> Self {
+        Value::Bool(b)
+    }
+
+    /// Returns `true` when the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the contained integer, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string slice, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained boolean, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by the SQL engine when a value appears in a boolean
+    /// context: NULL and `false` and `0` are false, everything else is true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// A stable rank used to order values of different types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Bool(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// SQL-style three-valued equality: comparing with NULL yields `None`.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            None
+        } else {
+            Some(self == other)
+        }
+    }
+
+    /// Parses a value from its textual form, used by the CSV loader.
+    ///
+    /// Integers parse to [`Value::Int`]; the literal `NULL` (case-insensitive)
+    /// parses to [`Value::Null`]; `true`/`false` parse to booleans; everything
+    /// else is a string.
+    pub fn parse_literal(text: &str) -> Value {
+        if text.eq_ignore_ascii_case("null") {
+            return Value::Null;
+        }
+        if text.eq_ignore_ascii_case("true") {
+            return Value::Bool(true);
+        }
+        if text.eq_ignore_ascii_case("false") {
+            return Value::Bool(false);
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Value::Int(i);
+        }
+        Value::Str(text.to_string())
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Value::str("NYC").as_str(), Some("NYC"));
+        assert_eq!(Value::int(518).as_int(), Some(518));
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::int(1).as_str(), None);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse_literal() {
+        for v in [
+            Value::Null,
+            Value::int(-42),
+            Value::bool(true),
+            Value::str("Albany"),
+        ] {
+            let text = v.to_string();
+            assert_eq!(Value::parse_literal(&text), v);
+        }
+    }
+
+    #[test]
+    fn parse_literal_classifies_types() {
+        assert_eq!(Value::parse_literal("123"), Value::Int(123));
+        assert_eq!(Value::parse_literal("-7"), Value::Int(-7));
+        assert_eq!(Value::parse_literal("NULL"), Value::Null);
+        assert_eq!(Value::parse_literal("null"), Value::Null);
+        assert_eq!(Value::parse_literal("TRUE"), Value::Bool(true));
+        assert_eq!(Value::parse_literal("Troy"), Value::str("Troy"));
+        // Leading-zero strings like zip codes "085" still parse as integers;
+        // callers that need to preserve them should quote via schema types.
+        assert_eq!(Value::parse_literal("085"), Value::Int(85));
+    }
+
+    #[test]
+    fn ordering_is_total_and_groups_types() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::int(2),
+            Value::Null,
+            Value::str("a"),
+            Value::int(1),
+            Value::bool(false),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::int(1),
+                Value::int(2),
+                Value::bool(false),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn sql_eq_is_three_valued() {
+        assert_eq!(Value::int(1).sql_eq(&Value::int(1)), Some(true));
+        assert_eq!(Value::int(1).sql_eq(&Value::int(2)), Some(false));
+        assert_eq!(Value::Null.sql_eq(&Value::int(1)), None);
+        assert_eq!(Value::int(1).sql_eq(&Value::Null), None);
+        // Cross-type comparison is false, not NULL.
+        assert_eq!(Value::int(1).sql_eq(&Value::str("1")), Some(false));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::bool(false).is_truthy());
+        assert!(!Value::int(0).is_truthy());
+        assert!(!Value::str("").is_truthy());
+        assert!(Value::bool(true).is_truthy());
+        assert!(Value::int(5).is_truthy());
+        assert!(Value::str("x").is_truthy());
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        let v: Value = 5i64.into();
+        assert_eq!(v, Value::Int(5));
+        let v: Value = "hi".into();
+        assert_eq!(v, Value::str("hi"));
+        let v: Value = String::from("hi").into();
+        assert_eq!(v, Value::str("hi"));
+        let v: Value = true.into();
+        assert_eq!(v, Value::Bool(true));
+    }
+}

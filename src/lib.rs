@@ -1,0 +1,82 @@
+//! # ecfd
+//!
+//! Extended Conditional Functional Dependencies (eCFDs) for data cleaning —
+//! a reproduction of *"Increasing the Expressivity of Conditional Functional
+//! Dependencies without Extra Complexity"* (Bravo, Fan, Geerts, Ma;
+//! ICDE 2008) as a Rust workspace.
+//!
+//! This crate is the facade: it re-exports the workspace crates so that an
+//! application only needs one dependency.
+//!
+//! * [`relation`] — in-memory relational storage (schemas, relations, row
+//!   ids, indexes, catalogs, update batches, CSV I/O).
+//! * [`engine`] — a small SQL engine (parser + executor) playing the role of
+//!   the RDBMS the paper runs its detection queries on.
+//! * [`logic`] — propositional formulas and MAXGSAT approximation algorithms.
+//! * [`core`] — the eCFD constraint language: pattern tableaux, a textual
+//!   syntax, satisfaction semantics, exact satisfiability and implication,
+//!   and the MAXSS → MAXGSAT reduction.
+//! * [`detect`] — violation detection: the tableau-as-data encoding, the
+//!   SQL-based `BATCHDETECT`, the incremental `INCDETECT`, and a native
+//!   semantic detector.
+//! * [`datagen`] — synthetic workloads reproducing the paper's experimental
+//!   setting.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ecfd::prelude::*;
+//!
+//! // A toy cust table (Fig. 1 of the paper, abridged).
+//! let schema = Schema::builder("cust")
+//!     .attr("CT", DataType::Str)
+//!     .attr("AC", DataType::Str)
+//!     .build();
+//! let data = Relation::with_tuples(schema.clone(), [
+//!     Tuple::from_iter(["Albany", "718"]),   // wrong area code
+//!     Tuple::from_iter(["NYC", "212"]),
+//! ]).unwrap();
+//!
+//! // φ1 of the paper, written in the textual syntax.
+//! let phi1 = parse_ecfd(
+//!     "cust: [CT] -> [AC] | [], { !{NYC, LI} || _ ; {Albany, Troy, Colonie} || {518} }",
+//! ).unwrap();
+//!
+//! // Check the semantics directly…
+//! let result = check(&data, &phi1).unwrap();
+//! assert_eq!(result.single_tuple_violations().len(), 1);
+//!
+//! // …or run the SQL-based detector, as the paper does.
+//! let mut catalog = Catalog::new();
+//! catalog.create(data).unwrap();
+//! let detector = BatchDetector::new(&schema, &[phi1]).unwrap();
+//! let report = detector.detect(&mut catalog).unwrap();
+//! assert_eq!(report.num_sv(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ecfd_core as core;
+pub use ecfd_datagen as datagen;
+pub use ecfd_detect as detect;
+pub use ecfd_engine as engine;
+pub use ecfd_logic as logic;
+pub use ecfd_relation as relation;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use ecfd_core::{
+        check, check_all, parse_ecfd, parse_ecfds, Cfd, ECfd, ECfdBuilder, PatternTuple,
+        PatternValue, SatisfactionResult, Violation, ViolationKind, ViolationSet,
+    };
+    pub use ecfd_core::{implication, maxss, satisfiability};
+    pub use ecfd_detect::{
+        BatchDetector, DetectionReport, Encoding, IncrementalDetector, SemanticDetector,
+    };
+    pub use ecfd_engine::{Engine, ResultSet};
+    pub use ecfd_logic::{BoolExpr, MaxGSatInstance, MaxGSatSolver};
+    pub use ecfd_relation::{
+        Catalog, DataType, Delta, Domain, Relation, RowId, Schema, Tuple, Value,
+    };
+}

@@ -1,0 +1,200 @@
+//! End-to-end integration tests spanning the workspace crates: generated
+//! workloads → constraint parsing → SQL detection → incremental maintenance
+//! → static analyses.
+
+use ecfd::datagen::constraints::{workload_constraints, workload_with_scaled_constraint};
+use ecfd::datagen::{generate, generate_delta, CustConfig, UpdateConfig};
+use ecfd::prelude::*;
+
+fn workload(size: usize, noise: f64, seed: u64) -> (Schema, Relation, Vec<ECfd>) {
+    let (data, _) = generate(&CustConfig {
+        size,
+        noise_percent: noise,
+        seed,
+        ..CustConfig::default()
+    });
+    (data.schema().clone(), data, workload_constraints())
+}
+
+#[test]
+fn sql_batch_detection_agrees_with_reference_semantics_on_generated_data() {
+    for (size, noise, seed) in [(300usize, 0.0f64, 1u64), (300, 5.0, 2), (500, 9.0, 3)] {
+        let (schema, data, constraints) = workload(size, noise, seed);
+        let reference = check_all(&data, &constraints).unwrap();
+        let expected_sv = reference.violations().num_sv();
+        let expected_mv = reference.violations().num_mv();
+
+        let mut catalog = Catalog::new();
+        catalog.create(data).unwrap();
+        let report = BatchDetector::new(&schema, &constraints)
+            .unwrap()
+            .detect(&mut catalog)
+            .unwrap();
+        assert_eq!(report.num_sv(), expected_sv, "size {size} noise {noise}");
+        assert_eq!(report.num_mv(), expected_mv, "size {size} noise {noise}");
+        if noise == 0.0 {
+            assert!(report.is_clean(), "clean data must produce no violations");
+        } else {
+            assert!(!report.is_clean(), "noisy data must produce violations");
+        }
+    }
+}
+
+#[test]
+fn incremental_detection_tracks_batch_detection_across_update_rounds() {
+    let (schema, data, constraints) = workload(400, 5.0, 11);
+    let mut catalog = Catalog::new();
+    catalog.create(data.clone()).unwrap();
+    let mut inc = IncrementalDetector::initialize(&schema, &constraints, &mut catalog).unwrap();
+    let mut mirror = data;
+
+    for round in 0..3u64 {
+        let delta = generate_delta(
+            &mirror,
+            &UpdateConfig {
+                insertions: 60,
+                deletions: 40,
+                noise_percent: 10.0,
+                seed: 50 + round,
+                ..UpdateConfig::default()
+            },
+        );
+        inc.apply(&mut catalog, &delta).unwrap();
+        delta.apply(&mut mirror).unwrap();
+
+        let incremental = inc.report(&catalog).unwrap();
+        let mut scratch = Catalog::new();
+        scratch.create(mirror.clone()).unwrap();
+        let from_scratch = BatchDetector::new(&schema, &constraints)
+            .unwrap()
+            .detect(&mut scratch)
+            .unwrap();
+        assert_eq!(incremental.num_sv(), from_scratch.num_sv(), "round {round}");
+        assert_eq!(incremental.num_mv(), from_scratch.num_mv(), "round {round}");
+        assert_eq!(
+            catalog.get("cust").unwrap().len(),
+            mirror.len(),
+            "round {round}: table sizes diverged"
+        );
+    }
+}
+
+#[test]
+fn scaled_tableaux_are_detected_consistently_by_both_paths() {
+    let (data, _) = generate(&CustConfig {
+        size: 250,
+        noise_percent: 6.0,
+        seed: 21,
+        ..CustConfig::default()
+    });
+    let schema = data.schema().clone();
+    let constraints = workload_with_scaled_constraint(40, 5);
+
+    let semantic = SemanticDetector::new(&schema, &constraints)
+        .unwrap()
+        .detect(&data)
+        .unwrap();
+    let mut catalog = Catalog::new();
+    catalog.create(data).unwrap();
+    let sql = BatchDetector::new(&schema, &constraints)
+        .unwrap()
+        .detect(&mut catalog)
+        .unwrap();
+    assert_eq!(sql.num_sv(), semantic.num_sv());
+    assert_eq!(sql.num_mv(), semantic.num_mv());
+}
+
+#[test]
+fn constraint_round_trip_through_text_preserves_detection_results() {
+    let (schema, data, constraints) = workload(200, 5.0, 31);
+    // Serialise every constraint to the textual syntax and parse it back.
+    let reparsed: Vec<ECfd> = constraints
+        .iter()
+        .map(|c| parse_ecfd(&c.to_string()).unwrap())
+        .collect();
+    assert_eq!(constraints, reparsed);
+
+    let a = SemanticDetector::new(&schema, &constraints)
+        .unwrap()
+        .detect(&data)
+        .unwrap();
+    let b = SemanticDetector::new(&schema, &reparsed)
+        .unwrap()
+        .detect(&data)
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn workload_constraints_are_satisfiable_and_irredundant_enough() {
+    let (schema, _, constraints) = workload(50, 0.0, 41);
+    assert!(satisfiability::is_satisfiable(&schema, &constraints).unwrap());
+
+    // The MAXSS approximation (being an approximation) may fall a constraint
+    // short of the optimum on this large-active-domain workload, but it must
+    // never conclude "unsatisfiable" for a satisfiable set.
+    let outcome = maxss::approximate_max_satisfiable(
+        &schema,
+        &constraints,
+        MaxGSatSolver::LocalSearch {
+            restarts: 8,
+            max_flips: 400,
+        },
+        0.1,
+        3,
+    )
+    .unwrap();
+    assert!(outcome.satisfiable_subset.len() + 1 >= constraints.len());
+    assert_ne!(
+        outcome.verdict,
+        ecfd::core::maxss::SatisfiabilityVerdict::Unsatisfiable
+    );
+}
+
+#[test]
+fn sql_engine_round_trips_detection_flags() {
+    // After BATCHDETECT, the flags are ordinary columns and can be queried
+    // through the SQL engine like any other data.
+    let (schema, data, constraints) = workload(200, 5.0, 61);
+    let mut catalog = Catalog::new();
+    catalog.create(data).unwrap();
+    let report = BatchDetector::new(&schema, &constraints)
+        .unwrap()
+        .detect(&mut catalog)
+        .unwrap();
+
+    let engine = Engine::new();
+    let sv_count = engine
+        .query(&catalog, "SELECT COUNT(*) FROM cust WHERE SV = 1")
+        .unwrap();
+    assert_eq!(
+        sv_count.scalar().and_then(Value::as_int),
+        Some(report.num_sv() as i64)
+    );
+    let mv_count = engine
+        .query(&catalog, "SELECT COUNT(*) FROM cust WHERE MV = 1")
+        .unwrap();
+    assert_eq!(
+        mv_count.scalar().and_then(Value::as_int),
+        Some(report.num_mv() as i64)
+    );
+}
+
+#[test]
+fn csv_round_trip_preserves_detection_results() {
+    let (schema, data, constraints) = workload(150, 5.0, 71);
+    let text = ecfd::relation::csv::to_csv(&data);
+    let reloaded = ecfd::relation::csv::from_csv(schema.clone(), &text).unwrap();
+    assert_eq!(reloaded, data);
+
+    let a = SemanticDetector::new(&schema, &constraints)
+        .unwrap()
+        .detect(&data)
+        .unwrap();
+    let b = SemanticDetector::new(&schema, &constraints)
+        .unwrap()
+        .detect(&reloaded)
+        .unwrap();
+    assert_eq!(a.num_sv(), b.num_sv());
+    assert_eq!(a.num_mv(), b.num_mv());
+}
