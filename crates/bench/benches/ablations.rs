@@ -3,10 +3,10 @@
 //! query strategy vs one query pair per constraint, and the cost of building
 //! the tableau-as-data encoding as |Tp| grows.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecfd_bench::PreparedWorkload;
 use ecfd_detect::{BatchDetector, Encoding, SemanticDetector};
+use std::time::Duration;
 
 fn bench_sql_vs_native(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sql_vs_native");

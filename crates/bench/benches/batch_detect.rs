@@ -4,10 +4,10 @@
 //! Sizes are kept small (hundreds of tuples) because Criterion repeats every
 //! measurement many times; the `experiments` binary runs the full sweeps.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecfd_bench::PreparedWorkload;
 use ecfd_detect::BatchDetector;
+use std::time::Duration;
 
 fn bench_batch_scale_d(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5a_batch_scale_d");

@@ -1,10 +1,10 @@
 //! Criterion microbenchmarks behind Figs. 6(a)–(c) and 7(a): incremental
 //! detection vs batch recomputation under updates.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecfd_bench::PreparedWorkload;
 use ecfd_detect::{BatchDetector, IncrementalDetector};
+use std::time::Duration;
 
 /// Fig. 6(a) analogue: fixed update size, growing |D|; measures one
 /// incremental apply vs one batch recomputation.
@@ -72,8 +72,7 @@ fn bench_update_size(c: &mut Criterion) {
             BenchmarkId::new("batchdetect", delta_size),
             &delta_size,
             |b, _| {
-                let detector =
-                    BatchDetector::new(&workload.schema, &workload.constraints).unwrap();
+                let detector = BatchDetector::new(&workload.schema, &workload.constraints).unwrap();
                 b.iter(|| {
                     let mut updated = workload.data.clone();
                     delta.apply(&mut updated).unwrap();

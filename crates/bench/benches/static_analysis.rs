@@ -2,12 +2,12 @@
 //! exact satisfiability, exact implication, and the MAXGSAT-based MAXSS
 //! approximation (including a comparison of the MAXGSAT solvers).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecfd_core::{implication, maxss, satisfiability};
 use ecfd_datagen::constraints::workload_constraints;
 use ecfd_datagen::cust_schema;
 use ecfd_logic::MaxGSatSolver;
+use std::time::Duration;
 
 fn bench_satisfiability(c: &mut Criterion) {
     let mut group = c.benchmark_group("satisfiability");

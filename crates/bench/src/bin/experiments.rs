@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p ecfd-bench --release --bin experiments -- [EXPERIMENT ...] [--full]
+//! cargo run -p ecfd_bench --release --bin experiments -- [EXPERIMENT ...] [--full]
 //! ```
 //!
 //! `EXPERIMENT` is one of `fig5a fig5b fig5c fig6a fig6b fig6c fig7a fig7b
@@ -22,7 +22,9 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .cloned()
         .collect();
-    let all = ["fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablation"];
+    let all = [
+        "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "ablation",
+    ];
     let selected: Vec<&str> = if requested.is_empty() || requested.iter().any(|r| r == "all") {
         all.to_vec()
     } else {

@@ -49,7 +49,9 @@ impl Scale {
     fn update_sizes(self) -> Vec<usize> {
         match self {
             Scale::Small => vec![80, 160, 240, 320, 400, 480, 800, 1_600, 2_400],
-            Scale::Paper => vec![2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 20_000, 40_000, 60_000],
+            Scale::Paper => vec![
+                2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 20_000, 40_000, 60_000,
+            ],
         }
     }
 
@@ -76,7 +78,10 @@ pub struct Row {
 impl Row {
     /// Looks a series value up by name.
     pub fn value(&self, series: &str) -> Option<f64> {
-        self.values.iter().find(|(n, _)| *n == series).map(|(_, v)| *v)
+        self.values
+            .iter()
+            .find(|(n, _)| *n == series)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -166,8 +171,7 @@ pub fn fig5c(scale: Scale) -> Vec<Row> {
         .tp_sizes()
         .into_iter()
         .map(|tp| {
-            let workload =
-                PreparedWorkload::with_tableau_size(scale.fixed_d(), 5.0, 42, Some(tp));
+            let workload = PreparedWorkload::with_tableau_size(scale.fixed_d(), 5.0, 42, Some(tp));
             let (elapsed, _) = run_batch(&workload);
             Row {
                 x: tp as f64,
@@ -179,14 +183,21 @@ pub fn fig5c(scale: Scale) -> Vec<Row> {
 }
 
 /// Shared driver for Figs. 6(a)–(c): fixed-size updates, incremental vs batch.
-fn inc_vs_batch(workload: &PreparedWorkload, insertions: usize, deletions: usize) -> Vec<(&'static str, f64)> {
+fn inc_vs_batch(
+    workload: &PreparedWorkload,
+    insertions: usize,
+    deletions: usize,
+) -> Vec<(&'static str, f64)> {
     // Incremental: initialise on D, then apply ΔD.
     let mut inc_catalog = workload.catalog();
     let mut inc =
         IncrementalDetector::initialize(&workload.schema, &workload.constraints, &mut inc_catalog)
             .expect("incremental initialisation");
     let delta = workload.delta(insertions, deletions, 7);
-    let (inc_time, _) = time(|| inc.apply(&mut inc_catalog, &delta).expect("incremental apply"));
+    let (inc_time, _) = time(|| {
+        inc.apply(&mut inc_catalog, &delta)
+            .expect("incremental apply")
+    });
     let inc_report = inc.report(&inc_catalog).expect("incremental report");
 
     // Batch: apply the updates first, then detect from scratch (the paper:
@@ -198,8 +209,11 @@ fn inc_vs_batch(workload: &PreparedWorkload, insertions: usize, deletions: usize
     batch_catalog.create(updated).expect("fresh catalog");
     let detector = BatchDetector::new(&workload.schema, &workload.constraints)
         .expect("workload constraints encode");
-    let (batch_time, batch_report) =
-        time(|| detector.detect(&mut batch_catalog).expect("batch detection"));
+    let (batch_time, batch_report) = time(|| {
+        detector
+            .detect(&mut batch_catalog)
+            .expect("batch detection")
+    });
 
     // Sanity: both approaches agree on the violation counts.
     debug_assert_eq!(inc_report.num_sv(), batch_report.num_sv());
@@ -249,8 +263,7 @@ pub fn fig6c(scale: Scale) -> Vec<Row> {
         .tp_sizes()
         .into_iter()
         .map(|tp| {
-            let workload =
-                PreparedWorkload::with_tableau_size(scale.fixed_d(), 5.0, 42, Some(tp));
+            let workload = PreparedWorkload::with_tableau_size(scale.fixed_d(), 5.0, 42, Some(tp));
             Row {
                 x: tp as f64,
                 x_label: "|Tp|",
@@ -292,8 +305,8 @@ pub fn fig7a(scale: Scale) -> Vec<Row> {
 /// violations before and after updates, as the update size grows.
 pub fn fig7b(scale: Scale) -> Vec<Row> {
     let workload = PreparedWorkload::new(scale.fixed_d(), 5.0, 42);
-    let semantic = SemanticDetector::new(&workload.schema, &workload.constraints)
-        .expect("constraints bind");
+    let semantic =
+        SemanticDetector::new(&workload.schema, &workload.constraints).expect("constraints bind");
     let before = semantic.detect(&workload.data).expect("native detection");
     scale
         .update_sizes()

@@ -1,8 +1,8 @@
 //! Shared workload preparation for the experiments and Criterion benches.
 
 use ecfd_core::ECfd;
-use ecfd_datagen::{cust_schema, generate, generate_delta, CustConfig, UpdateConfig};
 use ecfd_datagen::constraints::{workload_constraints, workload_with_scaled_constraint};
+use ecfd_datagen::{cust_schema, generate, generate_delta, CustConfig, UpdateConfig};
 use ecfd_relation::{Catalog, Delta, Relation, Schema};
 
 /// A generated instance plus the constraint workload to check it against.

@@ -240,10 +240,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(phi3.tableau_size(), 2);
-        assert_eq!(
-            phi3.lhs_cell(1, "CT"),
-            Some(&PatternValue::in_set(["NYC"]))
-        );
+        assert_eq!(phi3.lhs_cell(1, "CT"), Some(&PatternValue::in_set(["NYC"])));
         assert_eq!(phi3.rhs_cell(1, "CT"), Some(&PatternValue::in_set(["LI"])));
     }
 

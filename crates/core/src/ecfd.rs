@@ -279,7 +279,14 @@ impl ECfd {
 
 impl fmt::Display for ECfd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: [{}] -> [{}] | [{}], {{ ", self.relation, self.lhs.join(", "), self.fd_rhs.join(", "), self.pattern_rhs.join(", "))?;
+        write!(
+            f,
+            "{}: [{}] -> [{}] | [{}], {{ ",
+            self.relation,
+            self.lhs.join(", "),
+            self.fd_rhs.join(", "),
+            self.pattern_rhs.join(", ")
+        )?;
         for (i, tp) in self.tableau.iter().enumerate() {
             if i > 0 {
                 write!(f, " ; ")?;

@@ -88,15 +88,7 @@ pub fn check_implication(
     // is covered by t1 == t2 (duplicate rows change nothing for eCFD
     // semantics, so {t, t} behaves like {t}).
     let mut assignment1: BTreeMap<String, Value> = BTreeMap::new();
-    let outcome = search_pair(
-        schema,
-        sigma,
-        phi,
-        &attrs,
-        0,
-        &mut assignment1,
-        &mut budget,
-    )?;
+    let outcome = search_pair(schema, sigma, phi, &attrs, 0, &mut assignment1, &mut budget)?;
     Ok(outcome.unwrap_or(ImplicationOutcome::Implied))
 }
 
@@ -197,16 +189,7 @@ fn search_pair(
             return Ok(Some(ImplicationOutcome::NotImplied(vec![t1])));
         }
         let mut assignment2: BTreeMap<String, Value> = BTreeMap::new();
-        return search_second(
-            schema,
-            sigma,
-            phi,
-            attrs,
-            0,
-            &t1,
-            &mut assignment2,
-            budget,
-        );
+        return search_second(schema, sigma, phi, attrs, 0, &t1, &mut assignment2, budget);
     }
     let (attr, values) = &attrs[depth];
     if values.is_empty() {
@@ -310,7 +293,7 @@ mod tests {
     fn constraint_implies_itself_and_weaker_variants() {
         let s = schema();
         let phi = phi1();
-        assert!(implies(&s, &[phi.clone()], &phi).unwrap());
+        assert!(implies(&s, std::slice::from_ref(&phi), &phi).unwrap());
 
         // A weaker constraint: only requires the binding for Albany.
         let weaker = ECfdBuilder::new("cust")
@@ -319,7 +302,7 @@ mod tests {
             .pattern(|p| p.in_set("CT", ["Albany"]).constant("AC", "518"))
             .build()
             .unwrap();
-        assert!(implies(&s, &[phi.clone()], &weaker).unwrap());
+        assert!(implies(&s, std::slice::from_ref(&phi), &weaker).unwrap());
         // …but not vice versa: the weaker constraint says nothing about Troy.
         assert!(!implies(&s, &[weaker], &phi).unwrap());
     }
@@ -392,7 +375,7 @@ mod tests {
             .pattern(|p| p.constant("CT", "NYC").in_set("AC", ["212", "718", "646"]))
             .build()
             .unwrap();
-        assert!(implies(&s, &[tight.clone()], &loose).unwrap());
+        assert!(implies(&s, std::slice::from_ref(&tight), &loose).unwrap());
         assert!(!implies(&s, &[loose], &tight).unwrap());
     }
 
@@ -400,8 +383,7 @@ mod tests {
     fn counterexample_instances_are_returned_and_valid() {
         let s = schema();
         let phi = phi1();
-        let outcome =
-            check_implication(&s, &[], &phi, ImplicationOptions::default()).unwrap();
+        let outcome = check_implication(&s, &[], &phi, ImplicationOptions::default()).unwrap();
         let witness = outcome.counterexample().expect("φ1 is not implied by ∅");
         assert!(!witness.is_empty() && witness.len() <= 2);
         let db = Relation::with_tuples(s.clone(), witness.iter().cloned()).unwrap();

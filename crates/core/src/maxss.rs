@@ -26,7 +26,9 @@ use crate::ecfd::ECfd;
 use crate::error::Result;
 use crate::pattern::PatternValue;
 use crate::satisfiability::{active_domains, single_tuple_satisfies};
-use ecfd_logic::{Assignment, BoolExpr, MaxGSatInstance, MaxGSatOutcome, MaxGSatSolver, VarId, VarPool};
+use ecfd_logic::{
+    Assignment, BoolExpr, MaxGSatInstance, MaxGSatOutcome, MaxGSatSolver, VarId, VarPool,
+};
 use ecfd_relation::{Schema, Tuple, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -102,8 +104,7 @@ impl MaxSsEncoding {
             for (i, a) in ids.iter().enumerate() {
                 for (j, b) in ids.iter().enumerate() {
                     if i != j {
-                        phi_r_parts
-                            .push(BoolExpr::var(*a).implies(BoolExpr::var(*b).not()));
+                        phi_r_parts.push(BoolExpr::var(*a).implies(BoolExpr::var(*b).not()));
                     }
                 }
             }
@@ -195,7 +196,11 @@ impl MaxSsEncoding {
 
     /// Runs a MAXGSAT solver on the encoding and maps the result back through
     /// `g`.
-    pub fn solve(&self, solver: MaxGSatSolver, seed: u64) -> Result<(MaxGSatOutcome, Vec<usize>, Tuple)> {
+    pub fn solve(
+        &self,
+        solver: MaxGSatSolver,
+        seed: u64,
+    ) -> Result<(MaxGSatOutcome, Vec<usize>, Tuple)> {
         let outcome = self.instance.solve(solver, seed);
         let (satisfied, tuple) = self.satisfied_constraints(&outcome.assignment)?;
         Ok((outcome, satisfied, tuple))
@@ -399,9 +404,7 @@ mod tests {
             let outcome = encoding
                 .instance()
                 .solve(MaxGSatSolver::RandomSampling { samples: 20 }, seed);
-            let (satisfied, _) = encoding
-                .satisfied_constraints(&outcome.assignment)
-                .unwrap();
+            let (satisfied, _) = encoding.satisfied_constraints(&outcome.assignment).unwrap();
             assert!(
                 satisfied.len() >= outcome.num_satisfied(),
                 "seed {seed}: g returned {} constraints but {} formulas were satisfied",
@@ -456,9 +459,15 @@ mod tests {
             }
             builder.build().unwrap()
         };
-        let e10 = MaxSsEncoding::build(&s, &[base(10)]).unwrap().encoded_size();
-        let e20 = MaxSsEncoding::build(&s, &[base(20)]).unwrap().encoded_size();
-        let e40 = MaxSsEncoding::build(&s, &[base(40)]).unwrap().encoded_size();
+        let e10 = MaxSsEncoding::build(&s, &[base(10)])
+            .unwrap()
+            .encoded_size();
+        let e20 = MaxSsEncoding::build(&s, &[base(20)])
+            .unwrap()
+            .encoded_size();
+        let e40 = MaxSsEncoding::build(&s, &[base(40)])
+            .unwrap()
+            .encoded_size();
         let d1 = e20 - e10;
         let d2 = e40 - e20;
         assert!(
@@ -478,14 +487,8 @@ mod tests {
     #[test]
     fn empty_constraint_set_is_trivially_satisfiable() {
         let s = schema();
-        let outcome = approximate_max_satisfiable(
-            &s,
-            &[],
-            MaxGSatSolver::default(),
-            0.1,
-            1,
-        )
-        .unwrap();
+        let outcome =
+            approximate_max_satisfiable(&s, &[], MaxGSatSolver::default(), 0.1, 1).unwrap();
         assert!(outcome.satisfiable_subset.is_empty());
         assert_eq!(outcome.verdict, SatisfiabilityVerdict::Satisfiable);
     }

@@ -64,12 +64,7 @@ impl<'a> Parser<'a> {
 
     fn error(&self, message: impl Into<String>) -> CoreError {
         CoreError::Parse {
-            position: self
-                .chars
-                .iter()
-                .take(self.pos)
-                .map(|c| c.len_utf8())
-                .sum(),
+            position: self.chars.iter().take(self.pos).map(|c| c.len_utf8()).sum(),
             message: message.into(),
         }
     }
@@ -211,7 +206,9 @@ impl<'a> Parser<'a> {
                 }
                 Ok(PatternValue::In(set))
             }
-            Some(c) => Err(self.error(format!("expected a pattern cell (`_`, `{{..}}` or `!{{..}}`), found `{c}`"))),
+            Some(c) => Err(self.error(format!(
+                "expected a pattern cell (`_`, `{{..}}` or `!{{..}}`), found `{c}`"
+            ))),
             None => Err(self.error("expected a pattern cell, found end of input")),
         }
     }
@@ -364,8 +361,7 @@ mod tests {
     fn empty_tableau_and_multi_attribute_sides() {
         let phi = parse_ecfd("t: [A, B] -> [C] | [D], { }").unwrap();
         assert_eq!(phi.tableau_size(), 0);
-        let phi =
-            parse_ecfd("t: [A, B] -> [C] | [D], { {a}, _ || !{c}, {d1, d2} }").unwrap();
+        let phi = parse_ecfd("t: [A, B] -> [C] | [D], { {a}, _ || !{c}, {d1, d2} }").unwrap();
         assert_eq!(phi.tableau_size(), 1);
         assert_eq!(phi.lhs_cell(0, "B"), Some(&PatternValue::Wildcard));
         assert_eq!(phi.rhs_cell(0, "C"), Some(&PatternValue::not_in_set(["c"])));
@@ -377,7 +373,11 @@ mod tests {
 
     #[test]
     fn display_output_reparses_to_the_same_constraint() {
-        for text in [PHI1, PHI2, "t: [A, B] -> [C] | [D], { {a}, _ || !{c}, {d1, d2} }"] {
+        for text in [
+            PHI1,
+            PHI2,
+            "t: [A, B] -> [C] | [D], { {a}, _ || !{c}, {d1, d2} }",
+        ] {
             let phi = parse_ecfd(text).unwrap();
             let round = parse_ecfd(&phi.to_string()).unwrap();
             assert_eq!(phi, round, "display of `{text}` should reparse identically");
@@ -393,7 +393,10 @@ mod tests {
             ("cust: [CT] -> [AC], { _ || }", "expected a pattern cell"),
             ("cust: [CT] -> [AC], { _ || {} }", "must not be empty"),
             ("cust: [CT] -> [AC], { _ || _ } trailing", "trailing"),
-            ("cust: [CT] -> [AC], { _ || {\"unterminated} }", "unterminated"),
+            (
+                "cust: [CT] -> [AC], { _ || {\"unterminated} }",
+                "unterminated",
+            ),
             ("cust: [CT] -> [AC], { _ || {#abc} }", "integer"),
         ];
         for (input, needle) in cases {
@@ -419,9 +422,7 @@ mod tests {
 
     #[test]
     fn parse_ecfds_handles_comments_and_blank_lines() {
-        let text = format!(
-            "// constraints from Fig. 2\n\n{PHI1}\n-- second one\n{PHI2}\n"
-        );
+        let text = format!("// constraints from Fig. 2\n\n{PHI1}\n-- second one\n{PHI2}\n");
         let all = parse_ecfds(&text).unwrap();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].tableau_size(), 2);

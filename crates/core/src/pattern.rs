@@ -218,6 +218,9 @@ mod tests {
         assert_eq!(PatternValue::wildcard().to_string(), "_");
         assert_eq!(PatternValue::in_set(["NYC", "LI"]).to_string(), "{LI, NYC}");
         assert_eq!(PatternValue::not_in_set(["NYC"]).to_string(), "!{NYC}");
-        assert_eq!(PatternValue::in_set([212i64, 718]).to_string(), "{212, 718}");
+        assert_eq!(
+            PatternValue::in_set([212i64, 718]).to_string(),
+            "{212, 718}"
+        );
     }
 }

@@ -85,7 +85,11 @@ pub fn satisfies_all(relation: &Relation, ecfds: &[ECfd]) -> Result<bool> {
     Ok(check_all(relation, ecfds)?.is_satisfied())
 }
 
-fn check_indexed(relation: &Relation, ecfd: &ECfd, constraint_idx: usize) -> Result<SatisfactionResult> {
+fn check_indexed(
+    relation: &Relation,
+    ecfd: &ECfd,
+    constraint_idx: usize,
+) -> Result<SatisfactionResult> {
     let bound = BoundECfd::bind(ecfd, relation.schema())?;
     let mut violations = ViolationSet::new();
 
@@ -114,7 +118,9 @@ fn check_indexed(relation: &Relation, ecfd: &ECfd, constraint_idx: usize) -> Res
             if !bound.fd_rhs_ids().is_empty() {
                 let key = bound.lhs_key(tuple);
                 let y = bound.fd_rhs_key(tuple);
-                let entry = groups.entry(key).or_insert_with(|| (y.clone(), Vec::new(), false));
+                let entry = groups
+                    .entry(key)
+                    .or_insert_with(|| (y.clone(), Vec::new(), false));
                 if entry.0 != y {
                     entry.2 = true;
                 }
@@ -211,12 +217,23 @@ mod tests {
 
         let r1 = check(&db, &phi1()).unwrap();
         assert!(!r1.is_satisfied());
-        assert_eq!(r1.single_tuple_violations(), vec![rows[0]], "only t1 violates φ1");
-        assert!(r1.multi_tuple_violations().is_empty(), "no FD conflict in D0 for φ1");
+        assert_eq!(
+            r1.single_tuple_violations(),
+            vec![rows[0]],
+            "only t1 violates φ1"
+        );
+        assert!(
+            r1.multi_tuple_violations().is_empty(),
+            "no FD conflict in D0 for φ1"
+        );
 
         let r2 = check(&db, &phi2()).unwrap();
         assert!(!r2.is_satisfied());
-        assert_eq!(r2.single_tuple_violations(), vec![rows[3]], "only t4 violates φ2");
+        assert_eq!(
+            r2.single_tuple_violations(),
+            vec![rows[3]],
+            "only t4 violates φ2"
+        );
     }
 
     #[test]
@@ -272,7 +289,9 @@ mod tests {
         // tuples to violate a standard FD."
         let db = Relation::with_tuples(
             cust_schema(),
-            [Tuple::from_iter(["718", "1", "Mike", "S", "Albany", "12238"])],
+            [Tuple::from_iter([
+                "718", "1", "Mike", "S", "Albany", "12238",
+            ])],
         )
         .unwrap();
         let result = check(&db, &phi1()).unwrap();
@@ -321,9 +340,9 @@ mod tests {
             schema,
             [
                 Tuple::from_iter(["a1", "b", "c1", "ok"]),
-                Tuple::from_iter(["a1", "b", "c2", "ok"]),   // FD conflict with row 0
-                Tuple::from_iter(["a2", "b", "c1", "bad"]),  // pattern violation on D
-                Tuple::from_iter(["zz", "b", "c9", "bad"]),  // outside I(tp): clean
+                Tuple::from_iter(["a1", "b", "c2", "ok"]), // FD conflict with row 0
+                Tuple::from_iter(["a2", "b", "c1", "bad"]), // pattern violation on D
+                Tuple::from_iter(["zz", "b", "c9", "bad"]), // outside I(tp): clean
             ],
         )
         .unwrap();
@@ -337,6 +356,9 @@ mod tests {
     fn tuples_checked_is_reported() {
         let db = d0();
         assert_eq!(check(&db, &phi1()).unwrap().tuples_checked(), 6);
-        assert_eq!(check_all(&db, &[phi1(), phi2()]).unwrap().tuples_checked(), 12);
+        assert_eq!(
+            check_all(&db, &[phi1(), phi2()]).unwrap().tuples_checked(),
+            12
+        );
     }
 }

@@ -201,7 +201,11 @@ fn violates_partial(ecfd: &ECfd, assignment: &BTreeMap<String, Value>) -> bool {
         for (attr, _cell) in ecfd.lhs().iter().zip(&tp.lhs) {
             match assignment.get(attr) {
                 Some(value) => {
-                    if !ecfd.lhs_cell(tp_idx, attr).expect("cell exists").matches(value) {
+                    if !ecfd
+                        .lhs_cell(tp_idx, attr)
+                        .expect("cell exists")
+                        .matches(value)
+                    {
                         lhs_definitely_unmatched = true;
                         break;
                     }

@@ -208,7 +208,9 @@ mod tests {
         assert_eq!(constraints.len(), 10);
         // φ1 has the complement-set pattern and the capital-district binding.
         assert!(constraints[0].to_string().contains("!{LI, NYC}"));
-        assert!(constraints[1].to_string().contains("{212, 347, 646, 718, 917}"));
+        assert!(constraints[1]
+            .to_string()
+            .contains("{212, 347, 646, 718, 917}"));
         // The workload uses all three features: wildcards, sets, complements,
         // and a non-empty Yp somewhere.
         assert!(constraints.iter().any(|c| !c.pattern_rhs().is_empty()));

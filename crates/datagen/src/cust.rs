@@ -80,6 +80,8 @@ pub fn clean_tuple(geo: &GeoCatalog, item_catalog: &[Item], rng: &mut StdRng) ->
 /// The kinds of noise the injector applies, mirroring "changing tuples in D in
 /// attributes in the right-hand side of some eCFDs from a correct to an
 /// incorrect value".
+// The `Wrong` prefix mirrors the paper's prose for the three corruption modes.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NoiseKind {
     /// Replace the area code with one that is wrong for the city.
@@ -122,7 +124,11 @@ pub fn generate(config: &CustConfig) -> (Relation, usize) {
 fn corrupt(geo: &GeoCatalog, tuple: &mut Tuple, kind: NoiseKind, rng: &mut StdRng) {
     let schema = cust_schema();
     let ct_idx = schema.attr_id("CT").expect("CT exists");
-    let city_name = tuple.value(ct_idx).as_str().expect("CT is a string").to_string();
+    let city_name = tuple
+        .value(ct_idx)
+        .as_str()
+        .expect("CT is a string")
+        .to_string();
     let city = geo.city(&city_name).expect("generated city exists");
     match kind {
         NoiseKind::WrongAreaCode => {
@@ -178,7 +184,12 @@ mod tests {
         assert!(
             result.is_satisfied(),
             "clean data must satisfy all 10 constraints; violations: {:?}",
-            result.violations().violations().iter().take(5).collect::<Vec<_>>()
+            result
+                .violations()
+                .violations()
+                .iter()
+                .take(5)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -209,10 +220,7 @@ mod tests {
         let (a, _) = generate(&config);
         let (b, _) = generate(&config);
         assert_eq!(a, b);
-        let (c, _) = generate(&CustConfig {
-            seed: 43,
-            ..config
-        });
+        let (c, _) = generate(&CustConfig { seed: 43, ..config });
         assert_ne!(a, c);
     }
 }

@@ -104,12 +104,18 @@ impl GeoCatalog {
 
     /// The cities with several admissible area codes (NYC, LI).
     pub fn multi_code_cities(&self) -> Vec<&City> {
-        self.cities.iter().filter(|c| !c.has_unique_area_code()).collect()
+        self.cities
+            .iter()
+            .filter(|c| !c.has_unique_area_code())
+            .collect()
     }
 
     /// The cities with a single admissible area code.
     pub fn single_code_cities(&self) -> Vec<&City> {
-        self.cities.iter().filter(|c| c.has_unique_area_code()).collect()
+        self.cities
+            .iter()
+            .filter(|c| c.has_unique_area_code())
+            .collect()
     }
 
     /// Picks a random city.
@@ -154,7 +160,11 @@ mod tests {
     fn standard_catalog_has_the_paper_structure() {
         let geo = GeoCatalog::standard();
         assert!(geo.cities().len() > 40);
-        let multi: Vec<&str> = geo.multi_code_cities().iter().map(|c| c.name.as_str()).collect();
+        let multi: Vec<&str> = geo
+            .multi_code_cities()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(multi, vec!["NYC", "LI"]);
         assert!(geo.single_code_cities().len() >= 10);
         let nyc = geo.city("NYC").unwrap();

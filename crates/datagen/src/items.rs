@@ -54,7 +54,9 @@ mod tests {
     fn catalog_cycles_types_and_titles_are_unique() {
         let items = item_catalog(30);
         assert_eq!(items.len(), 30);
-        assert!(items.iter().all(|i| ITEM_TYPES.contains(&i.item_type.as_str())));
+        assert!(items
+            .iter()
+            .all(|i| ITEM_TYPES.contains(&i.item_type.as_str())));
         let titles: std::collections::BTreeSet<_> = items.iter().map(|i| &i.title).collect();
         assert_eq!(titles.len(), 30);
         // Title prefix matches the type, so ITEM → ITYPE is a real FD.

@@ -19,6 +19,22 @@
 //! paper: [`cust::generate`] produces instances with controlled noise,
 //! [`constraints`] builds the 10-constraint workload and scales `|Tp|`, and
 //! [`updates::generate_delta`] produces disjoint `ΔD⁺` / `ΔD⁻` batches.
+//!
+//! ## Example
+//!
+//! ```
+//! use ecfd_datagen::{generate, workload_constraints, CustConfig};
+//!
+//! let (data, noisy_rows) = generate(&CustConfig {
+//!     size: 100,
+//!     noise_percent: 5.0,
+//!     seed: 42,
+//!     ..CustConfig::default()
+//! });
+//! assert_eq!(data.len(), 100);
+//! assert_eq!(noisy_rows, 5); // 5% of 100 tuples were corrupted
+//! assert_eq!(workload_constraints().len(), 10);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,5 +47,5 @@ pub mod updates;
 
 pub use constraints::{scale_tableau, workload_constraints};
 pub use cust::{cust_schema, generate, CustConfig};
-pub use geo::{GeoCatalog, City};
+pub use geo::{City, GeoCatalog};
 pub use updates::{generate_delta, UpdateConfig};

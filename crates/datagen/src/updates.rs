@@ -74,7 +74,11 @@ pub fn generate_delta(db: &Relation, config: &UpdateConfig) -> Delta {
         let mut tuple = clean_tuple(&geo, &item_catalog, &mut rng);
         if i < noisy_target {
             // Corrupt the area code — the simplest right-hand-side corruption.
-            let city_name = tuple.value(ct_idx).as_str().expect("CT is a string").to_string();
+            let city_name = tuple
+                .value(ct_idx)
+                .as_str()
+                .expect("CT is a string")
+                .to_string();
             let city = geo.city(&city_name).expect("generated city exists");
             tuple.set(ac_idx, geo.wrong_area_code(city, &mut rng).into());
         }
@@ -154,7 +158,10 @@ mod tests {
         );
         let (stats, _) = delta.apply(&mut db).unwrap();
         assert_eq!(stats.inserted, 30);
-        assert!(stats.deleted >= 30, "duplicates may remove a few extra rows");
+        assert!(
+            stats.deleted >= 30,
+            "duplicates may remove a few extra rows"
+        );
         assert_eq!(stats.missed_deletions, 0);
         assert_eq!(db.len(), before + 30 - stats.deleted);
     }

@@ -121,8 +121,8 @@ impl Encoding {
             let mut row = vec![Value::Null; enc.schema().arity()];
             row[0] = Value::Int(cid);
             // Default every code to 0 ("not present on this side").
-            for idx in 1..row.len() {
-                row[idx] = Value::Int(0);
+            for slot in row.iter_mut().skip(1) {
+                *slot = Value::Int(0);
             }
 
             // Left-hand side.

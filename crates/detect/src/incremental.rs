@@ -246,11 +246,7 @@ impl IncrementalDetector {
     /// violation status changed. A row's flag is the OR over *all* groups it
     /// belongs to, so membership in an unchanged violating group keeps the
     /// flag set.
-    fn reflag_members(
-        &self,
-        catalog: &mut Catalog,
-        changed: &HashSet<GroupKey>,
-    ) -> Result<usize> {
+    fn reflag_members(&self, catalog: &mut Catalog, changed: &HashSet<GroupKey>) -> Result<usize> {
         let relation = catalog.get_mut(&self.table)?;
         let stored_schema = relation.schema().clone();
         let mv_col = stored_schema.require_attr("MV")?;
@@ -337,15 +333,16 @@ mod tests {
             .unwrap();
         // Row ids differ between the two catalogs (the incremental table keeps
         // its original ids), so compare by the multiset of violating tuples.
-        let project = |cat: &Catalog, rows: &std::collections::BTreeSet<RowId>| -> Vec<Vec<Value>> {
-            let rel = cat.get("cust").unwrap();
-            let mut out: Vec<Vec<Value>> = rows
-                .iter()
-                .map(|r| rel.get(*r).unwrap().values()[..base_schema.arity()].to_vec())
-                .collect();
-            out.sort();
-            out
-        };
+        let project =
+            |cat: &Catalog, rows: &std::collections::BTreeSet<RowId>| -> Vec<Vec<Value>> {
+                let rel = cat.get("cust").unwrap();
+                let mut out: Vec<Vec<Value>> = rows
+                    .iter()
+                    .map(|r| rel.get(*r).unwrap().values()[..base_schema.arity()].to_vec())
+                    .collect();
+                out.sort();
+                out
+            };
         assert_eq!(
             project(catalog, &inc.sv_rows),
             project(&fresh, &batch.sv_rows),
@@ -362,7 +359,8 @@ mod tests {
     fn initialization_matches_batch_detection() {
         let mut catalog = fresh_catalog(&[]);
         let constraints = [phi1(), phi2()];
-        let inc = IncrementalDetector::initialize(&cust_schema(), &constraints, &mut catalog).unwrap();
+        let inc =
+            IncrementalDetector::initialize(&cust_schema(), &constraints, &mut catalog).unwrap();
         let report = inc.report(&catalog).unwrap();
         assert_eq!(report.num_sv(), 2);
         assert_eq!(report.num_mv(), 0);
@@ -389,7 +387,10 @@ mod tests {
         let report = inc.report(&catalog).unwrap();
         // 999/NYC violates φ2 (and φ... no, φ1 does not apply to NYC).
         // The Colonie group now has area codes {518, 212} → both rows MV.
-        assert!(report.num_sv() >= 3, "the two original SVs plus the new NYC tuple");
+        assert!(
+            report.num_sv() >= 3,
+            "the two original SVs plus the new NYC tuple"
+        );
         assert_eq!(report.num_mv(), 2);
         assert_matches_batch(&catalog, &constraints, &report);
     }
@@ -454,9 +455,16 @@ mod tests {
                 Tuple::from_iter(["315", "9", "Kim", "Elm St.", "Utica", "13501"]),
             ]),
             Delta {
-                insertions: vec![Tuple::from_iter(["607", "10", "Lee", "Ash St.", "Utica", "13502"])],
+                insertions: vec![Tuple::from_iter([
+                    "607", "10", "Lee", "Ash St.", "Utica", "13502",
+                ])],
                 deletions: vec![Tuple::from_iter([
-                    "718", "1111111", "Mike", "Tree Ave.", "Albany", "12238",
+                    "718",
+                    "1111111",
+                    "Mike",
+                    "Tree Ave.",
+                    "Albany",
+                    "12238",
                 ])],
             },
             Delta::delete_only(vec![Tuple::from_iter([

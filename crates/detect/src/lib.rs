@@ -30,6 +30,27 @@
 //!
 //! All detectors report a [`DetectionReport`] with the same shape, so they can
 //! be compared directly.
+//!
+//! ## Example
+//!
+//! ```
+//! use ecfd_core::parse_ecfd;
+//! use ecfd_detect::SemanticDetector;
+//! use ecfd_relation::{DataType, Relation, Schema, Tuple};
+//!
+//! let schema = Schema::builder("cust")
+//!     .attr("CT", DataType::Str)
+//!     .attr("AC", DataType::Str)
+//!     .build();
+//! let data = Relation::with_tuples(schema.clone(), [
+//!     Tuple::from_iter(["Albany", "518"]),
+//!     Tuple::from_iter(["Albany", "718"]), // wrong area code for Albany
+//! ]).unwrap();
+//!
+//! let phi = parse_ecfd("cust: [CT] -> [AC] | [], { {Albany} || {518} }").unwrap();
+//! let report = SemanticDetector::new(&schema, &[phi]).unwrap().detect(&data).unwrap();
+//! assert_eq!(report.num_sv(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -114,7 +114,12 @@ impl SemanticDetector {
                 if !bound.fd_rhs_ids().is_empty() {
                     let key = (ci, bound.lhs_key(tuple));
                     let y = bound.fd_rhs_key(tuple);
-                    *groups.entry(key.clone()).or_default().y_counts.entry(y).or_insert(0) += 1;
+                    *groups
+                        .entry(key.clone())
+                        .or_default()
+                        .y_counts
+                        .entry(y)
+                        .or_insert(0) += 1;
                     memberships.entry(key).or_default().push(row_id);
                 }
             }
@@ -336,8 +341,10 @@ mod tests {
     fn agreement_with_the_core_reference_semantics() {
         // The detector must agree with ecfd_core::satisfaction on every flag.
         let mut db = d0();
-        db.insert(Tuple::from_iter(["519", "7", "Zoe", "Pine St.", "Albany", "12239"]))
-            .unwrap();
+        db.insert(Tuple::from_iter([
+            "519", "7", "Zoe", "Pine St.", "Albany", "12239",
+        ]))
+        .unwrap();
         let constraints = [phi1(), phi2(), fd_ct_ac()];
         let detector = SemanticDetector::new(&cust_schema(), &constraints).unwrap();
         let report = detector.detect(&db).unwrap();

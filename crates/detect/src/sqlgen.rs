@@ -72,9 +72,7 @@ fn lhs_match(schema: &Schema, data_ref: &str) -> String {
 fn rhs_attr_violation(data_ref: &str, attr: &str) -> String {
     let code = enc_right_col(attr);
     let member = membership(data_ref, attr, true);
-    format!(
-        "(ABS(c.{code}) = 1 AND NOT {member}) OR (ABS(c.{code}) = 2 AND {member})"
-    )
+    format!("(ABS(c.{code}) = 1 AND NOT {member}) OR (ABS(c.{code}) = 2 AND {member})")
 }
 
 /// The disjunction of RHS violation conditions over every attribute of `R`.
@@ -142,7 +140,12 @@ fn macro_query(schema: &Schema, table: &str) -> String {
 /// relation.
 pub fn aux_insert(schema: &Schema, table: &str) -> String {
     let group_cols: Vec<String> = std::iter::once("m.CID".to_string())
-        .chain(schema.attributes().iter().map(|a| format!("m.{}", aux_col(&a.name))))
+        .chain(
+            schema
+                .attributes()
+                .iter()
+                .map(|a| format!("m.{}", aux_col(&a.name))),
+        )
         .collect();
     format!(
         "INSERT INTO {AUX_TABLE} SELECT {select} FROM ({macro_q}) m GROUP BY {group} HAVING COUNT(*) > 1",
@@ -287,6 +290,9 @@ mod tests {
     #[test]
     fn aux_table_ddl_covers_every_attribute() {
         let sql = create_aux_table(&cust_schema());
-        assert_eq!(sql, "CREATE TABLE ecfd_aux (CID INT, AC_X STR, CT_X STR, ZIP_X STR)");
+        assert_eq!(
+            sql,
+            "CREATE TABLE ecfd_aux (CID INT, AC_X STR, CT_X STR, ZIP_X STR)"
+        );
     }
 }

@@ -84,8 +84,7 @@ impl<'a> Env<'a> {
 ///
 /// The executor supplies this; keeping it a function pointer avoids a circular
 /// type dependency between evaluation and execution.
-pub type ExistsFn<'a> =
-    &'a dyn Fn(&Catalog, &crate::ast::Select, &Env<'_>) -> Result<bool>;
+pub type ExistsFn<'a> = &'a dyn Fn(&Catalog, &crate::ast::Select, &Env<'_>) -> Result<bool>;
 
 /// Evaluates an expression to a value.
 pub fn evaluate(
@@ -175,7 +174,9 @@ fn apply_function(name: &str, args: &[Value]) -> Result<Value> {
         "ABS" => match args {
             [Value::Int(i)] => Ok(Value::Int(i.abs())),
             [Value::Null] => Ok(Value::Null),
-            _ => Err(EngineError::Type(format!("ABS expects one integer, got {args:?}"))),
+            _ => Err(EngineError::Type(format!(
+                "ABS expects one integer, got {args:?}"
+            ))),
         },
         "COALESCE" => Ok(args
             .iter()
@@ -253,8 +254,16 @@ fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
 }
 
 fn three_valued_and(l: &Value, r: &Value) -> Value {
-    let lt = if l.is_null() { None } else { Some(l.is_truthy()) };
-    let rt = if r.is_null() { None } else { Some(r.is_truthy()) };
+    let lt = if l.is_null() {
+        None
+    } else {
+        Some(l.is_truthy())
+    };
+    let rt = if r.is_null() {
+        None
+    } else {
+        Some(r.is_truthy())
+    };
     match (lt, rt) {
         (Some(false), _) | (_, Some(false)) => Value::Bool(false),
         (Some(true), Some(true)) => Value::Bool(true),
@@ -263,8 +272,16 @@ fn three_valued_and(l: &Value, r: &Value) -> Value {
 }
 
 fn three_valued_or(l: &Value, r: &Value) -> Value {
-    let lt = if l.is_null() { None } else { Some(l.is_truthy()) };
-    let rt = if r.is_null() { None } else { Some(r.is_truthy()) };
+    let lt = if l.is_null() {
+        None
+    } else {
+        Some(l.is_truthy())
+    };
+    let rt = if r.is_null() {
+        None
+    } else {
+        Some(r.is_truthy())
+    };
     match (lt, rt) {
         (Some(true), _) | (_, Some(true)) => Value::Bool(true),
         (Some(false), Some(false)) => Value::Bool(false),

@@ -122,10 +122,8 @@ fn execute_select_bounded(
             .as_ref()
             .map(Expr::contains_aggregate)
             .unwrap_or(false);
-    let can_stop_early = !aggregating
-        && !select.distinct
-        && select.order_by.is_empty()
-        && select.limit.is_none();
+    let can_stop_early =
+        !aggregating && !select.distinct && select.order_by.is_empty() && select.limit.is_none();
 
     // Enumerate the cross product of the FROM items, keeping combinations that
     // pass the WHERE clause.
@@ -199,7 +197,11 @@ fn execute_select_bounded(
             let (combo, count) = &groups[&key];
             // For an empty global group there is no representative row; guard
             // by checking sources are non-empty before building bindings.
-            let representative: Vec<usize> = if *count == 0 { Vec::new() } else { combo.clone() };
+            let representative: Vec<usize> = if *count == 0 {
+                Vec::new()
+            } else {
+                combo.clone()
+            };
             let env = make_env(&sources, &representative, outer, Some(*count));
             if let Some(having) = &select.having {
                 if !evaluate(catalog, &env, having, &exists_subquery)?.is_truthy() {
@@ -833,7 +835,10 @@ mod tests {
         let mut catalog = Catalog::new();
         let engine = Engine::new();
         engine
-            .execute(&mut catalog, "CREATE TABLE flags (ID INT, SV BOOL, MV BOOL)")
+            .execute(
+                &mut catalog,
+                "CREATE TABLE flags (ID INT, SV BOOL, MV BOOL)",
+            )
             .unwrap();
         engine
             .execute(&mut catalog, "INSERT INTO flags VALUES (1, 0, 1)")

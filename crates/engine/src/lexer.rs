@@ -223,13 +223,16 @@ mod tests {
 
     #[test]
     fn tokenises_a_select_statement() {
-        let toks = tokenize("SELECT t.AC, COUNT(*) FROM cust t WHERE t.CT = 'NYC' -- comment\n").unwrap();
+        let toks =
+            tokenize("SELECT t.AC, COUNT(*) FROM cust t WHERE t.CT = 'NYC' -- comment\n").unwrap();
         assert_eq!(toks[0], Token::Ident("SELECT".into()));
         assert!(toks.contains(&Token::Dot));
         assert!(toks.contains(&Token::Star));
         assert!(toks.contains(&Token::Str("NYC".into())));
         // The trailing comment is dropped.
-        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "comment")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "comment")));
     }
 
     #[test]
@@ -259,7 +262,10 @@ mod tests {
 
     #[test]
     fn lex_errors() {
-        assert!(matches!(tokenize("SELECT 'oops"), Err(EngineError::Lex { .. })));
+        assert!(matches!(
+            tokenize("SELECT 'oops"),
+            Err(EngineError::Lex { .. })
+        ));
         assert!(matches!(tokenize("a ! b"), Err(EngineError::Lex { .. })));
         assert!(matches!(tokenize("a ? b"), Err(EngineError::Lex { .. })));
     }

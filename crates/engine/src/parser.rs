@@ -131,7 +131,9 @@ impl Parser {
             self.create_table()
         } else if self.eat_keyword("DROP") {
             self.expect_keyword("TABLE")?;
-            Ok(Statement::DropTable { name: self.ident()? })
+            Ok(Statement::DropTable {
+                name: self.ident()?,
+            })
         } else {
             Err(self.err(format!("expected a statement, found {:?}", self.peek())))
         }
@@ -227,9 +229,7 @@ impl Parser {
             // Implicit alias: a bare identifier after an expression, unless it
             // is a clause keyword.
             match self.peek() {
-                Some(Token::Ident(s))
-                    if !is_clause_keyword(s) =>
-                {
+                Some(Token::Ident(s)) if !is_clause_keyword(s) => {
                     let s = s.clone();
                     self.pos += 1;
                     Some(s)
@@ -638,9 +638,9 @@ impl Parser {
 
 fn is_clause_keyword(s: &str) -> bool {
     [
-        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AS", "ON", "AND", "OR", "NOT",
-        "IN", "IS", "SET", "VALUES", "SELECT", "EXISTS", "WHEN", "THEN", "ELSE", "END", "ASC",
-        "DESC", "BY", "DISTINCT", "UNION",
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AS", "ON", "AND", "OR", "NOT", "IN",
+        "IS", "SET", "VALUES", "SELECT", "EXISTS", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC",
+        "BY", "DISTINCT", "UNION",
     ]
     .iter()
     .any(|kw| s.eq_ignore_ascii_case(kw))
@@ -687,7 +687,9 @@ mod tests {
         assert_eq!(s.group_by.len(), 2);
         let having = s.having.unwrap();
         assert!(having.contains_aggregate());
-        assert!(matches!(s.items[2], SelectItem::Expr { ref expr, .. } if *expr == Expr::CountStar));
+        assert!(
+            matches!(s.items[2], SelectItem::Expr { ref expr, .. } if *expr == Expr::CountStar)
+        );
     }
 
     #[test]
@@ -758,7 +760,9 @@ mod tests {
 
     #[test]
     fn parses_insert_update_delete_create_drop() {
-        let stmt = parse_statement("INSERT INTO cust (CT, AC) VALUES ('NYC', '212'), ('LI', '516')").unwrap();
+        let stmt =
+            parse_statement("INSERT INTO cust (CT, AC) VALUES ('NYC', '212'), ('LI', '516')")
+                .unwrap();
         match stmt {
             Statement::Insert {
                 table,
@@ -772,7 +776,8 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
 
-        let stmt = parse_statement("INSERT INTO vio SELECT CT, AC FROM cust WHERE AC = '999'").unwrap();
+        let stmt =
+            parse_statement("INSERT INTO vio SELECT CT, AC FROM cust WHERE AC = '999'").unwrap();
         assert!(matches!(
             stmt,
             Statement::Insert {
@@ -783,7 +788,11 @@ mod tests {
 
         let stmt = parse_statement("UPDATE cust SET SV = 1, MV = 0 WHERE CT = 'NYC'").unwrap();
         match stmt {
-            Statement::Update { assignments, where_clause, .. } => {
+            Statement::Update {
+                assignments,
+                where_clause,
+                ..
+            } => {
                 assert_eq!(assignments.len(), 2);
                 assert!(where_clause.is_some());
             }
@@ -837,8 +846,18 @@ mod tests {
         let s = parse_select("SELECT A FROM t WHERE A = -2 OR B = 1 AND C = 2");
         // AND binds tighter than OR.
         match s.where_clause.unwrap() {
-            Expr::Binary { op: BinaryOp::Or, right, .. } => {
-                assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -63,6 +63,10 @@ impl BoolExpr {
     }
 
     /// Negation of `self`.
+    ///
+    /// Deliberately a consuming builder method rather than `std::ops::Not`,
+    /// matching the `and`/`or` combinators beside it.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         BoolExpr::Not(Box::new(self))
     }
@@ -152,7 +156,9 @@ impl BoolExpr {
         match self {
             BoolExpr::Const(_) | BoolExpr::Var(_) => 1,
             BoolExpr::Not(e) => 1 + e.size(),
-            BoolExpr::And(es) | BoolExpr::Or(es) => 1 + es.iter().map(BoolExpr::size).sum::<usize>(),
+            BoolExpr::And(es) | BoolExpr::Or(es) => {
+                1 + es.iter().map(BoolExpr::size).sum::<usize>()
+            }
             BoolExpr::Implies(a, b) => 1 + a.size() + b.size(),
         }
     }
@@ -302,8 +308,7 @@ mod tests {
     #[test]
     fn vars_and_size() {
         let (_, a, b, c) = pool3();
-        let e = BoolExpr::var(a)
-            .implies(BoolExpr::or([BoolExpr::var(b), BoolExpr::var(c).not()]));
+        let e = BoolExpr::var(a).implies(BoolExpr::or([BoolExpr::var(b), BoolExpr::var(c).not()]));
         assert_eq!(e.vars(), [a, b, c].into_iter().collect());
         assert_eq!(e.size(), 6);
     }
@@ -335,7 +340,10 @@ mod tests {
     fn simplify_preserves_semantics_on_all_assignments() {
         let (pool, a, b, c) = pool3();
         let exprs = vec![
-            BoolExpr::and([BoolExpr::var(a), BoolExpr::or([BoolExpr::var(b), BoolExpr::f()])]),
+            BoolExpr::and([
+                BoolExpr::var(a),
+                BoolExpr::or([BoolExpr::var(b), BoolExpr::f()]),
+            ]),
             BoolExpr::var(a).implies(BoolExpr::and([BoolExpr::var(b), BoolExpr::var(c)])),
             BoolExpr::or([
                 BoolExpr::var(a).not(),

@@ -19,6 +19,25 @@
 //!
 //! The crate has no knowledge of eCFDs; `ecfd-core`'s `maxss` module builds
 //! instances of these types from constraint sets.
+//!
+//! ## Example
+//!
+//! ```
+//! use ecfd_logic::{BoolExpr, MaxGSatInstance, VarId};
+//!
+//! // Two variables, three formulas; x0 ∧ ¬x0 cannot both hold, so the
+//! // optimum satisfies two of the three.
+//! let x0 = || BoolExpr::var(VarId(0));
+//! let x1 = || BoolExpr::var(VarId(1));
+//! let instance = MaxGSatInstance::new(2, vec![
+//!     x0(),
+//!     x0().not(),
+//!     BoolExpr::or([BoolExpr::and([x0(), x1()]), x1()]),
+//! ]);
+//! let outcome = instance.solve_exhaustive();
+//! assert_eq!(outcome.num_satisfied(), 2);
+//! assert!(outcome.proven_optimal);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -267,9 +267,7 @@ impl MaxGSatInstance {
                     current.flip(var);
                     let count = self.count_satisfied(&current);
                     current.flip(var);
-                    if count > current_count
-                        && best_flip.map(|(c, _)| count > c).unwrap_or(true)
-                    {
+                    if count > current_count && best_flip.map(|(c, _)| count > c).unwrap_or(true) {
                         best_flip = Some((count, var));
                     }
                 }

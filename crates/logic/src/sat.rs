@@ -56,7 +56,12 @@ pub fn exact_is_feasible(formulas: &[BoolExpr]) -> bool {
     true
 }
 
-fn backtrack(formulas: &[BoolExpr], vars: &[VarId], depth: usize, assignment: &mut Assignment) -> bool {
+fn backtrack(
+    formulas: &[BoolExpr],
+    vars: &[VarId],
+    depth: usize,
+    assignment: &mut Assignment,
+) -> bool {
     if depth == vars.len() {
         return formulas.iter().all(|f| f.eval(assignment));
     }
@@ -105,8 +110,7 @@ mod tests {
         for i in 0..xs.len() {
             for j in 0..xs.len() {
                 if i != j {
-                    at_most_one
-                        .push(BoolExpr::var(xs[i]).implies(BoolExpr::var(xs[j]).not()));
+                    at_most_one.push(BoolExpr::var(xs[i]).implies(BoolExpr::var(xs[j]).not()));
                 }
             }
         }

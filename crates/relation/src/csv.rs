@@ -144,12 +144,15 @@ pub fn from_csv(schema: Schema, text: &str) -> Result<Relation> {
                 Value::Null
             } else {
                 match attr.data_type() {
-                    DataType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| {
-                        RelationError::Csv {
-                            line: line_no,
-                            message: format!("`{field}` is not an integer for {}", attr.name),
-                        }
-                    })?,
+                    DataType::Int => {
+                        field
+                            .parse::<i64>()
+                            .map(Value::Int)
+                            .map_err(|_| RelationError::Csv {
+                                line: line_no,
+                                message: format!("`{field}` is not an integer for {}", attr.name),
+                            })?
+                    }
                     DataType::Bool => match field.to_ascii_lowercase().as_str() {
                         "true" | "1" => Value::Bool(true),
                         "false" | "0" => Value::Bool(false),

@@ -43,10 +43,7 @@ impl HashIndex {
     }
 
     fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
-        self.attrs
-            .iter()
-            .map(|a| tuple.value(*a).clone())
-            .collect()
+        self.attrs.iter().map(|a| tuple.value(*a).clone()).collect()
     }
 
     /// Registers a tuple under its key.
@@ -124,10 +121,7 @@ mod tests {
         let rel = sample();
         let idx = HashIndex::build(&rel, vec![AttrId(0), AttrId(1)]);
         assert_eq!(idx.lookup(&[Value::str("NYC"), Value::str("212")]).len(), 1);
-        assert_eq!(
-            idx.lookup_tuple(&Tuple::from_iter(["NYC", "718"])).len(),
-            1
-        );
+        assert_eq!(idx.lookup_tuple(&Tuple::from_iter(["NYC", "718"])).len(), 1);
     }
 
     #[test]

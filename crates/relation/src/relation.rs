@@ -173,13 +173,13 @@ impl Relation {
             .positions
             .get(&id)
             .ok_or(RelationError::UnknownRow(id.0))?;
-        let attr_meta = self
-            .schema
-            .attribute(attr)
-            .ok_or_else(|| RelationError::UnknownAttribute {
-                name: attr.to_string(),
-                relation: self.schema.name().to_string(),
-            })?;
+        let attr_meta =
+            self.schema
+                .attribute(attr)
+                .ok_or_else(|| RelationError::UnknownAttribute {
+                    name: attr.to_string(),
+                    relation: self.schema.name().to_string(),
+                })?;
         if !attr_meta.data_type().admits(&value) {
             return Err(RelationError::TypeMismatch {
                 attribute: attr_meta.name.clone(),
@@ -187,7 +187,10 @@ impl Relation {
                 actual: value.to_string(),
             });
         }
-        Ok(self.rows[pos].1.set(attr, value).expect("validated position"))
+        Ok(self.rows[pos]
+            .1
+            .set(attr, value)
+            .expect("validated position"))
     }
 
     /// Iterates over `(RowId, &Tuple)` pairs in storage order.
@@ -226,7 +229,7 @@ impl Relation {
         let schema = self.schema.extend(extra)?;
         let mut rel = Relation::new(schema);
         for (_, t) in &self.rows {
-            rel.insert(t.extended(std::iter::repeat(fill.clone()).take(n_extra)))?;
+            rel.insert(t.extended(std::iter::repeat_n(fill.clone(), n_extra)))?;
         }
         Ok(rel)
     }
@@ -334,16 +337,16 @@ mod tests {
         let removed = r.delete_matching(&Tuple::from_iter(["NYC", "212"]));
         assert_eq!(removed.len(), 2);
         assert_eq!(r.len(), 1);
-        assert!(r.delete_matching(&Tuple::from_iter(["Nowhere", "000"])).is_empty());
+        assert!(r
+            .delete_matching(&Tuple::from_iter(["Nowhere", "000"]))
+            .is_empty());
     }
 
     #[test]
     fn update_value_respects_types() {
         let mut r = rel_with(&[("Albany", "718")]);
         let id = r.row_ids()[0];
-        let old = r
-            .update_value(id, AttrId(1), Value::str("518"))
-            .unwrap();
+        let old = r.update_value(id, AttrId(1), Value::str("518")).unwrap();
         assert_eq!(old, Value::str("718"));
         assert_eq!(r.get(id).unwrap()[AttrId(1)], Value::str("518"));
         assert!(r.update_value(id, AttrId(1), Value::int(5)).is_err());

@@ -256,10 +256,11 @@ impl Schema {
     /// Looks up an attribute position by name, returning an error naming the
     /// relation when absent.
     pub fn require_attr(&self, name: &str) -> Result<AttrId> {
-        self.attr_id(name).ok_or_else(|| RelationError::UnknownAttribute {
-            name: name.to_string(),
-            relation: self.name.clone(),
-        })
+        self.attr_id(name)
+            .ok_or_else(|| RelationError::UnknownAttribute {
+                name: name.to_string(),
+                relation: self.name.clone(),
+            })
     }
 
     /// Names of all attributes, in order.
@@ -428,10 +429,7 @@ mod tests {
 
     #[test]
     fn finite_domain_contains_and_fresh_values() {
-        let d = Domain::finite(
-            DataType::Str,
-            ["a", "b", "c"].into_iter().map(Value::str),
-        );
+        let d = Domain::finite(DataType::Str, ["a", "b", "c"].into_iter().map(Value::str));
         assert!(d.is_finite());
         assert!(d.contains(&Value::str("a")));
         assert!(!d.contains(&Value::str("z")));

@@ -21,13 +21,6 @@ impl Tuple {
         Tuple { values }
     }
 
-    /// Creates a tuple from anything convertible into values.
-    pub fn from_iter<V: Into<Value>>(values: impl IntoIterator<Item = V>) -> Self {
-        Tuple {
-            values: values.into_iter().map(Into::into).collect(),
-        }
-    }
-
     /// Number of fields.
     pub fn arity(&self) -> usize {
         self.values.len()
@@ -66,7 +59,10 @@ impl Tuple {
     /// `t[Z]` notation).
     pub fn project(&self, attrs: &[AttrId]) -> Tuple {
         Tuple {
-            values: attrs.iter().map(|a| self.values[a.index()].clone()).collect(),
+            values: attrs
+                .iter()
+                .map(|a| self.values[a.index()].clone())
+                .collect(),
         }
     }
 
@@ -111,6 +107,17 @@ impl fmt::Display for Tuple {
             write!(f, "{v}")?;
         }
         write!(f, ")")
+    }
+}
+
+/// Creates a tuple from anything convertible into values, so that
+/// `Tuple::from_iter(["Albany", "518"])` and `iter.collect::<Tuple>()` both
+/// work.
+impl<V: Into<Value>> FromIterator<V> for Tuple {
+    fn from_iter<I: IntoIterator<Item = V>>(values: I) -> Self {
+        Tuple {
+            values: values.into_iter().map(Into::into).collect(),
+        }
     }
 }
 

@@ -65,9 +65,7 @@ impl Delta {
     /// Whether the insertion and deletion sets share a tuple (the experiments
     /// in the paper always keep them disjoint).
     pub fn overlaps(&self) -> bool {
-        self.deletions
-            .iter()
-            .any(|d| self.insertions.contains(d))
+        self.deletions.iter().any(|d| self.insertions.contains(d))
     }
 
     /// Applies the delta to a relation: deletions first, then insertions, as in

@@ -37,8 +37,7 @@ fn main() {
     }
 
     // --- exact satisfiability --------------------------------------------
-    let satisfiable =
-        satisfiability::is_satisfiable(&schema, &constraints).expect("analysis runs");
+    let satisfiable = satisfiability::is_satisfiable(&schema, &constraints).expect("analysis runs");
     println!("\nExact satisfiability of the whole set: {satisfiable}");
 
     // --- approximate MAXSS (Section IV) ------------------------------------
@@ -87,7 +86,6 @@ fn main() {
     // Spot-check one implication the paper-style reasoning predicts: the
     // Albany-only binding follows from φ1.
     let weaker = parse_ecfd("cust: [CT] -> [AC] | [], { {Albany} || {518} }").unwrap();
-    let implied =
-        implication::implies(&schema, &constraints[..1], &weaker).expect("analysis runs");
+    let implied = implication::implies(&schema, &constraints[..1], &weaker).expect("analysis runs");
     println!("\nφ1 ⊨ (Albany → 518)? {implied}");
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example data_cleaning [size] [noise%]`
 
-use ecfd::datagen::{generate, CustConfig};
 use ecfd::datagen::constraints::workload_constraints;
+use ecfd::datagen::{generate, CustConfig};
 use ecfd::prelude::*;
 
 fn main() {
@@ -26,7 +26,11 @@ fn main() {
     for (i, c) in constraints.iter().enumerate() {
         let text = c.to_string();
         let head: String = text.chars().take(90).collect();
-        println!("  φ{:2}: {head}{}", i + 1, if text.len() > 90 { "…" } else { "" });
+        println!(
+            "  φ{:2}: {head}{}",
+            i + 1,
+            if text.len() > 90 { "…" } else { "" }
+        );
     }
 
     // Per-constraint diagnosis with the reference semantics.
@@ -38,7 +42,10 @@ fn main() {
             .filter(|v| v.kind == ViolationKind::SingleTuple)
             .count();
         let mv = violations.len() - sv;
-        println!("  φ{:2}: {sv:5} single-tuple, {mv:5} multi-tuple violation records", constraint + 1);
+        println!(
+            "  φ{:2}: {sv:5} single-tuple, {mv:5} multi-tuple violation records",
+            constraint + 1
+        );
     }
     println!(
         "\nTotal dirty tuples: {} of {} ({:.2}%)",

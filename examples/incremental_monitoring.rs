@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example incremental_monitoring [size]`
 
-use ecfd::datagen::{generate, generate_delta, CustConfig, UpdateConfig};
 use ecfd::datagen::constraints::workload_constraints;
+use ecfd::datagen::{generate, generate_delta, CustConfig, UpdateConfig};
 use ecfd::prelude::*;
 use std::time::Instant;
 
@@ -59,7 +59,9 @@ fn main() {
         );
 
         let start = Instant::now();
-        let stats = monitor.apply(&mut catalog, &delta).expect("incremental apply");
+        let stats = monitor
+            .apply(&mut catalog, &delta)
+            .expect("incremental apply");
         let inc_time = start.elapsed();
         let report = monitor.report(&catalog).expect("report reads");
         println!(
@@ -71,7 +73,9 @@ fn main() {
         );
 
         // From-scratch comparison on the same updated data.
-        delta.apply(&mut mirror).expect("delta applies to the mirror");
+        delta
+            .apply(&mut mirror)
+            .expect("delta applies to the mirror");
         let mut scratch = Catalog::new();
         scratch.create(mirror.clone()).expect("fresh catalog");
         let start = Instant::now();
@@ -82,8 +86,16 @@ fn main() {
             scratch_report.num_sv(),
             scratch_report.num_mv()
         );
-        assert_eq!(report.num_sv(), scratch_report.num_sv(), "detectors must agree");
-        assert_eq!(report.num_mv(), scratch_report.num_mv(), "detectors must agree");
+        assert_eq!(
+            report.num_sv(),
+            scratch_report.num_sv(),
+            "detectors must agree"
+        );
+        assert_eq!(
+            report.num_mv(),
+            scratch_report.num_mv(),
+            "detectors must agree"
+        );
     }
     println!("\nIncremental and from-scratch detection agreed after every round.");
 }

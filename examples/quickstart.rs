@@ -55,7 +55,13 @@ fn main() {
     );
     for v in result.violations().violations() {
         let tuple = d0.get(v.row).expect("violating row exists");
-        println!("  t{} violates φ{} ({:?}): {}", v.row.as_u64() + 1, v.constraint + 1, v.kind, tuple);
+        println!(
+            "  t{} violates φ{} ({:?}): {}",
+            v.row.as_u64() + 1,
+            v.constraint + 1,
+            v.kind,
+            tuple
+        );
     }
 
     // --- 2. SQL-based BATCHDETECT ----------------------------------------

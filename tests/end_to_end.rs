@@ -181,6 +181,98 @@ fn sql_engine_round_trips_detection_flags() {
 }
 
 #[test]
+fn yp_attribute_violations_are_flagged_by_every_path_without_joining_the_fd() {
+    // The paper's extension beyond classic CFDs: `Yp` attributes carry
+    // right-hand-side *pattern* constraints without participating in the
+    // embedded FD. Here `φ = cust: [CT] → [AC] | [ZIP]` says NYC tuples must
+    // have zip codes in {10001, 10002} (a pure `Yp` constraint, the FD rhs
+    // cell is a wildcard), while CT still functionally determines AC.
+    let schema = Schema::builder("cust")
+        .attr("CT", DataType::Str)
+        .attr("AC", DataType::Str)
+        .attr("ZIP", DataType::Str)
+        .build();
+    let phi = parse_ecfd("cust: [CT] -> [AC] | [ZIP], { {NYC} || _, {10001, 10002} }").unwrap();
+    let constraints = vec![phi];
+
+    let mut data = Relation::new(schema.clone());
+    let clean_a = data
+        .insert(Tuple::from_iter(["NYC", "212", "10001"]))
+        .unwrap();
+    // Same AC, different ZIP: ZIP is in Yp, not Y, so this must NOT be a
+    // multi-tuple (FD) violation — only the pattern applies to it.
+    let clean_b = data
+        .insert(Tuple::from_iter(["NYC", "212", "10002"]))
+        .unwrap();
+    // Matches the lhs pattern but the ZIP falls outside the Yp set: the
+    // Yp-attribute single-tuple violation under test.
+    let yp_violation = data
+        .insert(Tuple::from_iter(["NYC", "212", "99999"]))
+        .unwrap();
+    // Outside I(tp) entirely; its ZIP would violate the pattern if Albany
+    // matched, so this guards against lhs matching being ignored.
+    let unmatched = data
+        .insert(Tuple::from_iter(["Albany", "518", "99999"]))
+        .unwrap();
+
+    let expected_sv: std::collections::BTreeSet<RowId> = [yp_violation].into_iter().collect();
+
+    // Reference semantics.
+    let reference = check_all(&data, &constraints).unwrap();
+    assert_eq!(reference.violations().sv_rows(), &expected_sv);
+    assert!(reference.violations().mv_rows().is_empty());
+
+    // Native semantic detector.
+    let semantic = SemanticDetector::new(&schema, &constraints)
+        .unwrap()
+        .detect(&data)
+        .unwrap();
+    assert_eq!(semantic.sv_rows, expected_sv);
+    assert!(semantic.mv_rows.is_empty());
+
+    // SQL BATCHDETECT.
+    let mut catalog = Catalog::new();
+    catalog.create(data.clone()).unwrap();
+    let sql = BatchDetector::new(&schema, &constraints)
+        .unwrap()
+        .detect(&mut catalog)
+        .unwrap();
+    assert_eq!(sql.sv_rows, expected_sv);
+    assert!(sql.mv_rows.is_empty());
+
+    // Incremental maintenance: inserting a fresh Yp violation and a genuine
+    // FD violation updates the flags to distinguish the two kinds.
+    let mut inc = IncrementalDetector::initialize(&schema, &constraints, &mut catalog).unwrap();
+    let delta = Delta {
+        insertions: vec![
+            Tuple::from_iter(["NYC", "212", "10003"]), // new Yp violation
+            Tuple::from_iter(["NYC", "646", "10001"]), // AC conflict → MV
+        ],
+        deletions: vec![],
+    };
+    inc.apply(&mut catalog, &delta).unwrap();
+    let report = inc.report(&catalog).unwrap();
+    // SV: the original bad zip plus the freshly inserted one.
+    assert_eq!(report.num_sv(), 2);
+    // MV: every NYC tuple now sits in a group where CT no longer determines
+    // AC (the two clean tuples, the two bad-zip tuples, and the 646 tuple);
+    // the Albany tuple stays untouched.
+    assert_eq!(report.num_mv(), 5);
+    assert!(!report.violating_rows().contains(&unmatched));
+    assert!(report.mv_rows.contains(&clean_a) && report.mv_rows.contains(&clean_b));
+
+    // The incremental picture must match recomputation from scratch.
+    let mut updated = data;
+    delta.apply(&mut updated).unwrap();
+    let scratch = SemanticDetector::new(&schema, &constraints)
+        .unwrap()
+        .detect(&updated)
+        .unwrap();
+    assert_eq!(report.num_sv(), scratch.num_sv());
+    assert_eq!(report.num_mv(), scratch.num_mv());
+}
+
+#[test]
 fn csv_round_trip_preserves_detection_results() {
     let (schema, data, constraints) = workload(150, 5.0, 71);
     let text = ecfd::relation::csv::to_csv(&data);

@@ -1,0 +1,275 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset of the criterion API the bench targets use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a simple wall-clock
+//! harness: it warms up for `warm_up_time`, then runs `sample_size` samples
+//! whose iteration counts are sized to fill `measurement_time`, and prints
+//! mean / min / max per benchmark. There is no statistical analysis, HTML
+//! report, or baseline comparison.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs each benchmark for
+//! a single iteration, so benches double as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver; one per bench target.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // Recognise the flags cargo passes to bench binaries; ignore the rest
+        // (e.g. `--bench`, which cargo always appends).
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Self { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget each benchmark's samples share.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| routine(b));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group. (Statistics are printed per benchmark as they run.)
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut bencher = Bencher {
+                mode: Mode::Test,
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            routine(&mut bencher);
+            println!("test {full} ... ok");
+            return;
+        }
+
+        // Warm-up: run until the warm-up budget is spent, measuring the mean
+        // iteration cost to size the measurement samples.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut bencher = Bencher {
+            mode: Mode::Measure,
+            elapsed: Duration::ZERO,
+            iterations: 1,
+        };
+        while warm_start.elapsed() < self.warm_up_time {
+            routine(&mut bencher);
+            warm_iters += bencher.iterations;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size each sample so all samples together roughly fill the budget.
+        let budget = self.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut times = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iterations = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            routine(&mut bencher);
+            times.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{full:<50} time: [{} {} {}]",
+            format_time(min),
+            format_time(mean),
+            format_time(max)
+        );
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Test,
+    Measure,
+}
+
+/// Timer handle passed to benchmark routines.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the harness requests.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iterations {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

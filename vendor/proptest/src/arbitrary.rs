@@ -1,0 +1,50 @@
+//! The [`Arbitrary`] trait and the [`any`] entry point.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy producing arbitrary values of `A`; returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<A> {
+    _marker: PhantomData<fn() -> A>,
+}
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+/// Returns the canonical strategy for `A`, mirroring `proptest::arbitrary::any`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

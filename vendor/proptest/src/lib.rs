@@ -1,0 +1,110 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset of the proptest API the workspace's property-based tests use:
+//! the [`Strategy`] trait with `prop_map`/`boxed`, range and tuple strategies,
+//! [`collection::vec`] / [`collection::btree_set`], [`option::of`], [`Just`],
+//! `any::<T>()`, and the `proptest!` / `prop_oneof!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest: generation is driven by a deterministic
+//! per-test PRNG (fixed seed, overridable via `PROPTEST_RNG_SEED`), and there
+//! is **no shrinking** — a failing case panics with the assertion message
+//! directly. That is sufficient for CI-grade property checking; failures
+//! reproduce exactly across runs because the seed is fixed.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs a block of property-based test functions.
+///
+/// Supported shape (a subset of real proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_property(x in 0..10usize, v in collection::vec(any::<bool>(), 5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategies = ($($strat,)+);
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(::core::stringify!($name));
+            for __case in 0..__config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                let _ = __case;
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniformly chooses among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}

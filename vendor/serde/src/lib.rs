@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. The workspace only uses
+//! serde to *mark* types with `#[derive(Serialize, Deserialize)]`; no code
+//! path serialises anything. This crate therefore exposes the two trait names
+//! and re-exports no-op derive macros from the sibling `serde_derive` shim.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

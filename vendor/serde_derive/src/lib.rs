@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro crate
+//! accepts the `#[derive(Serialize, Deserialize)]` attributes used throughout
+//! the workspace (including `#[serde(..)]` helper attributes) and expands to
+//! nothing. Nothing in the workspace performs actual serialisation; the
+//! derives only mark types as serialisable for downstream consumers.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
