@@ -28,6 +28,11 @@
 //!   differential testing and as the "native" baseline in the ablation
 //!   benchmarks.
 //!
+//! * [`evidence`] extends all three detectors beyond the paper's flags: an
+//!   [`EvidenceReport`] names, for every flagged row, the violated constraint
+//!   and pattern tuple, and for multi-tuple violations the offending group —
+//!   the input the `ecfd_repair` crate turns into repairs.
+//!
 //! All detectors report a [`DetectionReport`] with the same shape, so they can
 //! be compared directly.
 //!
@@ -57,6 +62,7 @@
 
 pub mod batch;
 pub mod encode;
+pub mod evidence;
 pub mod incremental;
 pub mod report;
 pub mod semantic;
@@ -64,6 +70,7 @@ pub mod sqlgen;
 
 pub use batch::BatchDetector;
 pub use encode::Encoding;
+pub use evidence::{ConstraintRef, EvidenceReport, MvEvidence, SvEvidence};
 pub use incremental::IncrementalDetector;
 pub use report::DetectionReport;
 pub use semantic::SemanticDetector;

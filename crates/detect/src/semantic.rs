@@ -12,6 +12,7 @@
 //! It also exposes the group bookkeeping (`(CID, X-projection) → distinct Y
 //! projections`) that the incremental detector maintains.
 
+use crate::evidence::{ConstraintRef, EvidenceReport, MvEvidence, SvEvidence};
 use crate::report::DetectionReport;
 use crate::Result;
 use ecfd_core::matching::BoundECfd;
@@ -49,6 +50,10 @@ impl GroupState {
 pub struct SemanticDetector {
     ecfds: Vec<ECfd>,
     singles: Vec<ECfd>,
+    /// For every split single-pattern constraint, the `(constraint, pattern)`
+    /// indices it came from — used to attribute evidence back to the user's
+    /// original constraints.
+    provenance: Vec<(usize, usize)>,
 }
 
 impl SemanticDetector {
@@ -57,10 +62,16 @@ impl SemanticDetector {
         for e in ecfds {
             e.validate_against(schema)?;
         }
-        let singles = split_patterns(ecfds).into_iter().map(|s| s.ecfd).collect();
+        let split = split_patterns(ecfds);
+        let provenance = split
+            .iter()
+            .map(|s| (s.source_constraint, s.source_pattern))
+            .collect();
+        let singles = split.into_iter().map(|s| s.ecfd).collect();
         Ok(SemanticDetector {
             ecfds: ecfds.to_vec(),
             singles,
+            provenance,
         })
     }
 
@@ -73,6 +84,12 @@ impl SemanticDetector {
     /// constraint indices).
     pub fn singles(&self) -> &[ECfd] {
         &self.singles
+    }
+
+    /// `(constraint, pattern)` provenance of every split constraint, parallel
+    /// to [`SemanticDetector::singles`].
+    pub fn provenance(&self) -> &[(usize, usize)] {
+        &self.provenance
     }
 
     /// Detects violations in a relation, returning the report without
@@ -93,8 +110,38 @@ impl SemanticDetector {
         &self,
         relation: &Relation,
     ) -> Result<(DetectionReport, HashMap<GroupKey, GroupState>)> {
+        let (report, _, groups) = self.detect_full(relation)?;
+        Ok((report, groups))
+    }
+
+    /// Detects violations and explains them: alongside the flag-level report,
+    /// returns [`EvidenceReport`] records naming, for every flagged row, the
+    /// violated constraint and pattern tuple — and for multi-tuple violations
+    /// the offending group key.
+    pub fn detect_with_evidence(
+        &self,
+        relation: &Relation,
+    ) -> Result<(DetectionReport, EvidenceReport)> {
+        let (report, evidence, _) = self.detect_full(relation)?;
+        Ok((report, evidence))
+    }
+
+    /// The full scan behind every `detect*` entry point: flags, evidence and
+    /// group state in one pass over the relation.
+    pub fn detect_full(
+        &self,
+        relation: &Relation,
+    ) -> Result<(
+        DetectionReport,
+        EvidenceReport,
+        HashMap<GroupKey, GroupState>,
+    )> {
         let bounds = self.bind(relation.schema())?;
         let mut report = DetectionReport {
+            total_rows: relation.len(),
+            ..Default::default()
+        };
+        let mut evidence = EvidenceReport {
             total_rows: relation.len(),
             ..Default::default()
         };
@@ -110,6 +157,11 @@ impl SemanticDetector {
                 }
                 if !bound.rhs_matches(tuple, 0) {
                     report.sv_rows.insert(row_id);
+                    let (constraint, pattern) = self.provenance[ci];
+                    evidence.sv.push(SvEvidence {
+                        row: row_id,
+                        source: ConstraintRef::new(constraint, pattern),
+                    });
                 }
                 if !bound.fd_rhs_ids().is_empty() {
                     let key = (ci, bound.lhs_key(tuple));
@@ -128,10 +180,17 @@ impl SemanticDetector {
             if state.violates() {
                 if let Some(rows) = memberships.get(key) {
                     report.mv_rows.extend(rows.iter().copied());
+                    let (constraint, pattern) = self.provenance[key.0];
+                    evidence.mv_groups.push(MvEvidence {
+                        source: ConstraintRef::new(constraint, pattern),
+                        group_key: key.1.clone(),
+                        rows: rows.iter().copied().collect(),
+                    });
                 }
             }
         }
-        Ok((report, groups))
+        evidence.normalize();
+        Ok((report, evidence, groups))
     }
 
     /// Detects violations and writes the `SV` / `MV` flag columns of the named
@@ -352,6 +411,47 @@ mod tests {
         let expected = DetectionReport::from_violation_set(reference.violations(), db.len());
         assert_eq!(report.sv_rows, expected.sv_rows);
         assert_eq!(report.mv_rows, expected.mv_rows);
+    }
+
+    #[test]
+    fn evidence_names_the_violated_constraints_of_example_2_2() {
+        use crate::evidence::ConstraintRef;
+        let detector = SemanticDetector::new(&cust_schema(), &[phi1(), phi2()]).unwrap();
+        let db = d0();
+        let (report, evidence) = detector.detect_with_evidence(&db).unwrap();
+        assert_eq!(evidence.detection_report(), report);
+        let rows = db.row_ids();
+        // t1 (Albany, 718) violates the second pattern tuple of φ1;
+        // t4 (NYC, 100) violates the single pattern tuple of φ2.
+        assert_eq!(
+            evidence.sv_pairs(),
+            [
+                (rows[0], ConstraintRef::new(0, 1)),
+                (rows[3], ConstraintRef::new(1, 0)),
+            ]
+            .into_iter()
+            .collect()
+        );
+        assert!(evidence.mv_groups.is_empty());
+    }
+
+    #[test]
+    fn mv_evidence_reports_the_offending_group_key() {
+        let mut db = d0();
+        db.insert(Tuple::from_iter([
+            "519", "7", "Zoe", "Pine St.", "Albany", "12239",
+        ]))
+        .unwrap();
+        let detector = SemanticDetector::new(&cust_schema(), &[phi1()]).unwrap();
+        let (_, evidence) = detector.detect_with_evidence(&db).unwrap();
+        // Albany matches both pattern tuples of φ1 → one violating group per
+        // pattern tuple, same key, same two member rows.
+        assert_eq!(evidence.num_groups(), 2);
+        for group in &evidence.mv_groups {
+            assert_eq!(group.group_key, vec![Value::str("Albany")]);
+            assert_eq!(group.rows.len(), 2);
+            assert_eq!(group.source.constraint, 0);
+        }
     }
 
     #[test]

@@ -49,5 +49,7 @@ pub mod sat;
 
 pub use assignment::{Assignment, VarPool};
 pub use expr::{BoolExpr, VarId};
-pub use maxgsat::{MaxGSatInstance, MaxGSatOutcome, MaxGSatSolver};
+pub use maxgsat::{
+    HardSoftInstance, HardSoftOutcome, MaxGSatInstance, MaxGSatOutcome, MaxGSatSolver,
+};
 pub use sat::{is_satisfiable, satisfying_assignment};

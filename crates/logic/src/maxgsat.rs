@@ -1,7 +1,7 @@
 //! MAXGSAT: maximise the number of satisfied Boolean expressions.
 //!
 //! The *Maximum Generalized Satisfiability* problem (Papadimitriou,
-//! "Computational Complexity", 1994 — reference [7] of the paper) asks, given a
+//! "Computational Complexity", 1994 — reference \[7\] of the paper) asks, given a
 //! set `Φ = {φ_1, …, φ_m}` of arbitrary Boolean expressions, for a truth
 //! assignment satisfying as many of them as possible. The eCFD MAXSS problem
 //! reduces to it (Section IV), so this module provides several solvers:
@@ -297,6 +297,102 @@ impl MaxGSatInstance {
     }
 }
 
+/// A MAXGSAT instance assembled from *hard* formulas (which any useful
+/// assignment must satisfy) and *soft* formulas (whose satisfied count is to
+/// be maximised).
+///
+/// MAXGSAT has no native notion of weights, so each hard formula is replicated
+/// `soft.len() + 1` times in the underlying instance: violating even one hard
+/// formula then costs more than satisfying every soft formula can gain, and an
+/// optimal assignment satisfies all hard formulas whenever that is possible at
+/// all. This is the oracle shape the repair subsystem uses — hard conflict
+/// constraints ("these two tuples cannot both be kept") against soft retention
+/// goals ("keep this tuple").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardSoftInstance {
+    instance: MaxGSatInstance,
+    num_hard: usize,
+    num_soft: usize,
+    replication: usize,
+}
+
+/// Outcome of solving a [`HardSoftInstance`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardSoftOutcome {
+    /// The best assignment found.
+    pub assignment: Assignment,
+    /// Whether the assignment satisfies *every* hard formula. When the solver
+    /// is exact and this is `false`, the hard formulas are jointly
+    /// unsatisfiable.
+    pub hard_satisfied: bool,
+    /// Indices (into the soft formula list) of the satisfied soft formulas.
+    pub soft_satisfied: Vec<usize>,
+    /// Whether the underlying solver proves optimality (exhaustive only).
+    pub proven_optimal: bool,
+}
+
+impl HardSoftInstance {
+    /// Builds the replicated instance over `num_vars` variables.
+    pub fn new(num_vars: usize, hard: Vec<BoolExpr>, soft: Vec<BoolExpr>) -> Self {
+        let replication = soft.len() + 1;
+        let mut formulas = Vec::with_capacity(hard.len() * replication + soft.len());
+        for h in &hard {
+            formulas.extend(std::iter::repeat_n(h.clone(), replication));
+        }
+        formulas.extend(soft.iter().cloned());
+        HardSoftInstance {
+            num_hard: hard.len(),
+            num_soft: soft.len(),
+            replication,
+            instance: MaxGSatInstance::new(num_vars, formulas),
+        }
+    }
+
+    /// The underlying (replicated) MAXGSAT instance.
+    pub fn instance(&self) -> &MaxGSatInstance {
+        &self.instance
+    }
+
+    /// Number of hard formulas.
+    pub fn num_hard(&self) -> usize {
+        self.num_hard
+    }
+
+    /// Number of soft formulas.
+    pub fn num_soft(&self) -> usize {
+        self.num_soft
+    }
+
+    /// How many times each hard formula is replicated.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Runs `solver` on the replicated instance and splits the outcome back
+    /// into its hard / soft components.
+    pub fn solve(&self, solver: MaxGSatSolver, seed: u64) -> HardSoftOutcome {
+        let outcome = self.instance.solve(solver, seed);
+        let hard_region = self.num_hard * self.replication;
+        let hard_satisfied = (0..self.num_hard).all(|h| {
+            // Replicas of one hard formula are contiguous; checking the first
+            // replica suffices since they are identical.
+            self.instance.formulas()[h * self.replication].eval(&outcome.assignment)
+        });
+        let soft_satisfied = outcome
+            .satisfied
+            .iter()
+            .filter(|&&i| i >= hard_region)
+            .map(|&i| i - hard_region)
+            .collect();
+        HardSoftOutcome {
+            assignment: outcome.assignment,
+            hard_satisfied,
+            soft_satisfied,
+            proven_optimal: outcome.proven_optimal,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,5 +532,50 @@ mod tests {
     fn exhaustive_rejects_large_instances() {
         let inst = MaxGSatInstance::new(30, vec![BoolExpr::t()]);
         let _ = inst.solve_exhaustive();
+    }
+
+    #[test]
+    fn hard_formulas_dominate_soft_formulas() {
+        // Vertex-cover-flavoured instance: keep as many of {a, b, c} as
+        // possible, but a and b conflict. Optimum keeps two variables.
+        let mut pool = VarPool::new();
+        let a = pool.fresh("a");
+        let b = pool.fresh("b");
+        let c = pool.fresh("c");
+        let hard = vec![BoolExpr::and([BoolExpr::var(a), BoolExpr::var(b)]).not()];
+        let soft = vec![BoolExpr::var(a), BoolExpr::var(b), BoolExpr::var(c)];
+        let hs = HardSoftInstance::new(pool.len(), hard, soft);
+        assert_eq!(hs.num_hard(), 1);
+        assert_eq!(hs.num_soft(), 3);
+        assert_eq!(hs.replication(), 4);
+        assert_eq!(hs.instance().len(), 4 + 3);
+
+        let outcome = hs.solve(MaxGSatSolver::Exhaustive, 0);
+        assert!(outcome.proven_optimal);
+        assert!(outcome.hard_satisfied);
+        assert_eq!(outcome.soft_satisfied.len(), 2);
+        // c is unconflicted, so it must always be kept.
+        assert!(outcome.soft_satisfied.contains(&2));
+    }
+
+    #[test]
+    fn unsatisfiable_hard_formulas_are_reported() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("a");
+        let hard = vec![BoolExpr::var(a), BoolExpr::var(a).not()];
+        let hs = HardSoftInstance::new(pool.len(), hard, vec![BoolExpr::var(a)]);
+        let outcome = hs.solve(MaxGSatSolver::Exhaustive, 0);
+        assert!(!outcome.hard_satisfied);
+    }
+
+    #[test]
+    fn hard_soft_with_no_soft_formulas_is_plain_satisfiability() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("a");
+        let hs = HardSoftInstance::new(pool.len(), vec![BoolExpr::var(a)], vec![]);
+        assert_eq!(hs.replication(), 1);
+        let outcome = hs.solve(MaxGSatSolver::Exhaustive, 0);
+        assert!(outcome.hard_satisfied);
+        assert!(outcome.soft_satisfied.is_empty());
     }
 }

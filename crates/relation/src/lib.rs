@@ -10,8 +10,8 @@
 //! catalog, CSV import/export and update batches (the paper's `ΔD⁺` / `ΔD⁻`).
 //!
 //! The crate is deliberately free of any eCFD-specific logic so that it can be
-//! reused by the SQL engine ([`ecfd-engine`]), the constraint library
-//! ([`ecfd-core`]) and the detection algorithms ([`ecfd-detect`]).
+//! reused by the SQL engine (`ecfd-engine`), the constraint library
+//! (`ecfd-core`) and the detection algorithms (`ecfd-detect`).
 //!
 //! ## Example
 //!

@@ -52,6 +52,38 @@ impl Delta {
         }
     }
 
+    /// A delta replacing one tuple by another — a value modification expressed
+    /// in the paper's pure insert/delete update model (`ΔD⁻` carries the old
+    /// tuple, `ΔD⁺` the new one).
+    pub fn replacement(old: Tuple, new: Tuple) -> Self {
+        Delta {
+            insertions: vec![new],
+            deletions: vec![old],
+        }
+    }
+
+    /// Adds a replacement (delete `old`, insert `new`) to this batch.
+    pub fn push_replacement(&mut self, old: Tuple, new: Tuple) {
+        self.deletions.push(old);
+        self.insertions.push(new);
+    }
+
+    /// Absorbs another delta into this one (deletions and insertions are
+    /// concatenated; processing order within each kind is preserved).
+    pub fn merge(&mut self, other: Delta) {
+        self.deletions.extend(other.deletions);
+        self.insertions.extend(other.insertions);
+    }
+
+    /// Combines a sequence of deltas into a single batch.
+    pub fn merged(deltas: impl IntoIterator<Item = Delta>) -> Delta {
+        let mut out = Delta::new();
+        for delta in deltas {
+            out.merge(delta);
+        }
+        out
+    }
+
     /// Number of insertion plus deletion tuples.
     pub fn len(&self) -> usize {
         self.insertions.len() + self.deletions.len()
@@ -128,6 +160,42 @@ mod tests {
         assert_eq!(new_ids.len(), 1);
         assert_eq!(r.len(), 2);
         assert!(r.contains_row(new_ids[0]));
+    }
+
+    #[test]
+    fn replacement_deletes_then_inserts() {
+        let mut r = rel();
+        let delta = Delta::replacement(
+            Tuple::from_iter(["Albany", "518"]),
+            Tuple::from_iter(["Albany", "519"]),
+        );
+        let (stats, _) = delta.apply(&mut r).unwrap();
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(r.len(), 3);
+        assert!(r
+            .tuples()
+            .any(|t| t == &Tuple::from_iter(["Albany", "519"])));
+        assert!(!r
+            .tuples()
+            .any(|t| t == &Tuple::from_iter(["Albany", "518"])));
+    }
+
+    #[test]
+    fn merge_concatenates_batches() {
+        let mut a = Delta::delete_only(vec![Tuple::from_iter(["NYC", "212"])]);
+        a.push_replacement(
+            Tuple::from_iter(["Albany", "518"]),
+            Tuple::from_iter(["Albany", "519"]),
+        );
+        let b = Delta::insert_only(vec![Tuple::from_iter(["Troy", "518"])]);
+        let merged = Delta::merged([a, b]);
+        assert_eq!(merged.deletions.len(), 2);
+        assert_eq!(merged.insertions.len(), 2);
+        let mut r = rel();
+        let (stats, _) = merged.apply(&mut r).unwrap();
+        assert_eq!(stats.deleted, 3, "both NYC duplicates plus the Albany row");
+        assert_eq!(stats.inserted, 2);
     }
 
     #[test]

@@ -1,0 +1,506 @@
+//! The conflict (hyper)graph: which flagged tuples are in conflict, and what
+//! a deletion repair must cover.
+//!
+//! Every violating enforcement group (an
+//! [`MvEvidence`](ecfd_detect::evidence::MvEvidence) record) partitions its
+//! member rows into *classes* by their `Y` projection; any two members of
+//! different classes jointly violate the embedded FD, so a deletion repair
+//! must remove all classes but (at most) one per group. Single-tuple
+//! violations that value modification cannot (or may not) fix become
+//! *must-delete* nodes. Minimising the deleted weight is exactly a weighted
+//! vertex cover over the cross-class conflict pairs — the frame of "The
+//! Complexity of Computing a Cardinality Repair for Functional Dependencies"
+//! (Livshits & Kimelfeld) — which the crate solves greedily, or exactly for
+//! small instances through the [`ecfd_logic`] MAXGSAT oracle.
+
+use crate::cost::CostModel;
+use crate::{RepairError, Result};
+use ecfd_detect::evidence::{ConstraintRef, EvidenceReport};
+use ecfd_detect::SemanticDetector;
+use ecfd_logic::{BoolExpr, HardSoftInstance, MaxGSatSolver, VarId};
+use ecfd_relation::{Relation, RowId, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One tuple participating in a conflict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConflictNode {
+    /// The row in the relation the graph was built from.
+    pub row: RowId,
+    /// The row's (base) tuple, used to emit deletions by value.
+    pub tuple: Tuple,
+    /// Deletion cost under the engine's cost model.
+    pub weight: f64,
+    /// The node must be deleted regardless of the cover (an unrepairable
+    /// single-tuple violation).
+    pub must_delete: bool,
+}
+
+/// One violating enforcement group, partitioned into `Y`-projection classes.
+/// Members of different classes are pairwise in conflict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupConflict {
+    /// The violated constraint / pattern tuple.
+    pub source: ConstraintRef,
+    /// The group's shared `X` projection.
+    pub group_key: Vec<Value>,
+    /// Node indices, partitioned by `Y` projection. Always ≥ 2 classes.
+    pub classes: Vec<Vec<usize>>,
+}
+
+impl GroupConflict {
+    /// Number of cross-class (conflict) pairs in this group.
+    pub fn num_conflicts(&self) -> usize {
+        let sizes: Vec<usize> = self.classes.iter().map(Vec::len).collect();
+        let total: usize = sizes.iter().sum();
+        sizes.iter().map(|s| s * (total - s)).sum::<usize>() / 2
+    }
+}
+
+/// The conflict graph of one [`EvidenceReport`] against one relation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConflictGraph {
+    nodes: Vec<ConflictNode>,
+    groups: Vec<GroupConflict>,
+}
+
+impl ConflictGraph {
+    /// Builds the graph from detection evidence.
+    ///
+    /// * `must_delete` — rows that have to go no matter what (SV rows the
+    ///   planner will not value-modify);
+    /// * `patched` — tuples to use *instead of* the stored ones when computing
+    ///   `Y` classes (the planner passes the post-modification tuples so that
+    ///   a value-repaired row joins the class of its new `Y` projection).
+    pub fn build(
+        detector: &SemanticDetector,
+        relation: &Relation,
+        evidence: &EvidenceReport,
+        must_delete: &BTreeSet<RowId>,
+        patched: &HashMap<RowId, Tuple>,
+        cost: &dyn CostModel,
+    ) -> Result<Self> {
+        let bounds = detector.bind(relation.schema())?;
+        let split_of: HashMap<ConstraintRef, usize> = detector
+            .provenance()
+            .iter()
+            .enumerate()
+            .map(|(i, (c, p))| (ConstraintRef::new(*c, *p), i))
+            .collect();
+
+        let mut graph = ConflictGraph::default();
+        let mut node_of: BTreeMap<RowId, usize> = BTreeMap::new();
+        let add_node = |graph: &mut ConflictGraph,
+                        node_of: &mut BTreeMap<RowId, usize>,
+                        row: RowId|
+         -> Result<usize> {
+            if let Some(&idx) = node_of.get(&row) {
+                return Ok(idx);
+            }
+            let tuple = relation
+                .get(row)
+                .ok_or(RepairError::UnknownRow(row))?
+                .clone();
+            let idx = graph.nodes.len();
+            graph.nodes.push(ConflictNode {
+                row,
+                weight: cost.deletion_cost(&tuple),
+                must_delete: must_delete.contains(&row),
+                tuple,
+            });
+            node_of.insert(row, idx);
+            Ok(idx)
+        };
+
+        for &row in must_delete {
+            add_node(&mut graph, &mut node_of, row)?;
+        }
+        for group in &evidence.mv_groups {
+            let ci = *split_of
+                .get(&group.source)
+                .ok_or(RepairError::UnknownConstraint(group.source))?;
+            let bound = &bounds[ci];
+            let mut classes: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+            for &row in &group.rows {
+                let idx = add_node(&mut graph, &mut node_of, row)?;
+                let stored = &graph.nodes[idx].tuple;
+                let effective = patched.get(&row).unwrap_or(stored);
+                classes
+                    .entry(bound.fd_rhs_key(effective))
+                    .or_default()
+                    .push(idx);
+            }
+            // Patching may have merged all members into one class — then the
+            // group no longer conflicts and value modification resolved it.
+            if classes.len() > 1 {
+                graph.groups.push(GroupConflict {
+                    source: group.source,
+                    group_key: group.group_key.clone(),
+                    classes: classes.into_values().collect(),
+                });
+            }
+        }
+        Ok(graph)
+    }
+
+    /// The nodes of the graph.
+    pub fn nodes(&self) -> &[ConflictNode] {
+        &self.nodes
+    }
+
+    /// The conflicting groups.
+    pub fn groups(&self) -> &[GroupConflict] {
+        &self.groups
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of conflict pairs across all groups.
+    pub fn num_conflicts(&self) -> usize {
+        self.groups.iter().map(GroupConflict::num_conflicts).sum()
+    }
+
+    /// True when nothing needs deleting.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The trivial upper bound: delete every node (every flagged row).
+    pub fn trivial_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is `deleted` a valid deletion repair? Every must-delete node is gone
+    /// and every group retains at most one surviving class.
+    pub fn covers(&self, deleted: &[bool]) -> bool {
+        debug_assert_eq!(deleted.len(), self.nodes.len());
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, n)| !n.must_delete || deleted[i])
+            && self.groups.iter().all(|g| {
+                g.classes
+                    .iter()
+                    .filter(|class| class.iter().any(|&i| !deleted[i]))
+                    .count()
+                    <= 1
+            })
+    }
+
+    /// Greedy weighted vertex cover over the conflict pairs: repeatedly delete
+    /// the node with the highest (uncovered conflicts / weight) ratio, then
+    /// prune deletions that turned out redundant (which makes the cover
+    /// minimal — on a single group this coincides with the optimum "keep the
+    /// heaviest class").
+    pub fn greedy_deletions(&self) -> Vec<usize> {
+        let mut deleted: Vec<bool> = self.nodes.iter().map(|n| n.must_delete).collect();
+        loop {
+            let mut degree = vec![0usize; self.nodes.len()];
+            let mut open = false;
+            for g in &self.groups {
+                let alive: Vec<usize> = g
+                    .classes
+                    .iter()
+                    .map(|class| class.iter().filter(|&&i| !deleted[i]).count())
+                    .collect();
+                let total: usize = alive.iter().sum();
+                if alive.iter().filter(|&&c| c > 0).count() <= 1 {
+                    continue;
+                }
+                open = true;
+                for (k, class) in g.classes.iter().enumerate() {
+                    let partners = total - alive[k];
+                    for &i in class {
+                        if !deleted[i] {
+                            degree[i] += partners;
+                        }
+                    }
+                }
+            }
+            if !open {
+                break;
+            }
+            let best = (0..self.nodes.len())
+                .filter(|&i| !deleted[i] && degree[i] > 0)
+                .max_by(|&a, &b| {
+                    let score =
+                        |i: usize| degree[i] as f64 / self.nodes[i].weight.max(f64::EPSILON);
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Ties: prefer the cheaper node, then the smaller row
+                        // id (determinism). `max_by` keeps the *greater*
+                        // element, so the comparisons are inverted.
+                        .then_with(|| {
+                            self.nodes[b]
+                                .weight
+                                .partial_cmp(&self.nodes[a].weight)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .then_with(|| self.nodes[b].row.cmp(&self.nodes[a].row))
+                })
+                .expect("an open group has a node with positive degree");
+            deleted[best] = true;
+        }
+        // Minimalisation: try to resurrect expensive deletions first.
+        let mut order: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| deleted[i] && !self.nodes[i].must_delete)
+            .collect();
+        order.sort_by(|&a, &b| {
+            self.nodes[b]
+                .weight
+                .partial_cmp(&self.nodes[a].weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| self.nodes[a].row.cmp(&self.nodes[b].row))
+        });
+        for i in order {
+            deleted[i] = false;
+            if !self.covers(&deleted) {
+                deleted[i] = true;
+            }
+        }
+        (0..self.nodes.len()).filter(|&i| deleted[i]).collect()
+    }
+
+    /// Exact cardinality repair through the MAXGSAT oracle: one variable per
+    /// node ("keep it"), hard formulas for must-delete nodes and for every
+    /// cross-class conflict pair, soft formulas rewarding kept nodes. Solved
+    /// exhaustively, so instances with more than `max_nodes` nodes (or 24,
+    /// the exhaustive solver's own limit) return `None` — callers fall back
+    /// to the greedy cover.
+    pub fn exact_deletions(&self, max_nodes: usize) -> Option<Vec<usize>> {
+        if self.nodes.len() > max_nodes.min(24) {
+            return None;
+        }
+        if self.nodes.is_empty() {
+            return Some(Vec::new());
+        }
+        let keep = |i: usize| BoolExpr::var(VarId(i));
+        let mut hard = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.must_delete {
+                hard.push(keep(i).not());
+            }
+        }
+        for g in &self.groups {
+            for (k, class) in g.classes.iter().enumerate() {
+                for other in &g.classes[k + 1..] {
+                    for &i in class {
+                        for &j in other {
+                            hard.push(BoolExpr::and([keep(i), keep(j)]).not());
+                        }
+                    }
+                }
+            }
+        }
+        let soft: Vec<BoolExpr> = (0..self.nodes.len()).map(keep).collect();
+        let instance = HardSoftInstance::new(self.nodes.len(), hard, soft);
+        let outcome = instance.solve(MaxGSatSolver::Exhaustive, 0);
+        debug_assert!(
+            outcome.hard_satisfied,
+            "deleting every node always satisfies the hard formulas"
+        );
+        let kept: BTreeSet<usize> = outcome.soft_satisfied.iter().copied().collect();
+        Some(
+            (0..self.nodes.len())
+                .filter(|i| !kept.contains(i))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ConstantCost;
+    use ecfd_core::ECfdBuilder;
+    use ecfd_relation::{DataType, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build()
+    }
+
+    fn fd() -> ecfd_core::ECfd {
+        ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p)
+            .build()
+            .unwrap()
+    }
+
+    fn graph_for(rows: &[(&str, &str)]) -> (ConflictGraph, Relation) {
+        let relation = Relation::with_tuples(
+            schema(),
+            rows.iter().map(|(ct, ac)| Tuple::from_iter([*ct, *ac])),
+        )
+        .unwrap();
+        let detector = SemanticDetector::new(&schema(), &[fd()]).unwrap();
+        let (_, evidence) = detector.detect_with_evidence(&relation).unwrap();
+        let graph = ConflictGraph::build(
+            &detector,
+            &relation,
+            &evidence,
+            &BTreeSet::new(),
+            &HashMap::new(),
+            &ConstantCost::default(),
+        )
+        .unwrap();
+        (graph, relation)
+    }
+
+    #[test]
+    fn one_group_two_against_one() {
+        // Albany has AC classes {518, 518} vs {718}: the optimum deletes the
+        // single 718 row.
+        let (graph, _) = graph_for(&[("Albany", "518"), ("Albany", "518"), ("Albany", "718")]);
+        assert_eq!(graph.num_nodes(), 3);
+        assert_eq!(graph.groups().len(), 1);
+        assert_eq!(graph.num_conflicts(), 2);
+
+        let greedy = graph.greedy_deletions();
+        let exact = graph.exact_deletions(12).unwrap();
+        assert_eq!(greedy.len(), 1);
+        assert_eq!(exact.len(), 1);
+        assert_eq!(greedy, exact);
+        assert_eq!(
+            graph.nodes()[greedy[0]].tuple,
+            Tuple::from_iter(["Albany", "718"])
+        );
+    }
+
+    #[test]
+    fn overlapping_groups_stay_optimal_on_small_instances() {
+        // Two groups (Albany and Troy) with 2-vs-1 classes each: optimum
+        // deletes one row per group.
+        let (graph, _) = graph_for(&[
+            ("Albany", "518"),
+            ("Albany", "518"),
+            ("Albany", "718"),
+            ("Troy", "518"),
+            ("Troy", "212"),
+            ("Troy", "518"),
+        ]);
+        assert_eq!(graph.groups().len(), 2);
+        let greedy = graph.greedy_deletions();
+        let exact = graph.exact_deletions(12).unwrap();
+        assert_eq!(exact.len(), 2);
+        assert_eq!(greedy.len(), exact.len());
+    }
+
+    #[test]
+    fn must_delete_nodes_are_always_covered() {
+        let (graph0, relation) = graph_for(&[("Albany", "518"), ("Albany", "718")]);
+        assert_eq!(graph0.num_nodes(), 2);
+        let detector = SemanticDetector::new(&schema(), &[fd()]).unwrap();
+        let (_, evidence) = detector.detect_with_evidence(&relation).unwrap();
+        let must: BTreeSet<RowId> = [relation.row_ids()[0]].into_iter().collect();
+        let graph = ConflictGraph::build(
+            &detector,
+            &relation,
+            &evidence,
+            &must,
+            &HashMap::new(),
+            &ConstantCost::default(),
+        )
+        .unwrap();
+        let greedy = graph.greedy_deletions();
+        let exact = graph.exact_deletions(12).unwrap();
+        // Deleting row 0 also resolves the group, so both settle for one
+        // deletion — the mandatory one.
+        assert_eq!(greedy.len(), 1);
+        assert_eq!(exact, greedy);
+        assert!(graph.nodes()[greedy[0]].must_delete);
+    }
+
+    #[test]
+    fn weights_steer_the_greedy_cover() {
+        struct Biased;
+        impl CostModel for Biased {
+            fn deletion_cost(&self, tuple: &Tuple) -> f64 {
+                // Deleting the 718 row is made very expensive.
+                if tuple.values()[1] == Value::str("718") {
+                    10.0
+                } else {
+                    1.0
+                }
+            }
+            fn change_cost(&self, _a: &str, _o: &Value, _n: &Value) -> f64 {
+                1.0
+            }
+        }
+        let relation = Relation::with_tuples(
+            schema(),
+            [
+                Tuple::from_iter(["Albany", "518"]),
+                Tuple::from_iter(["Albany", "718"]),
+            ],
+        )
+        .unwrap();
+        let detector = SemanticDetector::new(&schema(), &[fd()]).unwrap();
+        let (_, evidence) = detector.detect_with_evidence(&relation).unwrap();
+        let graph = ConflictGraph::build(
+            &detector,
+            &relation,
+            &evidence,
+            &BTreeSet::new(),
+            &HashMap::new(),
+            &Biased,
+        )
+        .unwrap();
+        let greedy = graph.greedy_deletions();
+        assert_eq!(greedy.len(), 1);
+        assert_eq!(
+            graph.nodes()[greedy[0]].tuple,
+            Tuple::from_iter(["Albany", "518"])
+        );
+    }
+
+    #[test]
+    fn patched_tuples_can_dissolve_a_group() {
+        let relation = Relation::with_tuples(
+            schema(),
+            [
+                Tuple::from_iter(["Albany", "518"]),
+                Tuple::from_iter(["Albany", "718"]),
+            ],
+        )
+        .unwrap();
+        let detector = SemanticDetector::new(&schema(), &[fd()]).unwrap();
+        let (_, evidence) = detector.detect_with_evidence(&relation).unwrap();
+        let rows = relation.row_ids();
+        let patched: HashMap<RowId, Tuple> = [(rows[1], Tuple::from_iter(["Albany", "518"]))]
+            .into_iter()
+            .collect();
+        let graph = ConflictGraph::build(
+            &detector,
+            &relation,
+            &evidence,
+            &BTreeSet::new(),
+            &patched,
+            &ConstantCost::default(),
+        )
+        .unwrap();
+        assert!(graph.groups().is_empty(), "the patched Y values agree");
+        assert!(graph.greedy_deletions().is_empty());
+    }
+
+    #[test]
+    fn exact_refuses_oversized_instances() {
+        let rows: Vec<(String, String)> = (0..14)
+            .map(|i| ("Albany".to_string(), format!("{i}")))
+            .collect();
+        let borrowed: Vec<(&str, &str)> =
+            rows.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let (graph, _) = graph_for(&borrowed);
+        assert_eq!(graph.exact_deletions(12), None);
+        // The greedy cover still handles it: 14 rows, all distinct Y values →
+        // keep one class (one row), delete 13.
+        assert_eq!(graph.greedy_deletions().len(), 13);
+    }
+}

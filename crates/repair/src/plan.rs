@@ -1,0 +1,183 @@
+//! Repair plans: what to delete, what to modify, and how to express both as
+//! an [`ecfd_relation::Delta`] update batch.
+
+use crate::{RepairError, Result};
+use ecfd_detect::evidence::ConstraintRef;
+use ecfd_relation::{Delta, Relation, RowId, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// One planned tuple deletion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeletionRepair {
+    /// The row to delete (in the relation the plan was computed from).
+    pub row: RowId,
+    /// The row's tuple — deletions are emitted by value.
+    pub tuple: Tuple,
+    /// Deletion cost under the engine's cost model.
+    pub cost: f64,
+}
+
+/// One planned cell modification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueRepair {
+    /// The row to modify.
+    pub row: RowId,
+    /// Name of the modified attribute.
+    pub attr: String,
+    /// The current (dirty) value.
+    pub old: Value,
+    /// The repaired value, drawn from the violated pattern's consequent set.
+    pub new: Value,
+    /// Change cost under the engine's cost model.
+    pub cost: f64,
+    /// The constraint / pattern tuple whose consequent supplied `new`.
+    pub source: ConstraintRef,
+}
+
+/// A complete repair plan for one relation instance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Repair {
+    /// Tuples to delete.
+    pub deletions: Vec<DeletionRepair>,
+    /// Cells to modify (never on a row that is also deleted).
+    pub modifications: Vec<ValueRepair>,
+}
+
+impl Repair {
+    /// Number of planned deletions.
+    pub fn num_deletions(&self) -> usize {
+        self.deletions.len()
+    }
+
+    /// Number of planned cell modifications.
+    pub fn num_modifications(&self) -> usize {
+        self.modifications.len()
+    }
+
+    /// Rows modified by the plan (each row may have several cell changes).
+    pub fn modified_rows(&self) -> BTreeMap<RowId, Vec<&ValueRepair>> {
+        let mut out: BTreeMap<RowId, Vec<&ValueRepair>> = BTreeMap::new();
+        for m in &self.modifications {
+            out.entry(m.row).or_default().push(m);
+        }
+        out
+    }
+
+    /// True when the plan changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.deletions.is_empty() && self.modifications.is_empty()
+    }
+
+    /// Total cost of the plan under the cost model it was planned with.
+    pub fn total_cost(&self) -> f64 {
+        self.deletions.iter().map(|d| d.cost).sum::<f64>()
+            + self.modifications.iter().map(|m| m.cost).sum::<f64>()
+    }
+
+    /// Expresses the plan as a [`Delta`] against `relation` (the instance the
+    /// plan was computed from): deletions carry the doomed tuples by value,
+    /// and each modified row becomes a delete-old / insert-new replacement.
+    pub fn to_delta(&self, relation: &Relation) -> Result<Delta> {
+        let mut delta = Delta::new();
+        for d in &self.deletions {
+            delta.deletions.push(d.tuple.clone());
+        }
+        for (row, changes) in self.modified_rows() {
+            let old = relation
+                .get(row)
+                .ok_or(RepairError::UnknownRow(row))?
+                .clone();
+            let mut new = old.clone();
+            for change in changes {
+                let id = relation.schema().require_attr(&change.attr)?;
+                new.set(id, change.new.clone());
+            }
+            delta.push_replacement(old, new);
+        }
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfd_relation::{DataType, Schema};
+
+    fn relation() -> Relation {
+        let schema = Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build();
+        Relation::with_tuples(
+            schema,
+            [
+                Tuple::from_iter(["Albany", "718"]),
+                Tuple::from_iter(["NYC", "212"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn to_delta_emits_deletions_and_replacements() {
+        let rel = relation();
+        let rows = rel.row_ids();
+        let plan = Repair {
+            deletions: vec![DeletionRepair {
+                row: rows[1],
+                tuple: rel.get(rows[1]).unwrap().clone(),
+                cost: 1.0,
+            }],
+            modifications: vec![ValueRepair {
+                row: rows[0],
+                attr: "AC".into(),
+                old: Value::str("718"),
+                new: Value::str("518"),
+                cost: 1.0,
+                source: ConstraintRef::new(0, 0),
+            }],
+        };
+        assert_eq!(plan.num_deletions(), 1);
+        assert_eq!(plan.num_modifications(), 1);
+        assert_eq!(plan.total_cost(), 2.0);
+
+        let delta = plan.to_delta(&rel).unwrap();
+        assert_eq!(delta.deletions.len(), 2, "one deletion + the replaced old");
+        assert_eq!(delta.insertions, vec![Tuple::from_iter(["Albany", "518"])]);
+
+        let mut applied = rel.clone();
+        delta.apply(&mut applied).unwrap();
+        assert_eq!(applied.len(), 1);
+        assert_eq!(
+            applied.tuples().next().unwrap(),
+            &Tuple::from_iter(["Albany", "518"])
+        );
+    }
+
+    #[test]
+    fn to_delta_rejects_unknown_rows() {
+        let rel = relation();
+        let plan = Repair {
+            deletions: vec![],
+            modifications: vec![ValueRepair {
+                row: RowId(99),
+                attr: "AC".into(),
+                old: Value::str("718"),
+                new: Value::str("518"),
+                cost: 1.0,
+                source: ConstraintRef::new(0, 0),
+            }],
+        };
+        assert!(matches!(
+            plan.to_delta(&rel),
+            Err(RepairError::UnknownRow(RowId(99)))
+        ));
+    }
+
+    #[test]
+    fn empty_plan_is_an_empty_delta() {
+        let plan = Repair::default();
+        assert!(plan.is_empty());
+        assert!(plan.to_delta(&relation()).unwrap().is_empty());
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`detect`] — violation detection: the tableau-as-data encoding, the
 //!   SQL-based `BATCHDETECT`, the incremental `INCDETECT`, and a native
 //!   semantic detector.
+//! * [`repair`] — violation explanation and data repair: conflict graphs,
+//!   cardinality repairs by tuple deletion (greedy and MAXGSAT-backed exact),
+//!   value-modification repairs under pluggable cost models, and a verified
+//!   repair → re-detect loop.
 //! * [`datagen`] — synthetic workloads reproducing the paper's experimental
 //!   setting.
 //!
@@ -63,6 +67,7 @@ pub use ecfd_detect as detect;
 pub use ecfd_engine as engine;
 pub use ecfd_logic as logic;
 pub use ecfd_relation as relation;
+pub use ecfd_repair as repair;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -72,11 +77,16 @@ pub mod prelude {
     };
     pub use ecfd_core::{implication, maxss, satisfiability};
     pub use ecfd_detect::{
-        BatchDetector, DetectionReport, Encoding, IncrementalDetector, SemanticDetector,
+        BatchDetector, ConstraintRef, DetectionReport, Encoding, EvidenceReport,
+        IncrementalDetector, SemanticDetector,
     };
     pub use ecfd_engine::{Engine, ResultSet};
-    pub use ecfd_logic::{BoolExpr, MaxGSatInstance, MaxGSatSolver};
+    pub use ecfd_logic::{BoolExpr, HardSoftInstance, MaxGSatInstance, MaxGSatSolver};
     pub use ecfd_relation::{
         Catalog, DataType, Delta, Domain, Relation, RowId, Schema, Tuple, Value,
+    };
+    pub use ecfd_repair::{
+        repair_verified, ConflictGraph, ConstantCost, CostModel, DeletionSolver, EditDistanceCost,
+        PerAttributeCost, Repair, RepairEngine, RepairMode, RepairOptions, VerifiedRepair,
     };
 }

@@ -273,6 +273,93 @@ fn yp_attribute_violations_are_flagged_by_every_path_without_joining_the_fd() {
 }
 
 #[test]
+fn evidence_reports_agree_across_all_three_detectors() {
+    // The differential contract one level above the flags: semantic, SQL
+    // batch and incremental detection must attribute every violation to the
+    // same (row, constraint, pattern) pairs and the same groups.
+    for (size, noise, seed) in [(200usize, 5.0f64, 2u64), (300, 9.0, 3)] {
+        let (schema, data, constraints) = workload(size, noise, seed);
+        let (_, semantic) = SemanticDetector::new(&schema, &constraints)
+            .unwrap()
+            .detect_with_evidence(&data)
+            .unwrap();
+        assert!(
+            !semantic.is_clean(),
+            "noisy fixtures must produce violations"
+        );
+
+        let mut batch_catalog = Catalog::new();
+        batch_catalog.create(data.clone()).unwrap();
+        let (batch_report, batch) = BatchDetector::new(&schema, &constraints)
+            .unwrap()
+            .detect_with_evidence(&mut batch_catalog)
+            .unwrap();
+        assert_eq!(batch.detection_report(), batch_report);
+
+        let mut inc_catalog = Catalog::new();
+        inc_catalog.create(data.clone()).unwrap();
+        let mut inc =
+            IncrementalDetector::initialize(&schema, &constraints, &mut inc_catalog).unwrap();
+        let incremental = inc.evidence(&inc_catalog).unwrap();
+
+        assert_eq!(semantic.sv_pairs(), batch.sv_pairs(), "size {size}");
+        assert_eq!(semantic.mv_pairs(), batch.mv_pairs(), "size {size}");
+        assert_eq!(semantic.sv_pairs(), incremental.sv_pairs(), "size {size}");
+        assert_eq!(semantic.mv_pairs(), incremental.mv_pairs(), "size {size}");
+        assert_eq!(semantic.normalized(), batch.normalized(), "size {size}");
+
+        // Insert-only updates keep row ids aligned between the incremental
+        // table and a from-scratch pass, so the evidence must stay in sync.
+        let delta = Delta::insert_only(vec![
+            Tuple::from_iter([
+                "518", "0", "Eve", "Ash St.", "Albany", "12208", "b1", "book",
+            ]),
+            Tuple::from_iter(["999", "1", "Mal", "Elm St.", "Albany", "12208", "b1", "vhs"]),
+        ]);
+        inc.apply(&mut inc_catalog, &delta).unwrap();
+        let mut mirror = data;
+        delta.apply(&mut mirror).unwrap();
+        let (_, scratch) = SemanticDetector::new(&schema, &constraints)
+            .unwrap()
+            .detect_with_evidence(&mirror)
+            .unwrap();
+        let updated = inc.evidence(&inc_catalog).unwrap();
+        assert_eq!(scratch.sv_pairs(), updated.sv_pairs(), "after updates");
+        assert_eq!(scratch.mv_pairs(), updated.mv_pairs(), "after updates");
+    }
+}
+
+#[test]
+fn repair_subsystem_cleans_generated_workloads_end_to_end() {
+    let (schema, data, constraints) = workload(300, 5.0, 13);
+    let engine = RepairEngine::new(&schema, &constraints)
+        .unwrap()
+        .with_cost_model(EditDistanceCost::default());
+
+    // Explain: every flagged row carries at least one evidence record.
+    let evidence = engine.explain(&data).unwrap();
+    let report = evidence.detection_report();
+    assert!(!report.is_clean());
+    for &row in report.violating_rows().iter() {
+        assert!(
+            !evidence.for_row(row).is_empty(),
+            "flagged row {row} lacks evidence"
+        );
+    }
+
+    // Repair + verify: zero violations afterwards, within the trivial bound.
+    let mut catalog = Catalog::new();
+    catalog.create(data).unwrap();
+    let outcome = repair_verified(&engine, &mut catalog).unwrap();
+    assert!(outcome.final_report.is_clean());
+    assert!(outcome.num_deletions() <= report.num_violations());
+    assert!(
+        outcome.num_modifications() > 0,
+        "the noisy workload contains value-repairable SV rows"
+    );
+}
+
+#[test]
 fn csv_round_trip_preserves_detection_results() {
     let (schema, data, constraints) = workload(150, 5.0, 71);
     let text = ecfd::relation::csv::to_csv(&data);

@@ -159,6 +159,64 @@ proptest! {
         }
     }
 
+    /// Repair soundness: a deletion-only plan never deletes more rows than
+    /// the trivial repair (delete every flagged row), greedy and exact
+    /// (MAXGSAT-backed) deletion repairs agree on small conflict graphs, and
+    /// applying the plan yields a relation the detector reports clean.
+    #[test]
+    fn repairs_are_clean_and_bounded(data in arb_relation(), constraints in arb_constraints()) {
+        let schema = schema();
+        let engine = RepairEngine::new(&schema, &constraints).unwrap()
+            .with_options(RepairOptions {
+                mode: RepairMode::DeleteOnly,
+                solver: DeletionSolver::Greedy,
+                ..RepairOptions::default()
+            });
+        let evidence = engine.explain(&data).unwrap();
+        let flagged = evidence.detection_report().num_violations();
+        let plan = engine.plan(&data, &evidence).unwrap();
+        prop_assert!(
+            plan.num_deletions() <= flagged,
+            "{} deletions exceed the trivial bound {flagged}",
+            plan.num_deletions()
+        );
+
+        // On instances small enough for the exhaustive MAXGSAT oracle the
+        // greedy cover must match the exact cardinality repair.
+        let graph = engine.conflict_graph(&data, &evidence).unwrap();
+        if graph.num_nodes() <= 12 {
+            let exact = graph.exact_deletions(12).expect("instance fits the oracle");
+            prop_assert_eq!(
+                plan.num_deletions(), exact.len(),
+                "greedy and exact deletion repairs diverge on a small instance"
+            );
+        }
+
+        let mut repaired = data.clone();
+        plan.to_delta(&data).unwrap().apply(&mut repaired).unwrap();
+        let after = SemanticDetector::new(&schema, &constraints).unwrap()
+            .detect(&repaired).unwrap();
+        prop_assert!(after.is_clean(), "deletion repair left violations behind");
+    }
+
+    /// The verified repair loop (value modification + deletion, applied
+    /// through the incremental detector) always converges to a clean
+    /// instance.
+    #[test]
+    fn verified_repair_always_converges(data in arb_relation(), constraints in arb_constraints()) {
+        let schema = schema();
+        let engine = RepairEngine::new(&schema, &constraints).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.create(data).unwrap();
+        let outcome = repair_verified(&engine, &mut catalog).unwrap();
+        prop_assert!(outcome.final_report.is_clean());
+        // Independent re-check over the surviving base tuples.
+        let base = ecfd::repair::base_relation(catalog.get("cust").unwrap(), &schema).unwrap();
+        let recheck = SemanticDetector::new(&schema, &constraints).unwrap()
+            .detect(&base).unwrap();
+        prop_assert!(recheck.is_clean());
+    }
+
     /// Applying a delta and detecting incrementally always matches detecting
     /// the updated relation from scratch.
     #[test]

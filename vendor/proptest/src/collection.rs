@@ -43,7 +43,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy for `Vec<S::Value>`; returned by [`vec`].
+/// Strategy for `Vec<S::Value>`; returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no access to crates.io, so this crate implements
 //! the subset of the proptest API the workspace's property-based tests use:
-//! the [`Strategy`] trait with `prop_map`/`boxed`, range and tuple strategies,
-//! [`collection::vec`] / [`collection::btree_set`], [`option::of`], [`Just`],
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map`/`boxed`, range
+//! and tuple strategies, [`collection::vec()`] / [`collection::btree_set()`],
+//! [`option::of`], [`Just`](strategy::Just),
 //! `any::<T>()`, and the `proptest!` / `prop_oneof!` / `prop_assert!` /
 //! `prop_assert_eq!` macros.
 //!
