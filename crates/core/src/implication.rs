@@ -97,6 +97,15 @@ pub fn check_implication(
 /// ("A natural optimization strategy for cleaning data with eCFDs is by
 /// removing redundancies"). Returns the retained constraints.
 pub fn minimal_cover(schema: &Schema, ecfds: &[ECfd]) -> Result<Vec<ECfd>> {
+    minimal_cover_with(schema, ecfds, ImplicationOptions::default())
+}
+
+/// [`minimal_cover`] with an explicit search budget per implication check.
+pub fn minimal_cover_with(
+    schema: &Schema,
+    ecfds: &[ECfd],
+    options: ImplicationOptions,
+) -> Result<Vec<ECfd>> {
     let mut retained: Vec<ECfd> = ecfds.to_vec();
     // Try to drop whole constraints first, in reverse order so that earlier
     // (presumably more fundamental) constraints are preferred.
@@ -110,7 +119,7 @@ pub fn minimal_cover(schema: &Schema, ecfds: &[ECfd]) -> Result<Vec<ECfd>> {
             .filter(|(i, _)| *i != idx)
             .map(|(_, e)| e.clone())
             .collect();
-        if implies(schema, &rest, &candidate)? {
+        if check_implication(schema, &rest, &candidate, options)?.is_implied() {
             retained.remove(idx);
         }
     }

@@ -23,7 +23,10 @@
 //!   ([`satisfiability::is_satisfiable`], single-tuple small-model search) and
 //!   exact implication ([`implication::implies`], two-tuple small-model
 //!   search);
-//! * the MAXSS → MAXGSAT approximation of Section IV ([`maxss`]).
+//! * the MAXSS → MAXGSAT approximation of Section IV ([`maxss`]);
+//! * compiled constraint sets ([`ConstraintSet`]): the validate → (optional)
+//!   minimize → merge → dedupe pipeline whose output every detector backend
+//!   shares.
 //!
 //! Violation *detection* on large instances lives in the companion crate
 //! `ecfd-detect`, which encodes tableaux as data and generates SQL (Section V).
@@ -69,6 +72,7 @@ pub mod parser;
 pub mod pattern;
 pub mod satisfaction;
 pub mod satisfiability;
+pub mod set;
 pub mod violation;
 
 pub use builder::{ECfdBuilder, PatternTupleBuilder};
@@ -78,4 +82,5 @@ pub use error::{CoreError, Result};
 pub use parser::{parse_ecfd, parse_ecfds};
 pub use pattern::PatternValue;
 pub use satisfaction::{check, check_all, SatisfactionResult};
+pub use set::{CompileOptions, ConstraintSet};
 pub use violation::{Violation, ViolationKind, ViolationSet};

@@ -1,0 +1,435 @@
+//! Pluggable detector backends: one trait in front of the three detection
+//! strategies of the crate.
+//!
+//! The paper presents three ways to keep violation flags correct — a full
+//! SQL pass (`BATCHDETECT`), incremental maintenance (`INCDETECT`) and the
+//! reproduction's native semantic oracle. Callers that only want *the flags
+//! kept right* should not have to care which one runs; [`DetectorBackend`]
+//! gives them a single interface:
+//!
+//! * [`DetectorBackend::detect`] — a full detection pass over the backend's
+//!   catalog table, returning the flag-level [`DetectionReport`] together
+//!   with the attributing [`EvidenceReport`];
+//! * [`DetectorBackend::apply`] — apply a base-schema [`Delta`] to the table
+//!   and return the post-update report/evidence, maintaining whatever state
+//!   the backend keeps (only [`IncrementalBackend`] keeps any);
+//! * [`DetectorBackend::invalidate`] — drop maintained state after the table
+//!   was mutated behind the backend's back.
+//!
+//! All three implementations are constructed from one compiled
+//! [`ecfd_core::ConstraintSet`], so the validate/normalize/split work happens
+//! once per registration, not once per backend. The differential contract —
+//! every backend produces the same report and (normalized) evidence on the
+//! same data — is asserted by this module's tests and by the workspace-level
+//! differential suite.
+
+use crate::batch::BatchDetector;
+use crate::evidence::EvidenceReport;
+use crate::incremental::IncrementalDetector;
+use crate::report::DetectionReport;
+use crate::semantic::{ensure_flag_columns, write_flags, SemanticDetector};
+use crate::Result;
+use ecfd_core::ConstraintSet;
+use ecfd_relation::{Catalog, Delta, RowId, Tuple, Value};
+use std::fmt;
+
+/// Names one of the three detection strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BackendKind {
+    /// The native index-based detector (`SemanticDetector`).
+    Semantic,
+    /// The SQL-based batch detector (`BatchDetector`, the paper's
+    /// `BATCHDETECT`).
+    Sql,
+    /// The incremental maintainer (`IncrementalDetector`, the paper's
+    /// `INCDETECT`).
+    Incremental,
+}
+
+impl BackendKind {
+    /// All kinds, in a stable order (useful for differential sweeps).
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Semantic,
+        BackendKind::Sql,
+        BackendKind::Incremental,
+    ];
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::Semantic => write!(f, "semantic"),
+            BackendKind::Sql => write!(f, "sql"),
+            BackendKind::Incremental => write!(f, "incremental"),
+        }
+    }
+}
+
+/// A detection strategy hidden behind a uniform detect/apply interface.
+///
+/// Implementations operate on one named table of a [`Catalog`] (fixed at
+/// construction) and leave the table's `SV` / `MV` flag columns populated, so
+/// switching backends mid-stream keeps the catalog state comparable.
+pub trait DetectorBackend {
+    /// Which strategy this backend runs.
+    fn kind(&self) -> BackendKind;
+
+    /// The catalog table the backend detects on.
+    fn table(&self) -> &str;
+
+    /// Runs a full detection pass, returning flags and evidence. The table's
+    /// `SV` / `MV` columns are (re)written.
+    fn detect(&mut self, catalog: &mut Catalog) -> Result<(DetectionReport, EvidenceReport)>;
+
+    /// Applies a batch of base-schema updates to the table and returns the
+    /// post-update flags and evidence.
+    fn apply(
+        &mut self,
+        catalog: &mut Catalog,
+        delta: &Delta,
+    ) -> Result<(DetectionReport, EvidenceReport)>;
+
+    /// Drops any maintained state. Call after the table was mutated outside
+    /// this backend; the next [`DetectorBackend::detect`] or
+    /// [`DetectorBackend::apply`] rebuilds from the current table contents.
+    fn invalidate(&mut self) {}
+}
+
+/// Applies a base-schema delta to a stored table that may carry extra
+/// detector-managed columns (the `SV` / `MV` flags): deletions match rows by
+/// their first `base_arity` values (all duplicates go, processed in victim
+/// order), insertions are zero-extended to the stored arity. Mirrors the
+/// mutation order of [`IncrementalDetector::apply`] so that row ids stay
+/// identical across backends fed the same delta sequence.
+pub fn apply_base_delta(
+    catalog: &mut Catalog,
+    table: &str,
+    base_arity: usize,
+    delta: &Delta,
+) -> Result<()> {
+    let relation = catalog.get_mut(table)?;
+    let stored_arity = relation.schema().arity();
+    for victim in &delta.deletions {
+        let matching: Vec<RowId> = relation
+            .iter()
+            .filter(|(_, t)| &t.values()[..base_arity] == victim.values())
+            .map(|(id, _)| id)
+            .collect();
+        for id in matching {
+            relation.delete(id)?;
+        }
+    }
+    for ins in &delta.insertions {
+        let mut values = ins.values().to_vec();
+        values.resize(stored_arity, Value::Int(0));
+        relation.insert(Tuple::new(values))?;
+    }
+    Ok(())
+}
+
+/// The native detector as a backend: stateless between calls, every `detect`
+/// is a fresh scan.
+#[derive(Debug, Clone)]
+pub struct SemanticBackend {
+    detector: SemanticDetector,
+    table: String,
+    base_arity: usize,
+}
+
+impl SemanticBackend {
+    /// Builds the backend from a compiled constraint set.
+    pub fn from_set(set: &ConstraintSet) -> Self {
+        SemanticBackend {
+            detector: SemanticDetector::from_set(set),
+            table: set.schema().name().to_string(),
+            base_arity: set.schema().arity(),
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &SemanticDetector {
+        &self.detector
+    }
+}
+
+impl DetectorBackend for SemanticBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Semantic
+    }
+
+    fn table(&self) -> &str {
+        &self.table
+    }
+
+    fn detect(&mut self, catalog: &mut Catalog) -> Result<(DetectionReport, EvidenceReport)> {
+        ensure_flag_columns(catalog, &self.table)?;
+        let (report, evidence) = {
+            let relation = catalog.get(&self.table)?;
+            self.detector.detect_with_evidence(relation)?
+        };
+        write_flags(catalog, &self.table, &report)?;
+        Ok((report, evidence))
+    }
+
+    fn apply(
+        &mut self,
+        catalog: &mut Catalog,
+        delta: &Delta,
+    ) -> Result<(DetectionReport, EvidenceReport)> {
+        apply_base_delta(catalog, &self.table, self.base_arity, delta)?;
+        self.detect(catalog)
+    }
+}
+
+/// The SQL batch detector as a backend: stateless between calls, every
+/// `detect` replays the fixed pair of detection statements.
+#[derive(Debug, Clone)]
+pub struct SqlBackend {
+    detector: BatchDetector,
+    table: String,
+    base_arity: usize,
+}
+
+impl SqlBackend {
+    /// Builds the backend from a compiled constraint set. Fails when the set
+    /// is outside the SQL encoding's envelope (non-string constrained
+    /// attributes) — the other two backends have no such restriction.
+    pub fn from_set(set: &ConstraintSet) -> Result<Self> {
+        Ok(SqlBackend {
+            detector: BatchDetector::from_set(set)?,
+            table: set.schema().name().to_string(),
+            base_arity: set.schema().arity(),
+        })
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &BatchDetector {
+        &self.detector
+    }
+}
+
+impl DetectorBackend for SqlBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sql
+    }
+
+    fn table(&self) -> &str {
+        &self.table
+    }
+
+    fn detect(&mut self, catalog: &mut Catalog) -> Result<(DetectionReport, EvidenceReport)> {
+        self.detector.detect_with_evidence(catalog)
+    }
+
+    fn apply(
+        &mut self,
+        catalog: &mut Catalog,
+        delta: &Delta,
+    ) -> Result<(DetectionReport, EvidenceReport)> {
+        apply_base_delta(catalog, &self.table, self.base_arity, delta)?;
+        self.detect(catalog)
+    }
+}
+
+/// The incremental maintainer as a backend: the first `detect`/`apply` seeds
+/// the auxiliary group state with a full pass, subsequent `apply` calls touch
+/// only the affected tuples and groups.
+#[derive(Debug, Clone)]
+pub struct IncrementalBackend {
+    set: ConstraintSet,
+    state: Option<IncrementalDetector>,
+}
+
+impl IncrementalBackend {
+    /// Builds the backend from a compiled constraint set. No work happens
+    /// until the first `detect` / `apply` call.
+    pub fn from_set(set: &ConstraintSet) -> Self {
+        IncrementalBackend {
+            set: set.clone(),
+            state: None,
+        }
+    }
+
+    /// The maintained detector, if seeded.
+    pub fn detector(&self) -> Option<&IncrementalDetector> {
+        self.state.as_ref()
+    }
+
+    /// Whether the auxiliary state is warm (an `apply` will be incremental
+    /// rather than trigger a full seeding pass).
+    pub fn is_warm(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Hands the maintained detector to the caller (leaving this backend
+    /// cold), e.g. so a repair loop can drive it directly. Pair with
+    /// [`IncrementalBackend::put_state`] to hand it back.
+    pub fn take_state(&mut self) -> Option<IncrementalDetector> {
+        self.state.take()
+    }
+
+    /// Restores a detector previously obtained via
+    /// [`IncrementalBackend::take_state`]. The caller is responsible for the
+    /// state still matching the table's contents.
+    pub fn put_state(&mut self, state: IncrementalDetector) {
+        self.state = Some(state);
+    }
+
+    fn read_out(
+        &self,
+        catalog: &Catalog,
+        state: &IncrementalDetector,
+    ) -> Result<(DetectionReport, EvidenceReport)> {
+        Ok((state.report(catalog)?, state.evidence(catalog)?))
+    }
+}
+
+impl DetectorBackend for IncrementalBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Incremental
+    }
+
+    fn table(&self) -> &str {
+        self.set.schema().name()
+    }
+
+    fn detect(&mut self, catalog: &mut Catalog) -> Result<(DetectionReport, EvidenceReport)> {
+        let state = IncrementalDetector::from_set(&self.set, catalog)?;
+        let out = self.read_out(catalog, &state)?;
+        self.state = Some(state);
+        Ok(out)
+    }
+
+    fn apply(
+        &mut self,
+        catalog: &mut Catalog,
+        delta: &Delta,
+    ) -> Result<(DetectionReport, EvidenceReport)> {
+        if self.state.is_none() {
+            self.state = Some(IncrementalDetector::from_set(&self.set, catalog)?);
+        }
+        let state = self.state.as_mut().expect("seeded above");
+        state.apply(catalog, delta)?;
+        let state = self.state.as_ref().expect("seeded above");
+        self.read_out(catalog, state)
+    }
+
+    fn invalidate(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::fixtures::{cust_schema, d0, fd_ct_ac, phi1, phi2};
+
+    fn backends(set: &ConstraintSet) -> Vec<Box<dyn DetectorBackend>> {
+        vec![
+            Box::new(SemanticBackend::from_set(set)),
+            Box::new(SqlBackend::from_set(set).unwrap()),
+            Box::new(IncrementalBackend::from_set(set)),
+        ]
+    }
+
+    fn catalog_with_d0() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog.create(d0()).unwrap();
+        catalog
+    }
+
+    #[test]
+    fn all_backends_agree_through_the_trait() {
+        let set = ConstraintSet::compile(&cust_schema(), &[phi1(), phi2(), fd_ct_ac()]).unwrap();
+        let mut outputs = Vec::new();
+        for mut backend in backends(&set) {
+            let mut catalog = catalog_with_d0();
+            assert_eq!(backend.table(), "cust");
+            let (report, evidence) = backend.detect(&mut catalog).unwrap();
+            assert_eq!(evidence.detection_report(), report);
+            outputs.push((backend.kind(), report, evidence.normalized()));
+        }
+        for pair in outputs.windows(2) {
+            assert_eq!(pair[0].1, pair[1].1, "{} vs {}", pair[0].0, pair[1].0);
+            assert_eq!(pair[0].2, pair[1].2, "{} vs {}", pair[0].0, pair[1].0);
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_after_a_mixed_delta() {
+        let set = ConstraintSet::compile(&cust_schema(), &[phi1(), phi2()]).unwrap();
+        let delta = Delta {
+            insertions: vec![
+                Tuple::from_iter(["519", "7", "Zoe", "Pine St.", "Albany", "12239"]),
+                Tuple::from_iter(["999", "8", "Sam", "Bay Rd.", "NYC", "10002"]),
+            ],
+            deletions: vec![Tuple::from_iter([
+                "100", "1111111", "Rick", "8th Ave.", "NYC", "10001",
+            ])],
+        };
+        let mut outputs = Vec::new();
+        for mut backend in backends(&set) {
+            let mut catalog = catalog_with_d0();
+            backend.detect(&mut catalog).unwrap();
+            let (report, evidence) = backend.apply(&mut catalog, &delta).unwrap();
+            outputs.push((backend.kind(), report, evidence.normalized()));
+        }
+        for pair in outputs.windows(2) {
+            assert_eq!(pair[0].1, pair[1].1, "{} vs {}", pair[0].0, pair[1].0);
+            assert_eq!(pair[0].2, pair[1].2, "{} vs {}", pair[0].0, pair[1].0);
+        }
+    }
+
+    #[test]
+    fn apply_without_detect_seeds_the_incremental_state() {
+        let set = ConstraintSet::compile(&cust_schema(), &[phi1()]).unwrap();
+        let mut backend = IncrementalBackend::from_set(&set);
+        assert!(!backend.is_warm());
+        let mut catalog = catalog_with_d0();
+        let delta = Delta::insert_only(vec![Tuple::from_iter([
+            "519", "7", "Zoe", "Pine St.", "Albany", "12239",
+        ])]);
+        let (report, _) = backend.apply(&mut catalog, &delta).unwrap();
+        assert!(backend.is_warm());
+        assert_eq!(report.num_mv(), 2, "the two Albany rows now conflict");
+
+        backend.invalidate();
+        assert!(!backend.is_warm());
+        // A fresh detect after invalidation reproduces the same picture.
+        let (after, _) = backend.detect(&mut catalog).unwrap();
+        assert_eq!(after, report);
+    }
+
+    #[test]
+    fn sql_backend_reports_unsupported_schemas() {
+        use ecfd_core::ECfdBuilder;
+        use ecfd_relation::DataType;
+        let schema = ecfd_relation::Schema::builder("t")
+            .attr("A", DataType::Int)
+            .attr("B", DataType::Str)
+            .build();
+        let phi = ECfdBuilder::new("t")
+            .lhs(["A"])
+            .fd_rhs(["B"])
+            .pattern(|p| p)
+            .build()
+            .unwrap();
+        let set = ConstraintSet::compile(&schema, &[phi]).unwrap();
+        assert!(SqlBackend::from_set(&set).is_err());
+        // The semantic backend handles the same set fine.
+        let mut catalog = Catalog::new();
+        catalog
+            .create(
+                ecfd_relation::Relation::with_tuples(
+                    schema,
+                    [Tuple::new(vec![Value::Int(1), Value::str("x")])],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let (report, _) = SemanticBackend::from_set(&set)
+            .detect(&mut catalog)
+            .unwrap();
+        assert!(report.is_clean());
+    }
+}

@@ -80,9 +80,21 @@ impl Encoding {
     pub fn build(schema: &Schema, ecfds: &[ECfd]) -> Result<Self> {
         for ecfd in ecfds {
             ecfd.validate_against(schema)?;
-            for attr in ecfd.attributes() {
-                let id = schema.attr_id(attr).expect("validated");
-                let ty = schema.attribute(id).expect("validated").data_type();
+        }
+        Self::from_singles(schema, split_patterns(ecfds))
+    }
+
+    /// Builds the encoding from pre-split single-pattern constraints (the
+    /// shape a compiled [`ecfd_core::ConstraintSet`] holds), skipping the
+    /// per-constraint schema validation that [`Encoding::build`] performs.
+    /// The string-typedness requirement of the SQL encoding is still checked.
+    pub fn from_singles(schema: &Schema, singles: Vec<SinglePattern>) -> Result<Self> {
+        for single in &singles {
+            for attr in single.ecfd.attributes() {
+                let id = schema.attr_id(attr).ok_or_else(|| {
+                    DetectError::Unsupported(format!("attribute `{attr}` missing from schema"))
+                })?;
+                let ty = schema.attribute(id).expect("id just resolved").data_type();
                 if ty != DataType::Str {
                     return Err(DetectError::Unsupported(format!(
                         "attribute `{attr}` has type {ty} but the SQL encoding requires string attributes"
@@ -90,7 +102,6 @@ impl Encoding {
                 }
             }
         }
-        let singles = split_patterns(ecfds);
 
         // enc relation schema: CID + (A_L, A_R) per attribute of R.
         let mut enc_builder = Schema::builder(ENC_TABLE).attr("CID", DataType::Int);

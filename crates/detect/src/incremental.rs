@@ -68,6 +68,26 @@ impl IncrementalDetector {
     /// state. Equivalent to "run BATCHDETECT once, then keep `Aux(D)`".
     pub fn initialize(schema: &Schema, ecfds: &[ECfd], catalog: &mut Catalog) -> Result<Self> {
         let semantic = SemanticDetector::new(schema, ecfds)?;
+        Self::initialize_from(schema, semantic, catalog)
+    }
+
+    /// Like [`IncrementalDetector::initialize`], but reusing an
+    /// already-compiled [`ConstraintSet`] instead of re-validating and
+    /// re-splitting the constraints.
+    ///
+    /// [`ConstraintSet`]: ecfd_core::ConstraintSet
+    pub fn from_set(set: &ecfd_core::ConstraintSet, catalog: &mut Catalog) -> Result<Self> {
+        Self::initialize_from(set.schema(), SemanticDetector::from_set(set), catalog)
+    }
+
+    /// Like [`IncrementalDetector::initialize`], but reusing an existing
+    /// (already-compiled) [`SemanticDetector`] — no constraint re-validation
+    /// or re-splitting happens; the seeding detection pass still runs.
+    pub fn initialize_from(
+        schema: &Schema,
+        semantic: SemanticDetector,
+        catalog: &mut Catalog,
+    ) -> Result<Self> {
         let table = schema.name().to_string();
         ensure_flag_columns(catalog, &table)?;
         let (report, groups) = {

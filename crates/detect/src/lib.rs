@@ -32,6 +32,10 @@
 //!   [`EvidenceReport`] names, for every flagged row, the violated constraint
 //!   and pattern tuple, and for multi-tuple violations the offending group —
 //!   the input the `ecfd_repair` crate turns into repairs.
+//! * [`backend`] puts all three strategies behind one [`DetectorBackend`]
+//!   trait, each constructible from a compiled [`ecfd_core::ConstraintSet`]
+//!   so constraints are validated and split once, not once per detector.
+//!   This is the layer the `ecfd_session` crate routes between.
 //!
 //! All detectors report a [`DetectionReport`] with the same shape, so they can
 //! be compared directly.
@@ -60,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod batch;
 pub mod encode;
 pub mod evidence;
@@ -68,6 +73,7 @@ pub mod report;
 pub mod semantic;
 pub mod sqlgen;
 
+pub use backend::{BackendKind, DetectorBackend, IncrementalBackend, SemanticBackend, SqlBackend};
 pub use batch::BatchDetector;
 pub use encode::Encoding;
 pub use evidence::{ConstraintRef, EvidenceReport, MvEvidence, SvEvidence};

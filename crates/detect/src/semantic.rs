@@ -75,6 +75,19 @@ impl SemanticDetector {
         })
     }
 
+    /// Creates a detector from an already-compiled [`ConstraintSet`]: the
+    /// set's validation and split are reused verbatim, so no per-detector
+    /// re-validation or re-splitting happens.
+    ///
+    /// [`ConstraintSet`]: ecfd_core::ConstraintSet
+    pub fn from_set(set: &ecfd_core::ConstraintSet) -> Self {
+        SemanticDetector {
+            ecfds: set.ecfds().to_vec(),
+            singles: set.singles().iter().map(|s| s.ecfd.clone()).collect(),
+            provenance: set.provenance(),
+        }
+    }
+
     /// The original constraints.
     pub fn ecfds(&self) -> &[ECfd] {
         &self.ecfds

@@ -20,6 +20,7 @@ use ecfd_detect::evidence::{ConstraintRef, EvidenceReport};
 use ecfd_detect::SemanticDetector;
 use ecfd_relation::{AttrId, Relation, RowId, Schema, Tuple};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// How deletion repairs are computed over the conflict graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +88,7 @@ pub struct RepairEngine {
     schema: Schema,
     ecfds: Vec<ECfd>,
     detector: SemanticDetector,
-    cost: Box<dyn CostModel + Send + Sync>,
+    cost: Arc<dyn CostModel + Send + Sync>,
     options: RepairOptions,
 }
 
@@ -99,14 +100,35 @@ impl RepairEngine {
             schema: schema.clone(),
             ecfds: ecfds.to_vec(),
             detector: SemanticDetector::new(schema, ecfds)?,
-            cost: Box::new(ConstantCost::default()),
+            cost: Arc::new(ConstantCost::default()),
             options: RepairOptions::default(),
         })
     }
 
+    /// Creates an engine from an already-compiled
+    /// [`ecfd_core::ConstraintSet`], reusing its validation and split instead
+    /// of re-compiling the constraints. Evidence consumed by this engine must
+    /// index the set's *compiled* constraints (which is exactly what the
+    /// detector backends built from the same set produce).
+    pub fn from_set(set: &ecfd_core::ConstraintSet) -> Self {
+        RepairEngine {
+            schema: set.schema().clone(),
+            ecfds: set.ecfds().to_vec(),
+            detector: SemanticDetector::from_set(set),
+            cost: Arc::new(ConstantCost::default()),
+            options: RepairOptions::default(),
+        }
+    }
+
     /// Replaces the cost model.
-    pub fn with_cost_model(mut self, cost: impl CostModel + Send + Sync + 'static) -> Self {
-        self.cost = Box::new(cost);
+    pub fn with_cost_model(self, cost: impl CostModel + Send + Sync + 'static) -> Self {
+        self.with_cost_model_arc(Arc::new(cost))
+    }
+
+    /// Replaces the cost model with an already-shared one (the session layer
+    /// holds the model once and shares it across the engines it builds).
+    pub fn with_cost_model_arc(mut self, cost: Arc<dyn CostModel + Send + Sync>) -> Self {
+        self.cost = cost;
         self
     }
 
@@ -114,6 +136,11 @@ impl RepairEngine {
     pub fn with_options(mut self, options: RepairOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Updates the planner options in place.
+    pub fn set_options(&mut self, options: RepairOptions) {
+        self.options = options;
     }
 
     /// The constrained schema.
@@ -134,6 +161,12 @@ impl RepairEngine {
     /// The cost model.
     pub fn cost_model(&self) -> &dyn CostModel {
         &*self.cost
+    }
+
+    /// The engine's (compiled) semantic detector — shared with the verified
+    /// repair loop so it never re-compiles the constraints.
+    pub fn detector(&self) -> &SemanticDetector {
+        &self.detector
     }
 
     /// Explains the violations of `relation`: runs the semantic detector and

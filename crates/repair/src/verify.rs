@@ -81,14 +81,48 @@ impl VerifiedRepair {
 /// scratch. Errors with [`RepairError::NotClean`] if the loop somehow fails
 /// to converge (which the forced delete-only final round prevents).
 pub fn repair_verified(engine: &RepairEngine, catalog: &mut Catalog) -> Result<VerifiedRepair> {
+    repair_verified_seeded(engine, catalog, None)
+}
+
+/// [`repair_verified`] with an optional pre-computed
+/// [`EvidenceReport`](ecfd_detect::EvidenceReport) for the data as it
+/// currently stands, sparing the first explain pass. The evidence must
+/// describe the table's *current* contents (stale evidence would plan
+/// repairs against rows that no longer exist).
+pub fn repair_verified_seeded(
+    engine: &RepairEngine,
+    catalog: &mut Catalog,
+    seed: Option<ecfd_detect::EvidenceReport>,
+) -> Result<VerifiedRepair> {
+    // Reuse the engine's compiled detector; the seeding pass that
+    // initialises the incremental maintenance state still runs.
+    let mut inc =
+        IncrementalDetector::initialize_from(engine.schema(), engine.detector().clone(), catalog)?;
+    repair_verified_with(engine, catalog, &mut inc, seed)
+}
+
+/// The verified repair loop against an *existing* incremental detector whose
+/// flags and auxiliary state are already correct for the table's current
+/// contents — the entry point of the session layer, which hands over its warm
+/// maintenance state so no seeding re-scan runs at all. The detector is
+/// maintained through every applied round and remains valid afterwards.
+pub fn repair_verified_with(
+    engine: &RepairEngine,
+    catalog: &mut Catalog,
+    inc: &mut IncrementalDetector,
+    seed: Option<ecfd_detect::EvidenceReport>,
+) -> Result<VerifiedRepair> {
     let table = engine.schema().name().to_string();
-    let mut inc = IncrementalDetector::initialize(engine.schema(), engine.ecfds(), catalog)?;
     let max_rounds = engine.options().max_rounds.max(1);
+    let mut seed = seed;
 
     let mut rounds = Vec::new();
     for round in 0..max_rounds {
         let base = base_relation(catalog.get(&table)?, engine.schema())?;
-        let evidence = engine.explain(&base)?;
+        let evidence = match seed.take() {
+            Some(seeded) => seeded,
+            None => engine.explain(&base)?,
+        };
         if evidence.is_clean() {
             break;
         }

@@ -1,0 +1,88 @@
+//! Errors of the session layer.
+
+use ecfd_detect::BackendKind;
+use std::fmt;
+
+/// Result alias for session operations.
+pub type Result<T> = std::result::Result<T, SessionError>;
+
+/// Errors produced by the session layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// Error from the constraint library (parsing, validation, compilation).
+    Core(ecfd_core::CoreError),
+    /// Error from the detection layer.
+    Detect(ecfd_detect::DetectError),
+    /// Error from the repair layer.
+    Repair(ecfd_repair::RepairError),
+    /// Error from the storage layer.
+    Relation(ecfd_relation::RelationError),
+    /// Constraints were registered against a relation the session has not
+    /// loaded.
+    NotLoaded(String),
+    /// An operation needed registered constraints but the named relation has
+    /// none.
+    NoConstraints(String),
+    /// A default-relation operation ran while the session manages several
+    /// registered relations — use the `*_on` variant naming one of them.
+    AmbiguousRelation(Vec<String>),
+    /// A specific backend was requested but cannot serve this constraint set
+    /// (e.g. the SQL encoding on non-string attributes).
+    BackendUnavailable {
+        /// The requested backend.
+        kind: BackendKind,
+        /// Why it is unavailable.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Core(e) => write!(f, "constraint error: {e}"),
+            SessionError::Detect(e) => write!(f, "detection error: {e}"),
+            SessionError::Repair(e) => write!(f, "repair error: {e}"),
+            SessionError::Relation(e) => write!(f, "storage error: {e}"),
+            SessionError::NotLoaded(table) => {
+                write!(f, "relation `{table}` has not been loaded into the session")
+            }
+            SessionError::NoConstraints(table) => {
+                write!(f, "no constraints registered for relation `{table}`")
+            }
+            SessionError::AmbiguousRelation(tables) => write!(
+                f,
+                "several relations are registered ({}); name one explicitly",
+                tables.join(", ")
+            ),
+            SessionError::BackendUnavailable { kind, reason } => {
+                write!(f, "the {kind} backend is unavailable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ecfd_core::CoreError> for SessionError {
+    fn from(e: ecfd_core::CoreError) -> Self {
+        SessionError::Core(e)
+    }
+}
+
+impl From<ecfd_detect::DetectError> for SessionError {
+    fn from(e: ecfd_detect::DetectError) -> Self {
+        SessionError::Detect(e)
+    }
+}
+
+impl From<ecfd_repair::RepairError> for SessionError {
+    fn from(e: ecfd_repair::RepairError) -> Self {
+        SessionError::Repair(e)
+    }
+}
+
+impl From<ecfd_relation::RelationError> for SessionError {
+    fn from(e: ecfd_relation::RelationError) -> Self {
+        SessionError::Relation(e)
+    }
+}

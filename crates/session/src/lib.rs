@@ -1,0 +1,510 @@
+//! # ecfd-session
+//!
+//! One stateful object for the whole eCFD lifecycle. The paper's systems
+//! pitch is that detection is a *fixed-query service* sitting on top of a
+//! database: constraints are encoded once, and the per-query work is
+//! independent of how many eCFDs are checked. [`Session`] is that service as
+//! an API — it owns the [`Catalog`](ecfd_relation::Catalog), a registry of
+//! compiled [`ConstraintSet`](ecfd_core::ConstraintSet)s, and the three
+//! detector backends per set, so callers stop hand-wiring
+//! `SemanticDetector` / `BatchDetector` / `IncrementalDetector` /
+//! `RepairEngine` object graphs and re-compiling the same constraints per
+//! detector. (Those types remain exported from their crates as the low-level
+//! layer.)
+//!
+//! ## Lifecycle state machine
+//!
+//! Each relation managed by a session moves through four stages
+//! ([`Stage`]):
+//!
+//! ```text
+//!             load                 register              detect / apply
+//!  (empty) ─────────▶ Loaded ─────────────▶ Registered ───────────────▶ Detected
+//!                       ▲                      ▲    ▲                      │
+//!                       │ load (re-load data)  │    │                      │ repair
+//!                       └──────────────────────┘    │                      ▼
+//!                                                   └──────────────── Repaired
+//! ```
+//!
+//! * **Loaded** — [`Session::load`] put the relation into the catalog; no
+//!   constraints yet.
+//! * **Registered** — [`Session::register`] compiled constraints for it
+//!   (validate → optional implication-based minimization → normalize →
+//!   dedupe → split, see [`ecfd_core::ConstraintSet`]); all three backends
+//!   are built from the one compiled set.
+//! * **Detected** — a detection result (flags + evidence) is cached and
+//!   describes the current table contents. [`Session::detect`],
+//!   [`Session::explain`] and [`Session::apply`] land here.
+//! * **Repaired** — [`Session::repair`] ran the verified repair loop; the
+//!   cached result is the (verified clean) final report.
+//!
+//! ## What invalidates what
+//!
+//! | operation                  | cached report/evidence | incremental aux state |
+//! |----------------------------|------------------------|-----------------------|
+//! | `load` (same name again)   | dropped                | dropped               |
+//! | `register` (more rules)    | dropped                | dropped               |
+//! | `detect` (cache present)   | served, nothing runs   | kept                  |
+//! | `detect_with(kind)`        | replaced               | kept (see below)      |
+//! | `apply` via incremental    | replaced               | maintained            |
+//! | `apply` via semantic / SQL | replaced               | dropped               |
+//! | `repair`                   | replaced (clean)       | maintained            |
+//! | `catalog_mut` / `invalidate` | dropped              | dropped               |
+//!
+//! A full detection pass rewrites the `SV` / `MV` flag columns but does not
+//! move rows, so the incremental backend's group state stays valid across
+//! `detect_with` regardless of which backend ran. Updates applied through a
+//! non-incremental backend *do* move rows, which is why they drop it.
+//!
+//! ## Backend routing
+//!
+//! Every detection-shaped call can name a [`BackendKind`] explicitly
+//! (`detect_with`, `apply_with`); otherwise the session's [`RoutingPolicy`]
+//! decides. The default policy runs full passes on the SQL batch detector
+//! and routes update batches by the delta-size threshold of the paper's
+//! Fig. 7(a): small batches go to incremental maintenance, large ones to a
+//! fresh batch pass.
+//!
+//! ## Example
+//!
+//! ```
+//! use ecfd_session::Session;
+//! use ecfd_relation::{DataType, Relation, Schema, Tuple};
+//!
+//! let schema = Schema::builder("cust")
+//!     .attr("CT", DataType::Str)
+//!     .attr("AC", DataType::Str)
+//!     .build();
+//! let data = Relation::with_tuples(schema, [
+//!     Tuple::from_iter(["Albany", "718"]), // wrong area code
+//!     Tuple::from_iter(["NYC", "212"]),
+//! ]).unwrap();
+//!
+//! let mut session = Session::new();
+//! session.load(data).unwrap();
+//! session.register_text("cust: [CT] -> [AC] | [], { {Albany} || {518} }").unwrap();
+//!
+//! let report = session.detect().unwrap();
+//! assert_eq!(report.num_sv(), 1);
+//!
+//! let outcome = session.repair().unwrap();
+//! assert!(outcome.final_report.is_clean());
+//! assert!(session.detect().unwrap().is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod policy;
+mod session;
+
+pub use error::{Result, SessionError};
+pub use policy::RoutingPolicy;
+pub use session::{Session, Stage};
+
+// The kinds a policy routes between are part of this crate's vocabulary.
+pub use ecfd_detect::backend::BackendKind;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfd_core::{CompileOptions, ECfdBuilder};
+    use ecfd_detect::DetectorBackend;
+    use ecfd_relation::{DataType, Delta, Relation, Schema, Tuple, Value};
+    use ecfd_repair::{RepairMode, RepairOptions};
+
+    fn schema() -> Schema {
+        Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build()
+    }
+
+    fn dirty() -> Relation {
+        Relation::with_tuples(
+            schema(),
+            [
+                Tuple::from_iter(["Albany", "718"]),
+                Tuple::from_iter(["Albany", "518"]),
+                Tuple::from_iter(["NYC", "212"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    const PHI: &str = "cust: [CT] -> [AC] | [], { {Albany} || {518} }";
+
+    fn ready_session() -> Session {
+        let mut session = Session::new();
+        session.load(dirty()).unwrap();
+        session.register_text(PHI).unwrap();
+        session
+    }
+
+    #[test]
+    fn lifecycle_stages_progress() {
+        let mut session = Session::new();
+        assert_eq!(session.stage(), None);
+        session.load(dirty()).unwrap();
+        assert_eq!(session.stage(), Some(Stage::Loaded));
+        session.register_text(PHI).unwrap();
+        assert_eq!(session.stage(), Some(Stage::Registered));
+        session.detect().unwrap();
+        assert_eq!(session.stage(), Some(Stage::Detected));
+        session.repair().unwrap();
+        assert_eq!(session.stage(), Some(Stage::Repaired));
+        // Re-loading data rewinds to Registered (constraints are kept).
+        session.load(dirty()).unwrap();
+        assert_eq!(session.stage(), Some(Stage::Registered));
+        assert_eq!(session.constraints("cust").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn detect_serves_the_cache_and_explicit_backends_replace_it() {
+        let mut session = ready_session();
+        let first = session.detect().unwrap();
+        assert_eq!(first.num_sv(), 1);
+        assert_eq!(first.num_mv(), 2, "the two Albany rows conflict");
+        assert_eq!(session.last_backend(), Some(BackendKind::Sql));
+
+        // Cached: same result, no backend switch.
+        let again = session.detect().unwrap();
+        assert_eq!(again, first);
+
+        for kind in BackendKind::ALL {
+            let report = session.detect_with(kind).unwrap();
+            assert_eq!(report, first, "{kind} disagrees");
+            assert_eq!(session.last_backend(), Some(kind));
+        }
+    }
+
+    #[test]
+    fn apply_routes_by_delta_size() {
+        let mut session = ready_session();
+        session.detect().unwrap();
+
+        // 1 update against 3 rows is under the default 25% threshold? No:
+        // 1 > 0.75 → large. Make the table bigger first.
+        let filler = Delta::insert_only(
+            (0..37)
+                .map(|i| Tuple::from_iter(["NYC", &format!("2{i:02}")]))
+                .collect(),
+        );
+        session.apply_with(BackendKind::Sql, &filler).unwrap();
+
+        let small = Delta::insert_only(vec![Tuple::from_iter(["Troy", "518"])]);
+        session.apply(&small).unwrap();
+        assert_eq!(session.last_backend(), Some(BackendKind::Incremental));
+
+        let large = Delta::insert_only(
+            (0..30)
+                .map(|i| Tuple::from_iter(["LI", &format!("5{i:02}")]))
+                .collect(),
+        );
+        session.apply(&large).unwrap();
+        assert_eq!(session.last_backend(), Some(BackendKind::Sql));
+    }
+
+    #[test]
+    fn apply_keeps_flags_consistent_with_a_fresh_detect() {
+        let mut session = ready_session();
+        session.detect().unwrap();
+        let delta = Delta {
+            insertions: vec![Tuple::from_iter(["Albany", "519"])],
+            deletions: vec![Tuple::from_iter(["NYC", "212"])],
+        };
+        let after = session
+            .apply_with(BackendKind::Incremental, &delta)
+            .unwrap();
+        let scratch = session.detect_with(BackendKind::Semantic).unwrap();
+        assert_eq!(after, scratch);
+        assert_eq!(after.total_rows, 3);
+    }
+
+    #[test]
+    fn repair_uses_session_evidence_and_lands_clean() {
+        let mut session = ready_session();
+        let before = session.detect().unwrap();
+        assert!(!before.is_clean());
+        let outcome = session
+            .repair_with(RepairOptions {
+                mode: RepairMode::DeleteOnly,
+                ..RepairOptions::default()
+            })
+            .unwrap();
+        assert!(outcome.final_report.is_clean());
+        assert!(outcome.num_deletions() >= 1);
+        assert_eq!(session.stage(), Some(Stage::Repaired));
+        // The cached state reflects the clean table without a re-scan…
+        assert!(session.report().unwrap().is_clean());
+        // …and an explicit re-detect agrees.
+        assert!(session
+            .detect_with(BackendKind::Semantic)
+            .unwrap()
+            .is_clean());
+    }
+
+    #[test]
+    fn register_extends_and_dedupes() {
+        let mut session = ready_session();
+        // Registering the same constraint again changes nothing compiled.
+        session.register_text(PHI).unwrap();
+        let set = session.constraints("cust").unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.num_patterns(), 1);
+        assert_eq!(set.source().len(), 2);
+        // A genuinely new constraint extends the compiled set.
+        session
+            .register_text("cust: [CT] -> [] | [AC], { {NYC} || {212, 718} }")
+            .unwrap();
+        assert_eq!(session.constraints("cust").unwrap().len(), 2);
+        assert_eq!(session.stage(), Some(Stage::Registered));
+    }
+
+    #[test]
+    fn minimizing_compile_options_shrink_the_registered_set() {
+        let mut session = Session::new().with_compile_options(CompileOptions::minimizing());
+        session.load(dirty()).unwrap();
+        let strong = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.in_set("CT", ["Albany", "Troy"]).constant("AC", "518"))
+            .build()
+            .unwrap();
+        let weak = ECfdBuilder::new("cust")
+            .lhs(["CT"])
+            .fd_rhs(["AC"])
+            .pattern(|p| p.in_set("CT", ["Albany"]).constant("AC", "518"))
+            .build()
+            .unwrap();
+        session.register(&[strong, weak]).unwrap();
+        let set = session.constraints("cust").unwrap();
+        assert_eq!(set.num_patterns(), 1, "the weak rule is implied");
+        assert_eq!(set.source().len(), 2);
+    }
+
+    #[test]
+    fn errors_name_the_missing_piece() {
+        let mut session = Session::new();
+        assert!(matches!(session.detect(), Err(SessionError::NotLoaded(_))));
+        assert!(matches!(
+            session.register_text(PHI),
+            Err(SessionError::NotLoaded(name)) if name == "cust"
+        ));
+        session.load(dirty()).unwrap();
+        assert!(matches!(
+            session.detect(),
+            Err(SessionError::NoConstraints(name)) if name == "cust"
+        ));
+        session.register_text(PHI).unwrap();
+        assert!(matches!(
+            session.detect_on("orders"),
+            Err(SessionError::NotLoaded(name)) if name == "orders"
+        ));
+    }
+
+    #[test]
+    fn multi_relation_sessions_need_explicit_names() {
+        let mut session = Session::new();
+        session.load(dirty()).unwrap();
+        let orders_schema = Schema::builder("orders")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build();
+        session
+            .load(
+                Relation::with_tuples(orders_schema, [Tuple::from_iter(["Albany", "999"])])
+                    .unwrap(),
+            )
+            .unwrap();
+        session.register_text(PHI).unwrap();
+        session
+            .register_text("orders: [CT] -> [AC] | [], { {Albany} || {518} }")
+            .unwrap();
+        assert!(matches!(
+            session.detect(),
+            Err(SessionError::AmbiguousRelation(names)) if names.len() == 2
+        ));
+        // Two distinct violating rows: Albany/718 (SV and MV) and Albany/518
+        // (MV only).
+        assert_eq!(session.detect_on("cust").unwrap().num_violations(), 2);
+        assert_eq!(session.detect_on("orders").unwrap().num_sv(), 1);
+    }
+
+    #[test]
+    fn sql_backend_unavailability_is_reported_per_call() {
+        let schema = Schema::builder("t")
+            .attr("A", DataType::Int)
+            .attr("B", DataType::Str)
+            .build();
+        let phi = ECfdBuilder::new("t")
+            .lhs(["A"])
+            .fd_rhs(["B"])
+            .pattern(|p| p)
+            .build()
+            .unwrap();
+        let mut session = Session::new().with_policy(RoutingPolicy::fixed(BackendKind::Semantic));
+        session
+            .load(
+                Relation::with_tuples(
+                    schema,
+                    [
+                        Tuple::new(vec![Value::Int(1), Value::str("x")]),
+                        Tuple::new(vec![Value::Int(1), Value::str("y")]),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        session.register(&[phi]).unwrap();
+        // The semantic path serves the int-typed schema fine…
+        assert_eq!(session.detect().unwrap().num_mv(), 2);
+        // …and only an explicit SQL request errors.
+        assert!(matches!(
+            session.detect_with(BackendKind::Sql),
+            Err(SessionError::BackendUnavailable {
+                kind: BackendKind::Sql,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn failing_reload_leaves_the_session_untouched() {
+        let mut session = ready_session();
+        let before = session.detect().unwrap();
+        // A relation reusing the name but lacking the constrained attributes:
+        // recompilation fails, and nothing — catalog, registry, cache — moves.
+        let incompatible = Relation::with_tuples(
+            Schema::builder("cust").attr("OTHER", DataType::Str).build(),
+            [Tuple::from_iter(["x"])],
+        )
+        .unwrap();
+        assert!(session.load(incompatible).is_err());
+        assert_eq!(session.report(), Some(&before));
+        assert_eq!(session.data("cust").unwrap(), dirty());
+        assert_eq!(session.detect().unwrap(), before);
+    }
+
+    #[test]
+    fn failing_registration_is_atomic_across_relations() {
+        let mut session = ready_session();
+        let set_before = session.constraints("cust").unwrap().clone();
+        let for_cust = ecfd_core::parse_ecfd(PHI).unwrap();
+        let for_unloaded =
+            ecfd_core::parse_ecfd("orders: [CT] -> [AC] | [], { {Albany} || {518} }").unwrap();
+        // `orders` is not loaded, so the whole batch must be rejected —
+        // including the valid cust constraint sorted before it.
+        assert!(matches!(
+            session.register(&[for_cust, for_unloaded]),
+            Err(SessionError::NotLoaded(name)) if name == "orders"
+        ));
+        assert_eq!(session.constraints("cust").unwrap(), &set_before);
+    }
+
+    #[test]
+    fn cost_model_changes_reach_already_registered_relations() {
+        struct DeleteNothing;
+        impl ecfd_repair::CostModel for DeleteNothing {
+            fn deletion_cost(&self, _t: &Tuple) -> f64 {
+                1_000.0
+            }
+            fn change_cost(&self, _a: &str, _o: &Value, _n: &Value) -> f64 {
+                1.0
+            }
+        }
+        // Register first, swap the cost model afterwards: the deletion side
+        // must see the new weights (greedy is weight-aware).
+        let mut session = ready_session().with_cost_model(DeleteNothing);
+        let outcome = session.repair().unwrap();
+        assert!(outcome.final_report.is_clean());
+        let cost: f64 = outcome
+            .rounds
+            .iter()
+            .flat_map(|r| &r.repair.deletions)
+            .map(|d| d.cost)
+            .sum();
+        assert!(
+            outcome.num_deletions() == 0 || cost >= 1_000.0,
+            "deletions must be costed by the post-registration model"
+        );
+    }
+
+    #[test]
+    fn repair_reuses_and_returns_warm_incremental_state() {
+        let mut session = ready_session();
+        session.detect().unwrap();
+        // Warm the incremental state, then repair: the loop starts from it
+        // and hands it back, so the next incremental apply needs no seeding.
+        let warmup = Delta::insert_only(vec![Tuple::from_iter(["Troy", "518"])]);
+        session
+            .apply_with(BackendKind::Incremental, &warmup)
+            .unwrap();
+        let outcome = session.repair().unwrap();
+        assert!(outcome.final_report.is_clean());
+
+        let delta = Delta::insert_only(vec![Tuple::from_iter(["Albany", "999"])]);
+        let after = session
+            .apply_with(BackendKind::Incremental, &delta)
+            .unwrap();
+        let scratch = session.detect_with(BackendKind::Semantic).unwrap();
+        assert_eq!(after, scratch);
+        assert_eq!(after.num_sv(), 1, "the fresh 999 row violates φ");
+    }
+
+    #[test]
+    fn catalog_mut_invalidates_cached_state() {
+        let mut session = ready_session();
+        session.detect().unwrap();
+        assert!(session.report().is_some());
+        session
+            .catalog_mut()
+            .get_mut("cust")
+            .unwrap()
+            .delete_matching(
+                &Tuple::from_iter(["NYC", "212"]).extended([Value::Int(0), Value::Int(0)]),
+            );
+        assert!(session.report().is_none(), "cache must be dropped");
+        let report = session.detect().unwrap();
+        assert_eq!(report.total_rows, 2);
+    }
+
+    #[test]
+    fn explain_and_conflict_graph_come_from_the_cache() {
+        let mut session = ready_session();
+        let evidence = session.explain().unwrap();
+        assert_eq!(evidence.num_sv_records(), 1);
+        assert_eq!(evidence.num_groups(), 1);
+        assert_eq!(
+            evidence.detection_report(),
+            *session.report().expect("explain caches detection")
+        );
+        let graph = session.conflict_graph().unwrap();
+        assert!(graph.num_nodes() >= 2);
+        // data() strips the flag columns the backends added.
+        let base = session.data("cust").unwrap();
+        assert_eq!(base.schema(), &schema());
+    }
+
+    #[test]
+    fn backends_stay_swappable_behind_the_trait_object() {
+        // The session's per-call dispatch goes through &mut dyn
+        // DetectorBackend; double-check the trait stays object-safe and the
+        // public constructors compose.
+        let set = ecfd_core::ConstraintSet::parse(&schema(), PHI).unwrap();
+        let mut backends: Vec<Box<dyn DetectorBackend>> = vec![
+            Box::new(ecfd_detect::SemanticBackend::from_set(&set)),
+            Box::new(ecfd_detect::SqlBackend::from_set(&set).unwrap()),
+            Box::new(ecfd_detect::IncrementalBackend::from_set(&set)),
+        ];
+        let mut catalog = ecfd_relation::Catalog::new();
+        catalog.create(dirty()).unwrap();
+        let mut reports = Vec::new();
+        for backend in &mut backends {
+            reports.push(backend.detect(&mut catalog).unwrap().0);
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[1], reports[2]);
+    }
+}

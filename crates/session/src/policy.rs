@@ -1,0 +1,81 @@
+//! Backend routing: which detection strategy serves which call.
+
+use ecfd_detect::BackendKind;
+
+/// Decides which [`BackendKind`] serves full detection passes and update
+/// batches when the caller does not pick one explicitly.
+///
+/// The interesting decision is the one the paper's Fig. 7(a) measures: below
+/// a certain update-batch size incremental maintenance beats recomputing from
+/// scratch, above it the batch pass wins. The policy mirrors that crossover
+/// with a simple threshold on `|ΔD| / |D|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingPolicy {
+    /// Backend for full detection passes ([`crate::Session::detect`]).
+    pub detect_backend: BackendKind,
+    /// Backend for update batches at or below the threshold.
+    pub small_delta_backend: BackendKind,
+    /// Backend for update batches above the threshold.
+    pub large_delta_backend: BackendKind,
+    /// An update batch is "small" when `delta.len() <= threshold ×
+    /// current table size`. The paper's crossover sits somewhere below a
+    /// third of the data size on its workloads.
+    pub incremental_max_fraction: f64,
+}
+
+impl Default for RoutingPolicy {
+    fn default() -> Self {
+        RoutingPolicy {
+            detect_backend: BackendKind::Sql,
+            small_delta_backend: BackendKind::Incremental,
+            large_delta_backend: BackendKind::Sql,
+            incremental_max_fraction: 0.25,
+        }
+    }
+}
+
+impl RoutingPolicy {
+    /// A policy that always uses `kind`, for every call shape.
+    pub fn fixed(kind: BackendKind) -> Self {
+        RoutingPolicy {
+            detect_backend: kind,
+            small_delta_backend: kind,
+            large_delta_backend: kind,
+            incremental_max_fraction: 0.25,
+        }
+    }
+
+    /// The routing decision for an update batch of `delta_len` tuples against
+    /// a table currently holding `table_len` rows.
+    pub fn route_delta(&self, delta_len: usize, table_len: usize) -> BackendKind {
+        let budget = self.incremental_max_fraction * table_len as f64;
+        if delta_len as f64 <= budget {
+            self.small_delta_backend
+        } else {
+            self.large_delta_backend
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_routes_by_delta_size() {
+        let policy = RoutingPolicy::default();
+        assert_eq!(policy.route_delta(10, 1000), BackendKind::Incremental);
+        assert_eq!(policy.route_delta(250, 1000), BackendKind::Incremental);
+        assert_eq!(policy.route_delta(251, 1000), BackendKind::Sql);
+        // An empty table pushes everything to the batch path.
+        assert_eq!(policy.route_delta(1, 0), BackendKind::Sql);
+    }
+
+    #[test]
+    fn fixed_policy_never_routes_elsewhere() {
+        let policy = RoutingPolicy::fixed(BackendKind::Semantic);
+        assert_eq!(policy.detect_backend, BackendKind::Semantic);
+        assert_eq!(policy.route_delta(1, 1000), BackendKind::Semantic);
+        assert_eq!(policy.route_delta(999, 1000), BackendKind::Semantic);
+    }
+}

@@ -1,0 +1,569 @@
+//! The [`Session`] type: one stateful object for the whole constraint
+//! lifecycle. See the crate docs for the lifecycle state machine and the
+//! cache-invalidation rules.
+
+use crate::error::{Result, SessionError};
+use crate::policy::RoutingPolicy;
+use ecfd_core::{CompileOptions, ConstraintSet, ECfd};
+use ecfd_detect::backend::{
+    BackendKind, DetectorBackend, IncrementalBackend, SemanticBackend, SqlBackend,
+};
+use ecfd_detect::{DetectionReport, EvidenceReport};
+use ecfd_relation::{Catalog, Delta, Relation, Schema};
+use ecfd_repair::{
+    base_relation, repair_verified_with, ConflictGraph, CostModel, RepairEngine, RepairOptions,
+    VerifiedRepair,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Where a relation sits in the session lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Data loaded, no constraints registered yet.
+    Loaded,
+    /// Constraints compiled and registered; no current detection result.
+    Registered,
+    /// A detection result (flags + evidence) is cached and current.
+    Detected,
+    /// The last mutation was a verified repair; the cached result is clean.
+    Repaired,
+}
+
+/// A cached detection outcome: which backend produced it, the flag-level
+/// report and the attributing evidence.
+#[derive(Debug, Clone)]
+struct Cached {
+    kind: BackendKind,
+    report: DetectionReport,
+    evidence: EvidenceReport,
+}
+
+/// Everything the session holds for one registered relation.
+struct Entry {
+    set: ConstraintSet,
+    semantic: SemanticBackend,
+    /// The SQL backend, or the reason it cannot serve this set (non-string
+    /// constrained attributes are outside the SQL encoding's envelope).
+    sql: std::result::Result<SqlBackend, String>,
+    incremental: IncrementalBackend,
+    repair: RepairEngine,
+    cache: Option<Cached>,
+    stage: Stage,
+}
+
+impl Entry {
+    fn backend_mut(&mut self, kind: BackendKind) -> Result<&mut dyn DetectorBackend> {
+        match kind {
+            BackendKind::Semantic => Ok(&mut self.semantic),
+            BackendKind::Incremental => Ok(&mut self.incremental),
+            BackendKind::Sql => match &mut self.sql {
+                Ok(backend) => Ok(backend),
+                Err(reason) => Err(SessionError::BackendUnavailable {
+                    kind: BackendKind::Sql,
+                    reason: reason.clone(),
+                }),
+            },
+        }
+    }
+}
+
+/// A long-lived constraint-management session: owns the catalog, a registry
+/// of compiled constraint sets, and the three detector backends per set, with
+/// detection/evidence state cached and invalidated on mutation.
+///
+/// See the crate-level docs for the lifecycle and invalidation rules; see
+/// [`RoutingPolicy`] for how backends are picked when a call does not name
+/// one.
+pub struct Session {
+    catalog: Catalog,
+    policy: RoutingPolicy,
+    compile: CompileOptions,
+    cost: Arc<dyn CostModel + Send + Sync>,
+    /// Base schema of every loaded relation, keyed by relation name. The
+    /// *stored* schema may grow detector-managed `SV` / `MV` columns; the
+    /// base schema is what constraints compile against and what
+    /// [`Session::data`] projects back to.
+    loaded: BTreeMap<String, Schema>,
+    tables: BTreeMap<String, Entry>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// An empty session with the default [`RoutingPolicy`], default
+    /// [`CompileOptions`] and the constant cost model.
+    pub fn new() -> Self {
+        Session {
+            catalog: Catalog::new(),
+            policy: RoutingPolicy::default(),
+            compile: CompileOptions::default(),
+            cost: Arc::new(ecfd_repair::ConstantCost::default()),
+            loaded: BTreeMap::new(),
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Replaces the routing policy.
+    pub fn with_policy(mut self, policy: RoutingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the constraint-compilation options used by subsequent
+    /// [`Session::register`] calls. Already-registered sets keep the options
+    /// they were compiled under — use [`Session::set_compile_options`] to
+    /// recompile them.
+    pub fn with_compile_options(mut self, options: CompileOptions) -> Self {
+        self.compile = options;
+        self
+    }
+
+    /// Replaces the compilation options *and* recompiles every registered
+    /// constraint set under them (dropping all cached detection state).
+    pub fn set_compile_options(&mut self, options: CompileOptions) -> Result<()> {
+        self.compile = options;
+        let names: Vec<String> = self.tables.keys().cloned().collect();
+        let mut rebuilt = Vec::with_capacity(names.len());
+        for name in names {
+            let entry = self.tables.get(&name).expect("iterating own keys");
+            let schema = entry.set.schema().clone();
+            let source = entry.set.source().to_vec();
+            rebuilt.push((name, self.build_entry(&schema, &source)?));
+        }
+        for (name, entry) in rebuilt {
+            self.tables.insert(name, entry);
+        }
+        Ok(())
+    }
+
+    /// Replaces the repair cost model, for already-registered relations as
+    /// well as future registrations.
+    pub fn with_cost_model(mut self, cost: impl CostModel + Send + Sync + 'static) -> Self {
+        self.cost = Arc::new(cost);
+        for entry in self.tables.values_mut() {
+            entry.repair =
+                RepairEngine::from_set(&entry.set).with_cost_model_arc(self.cost.clone());
+        }
+        self
+    }
+
+    // ── lifecycle: load ────────────────────────────────────────────────────
+
+    /// Loads a relation into the session (replacing any previous relation of
+    /// the same name). If constraints are already registered for the name
+    /// they are kept and recompiled when the schema changed; all cached
+    /// detection state for the relation is dropped.
+    pub fn load(&mut self, relation: Relation) -> Result<()> {
+        let name = relation.name().to_string();
+        let schema = relation.schema().clone();
+        // Recompile (when the schema changed) *before* touching any session
+        // state, so a failing compile leaves catalog, registry and caches
+        // exactly as they were.
+        let rebuilt = match self.tables.get(&name) {
+            Some(entry) if entry.set.schema() != &schema => {
+                let source = entry.set.source().to_vec();
+                Some(self.build_entry(&schema, &source)?)
+            }
+            _ => None,
+        };
+        self.catalog.create_or_replace(relation);
+        self.loaded.insert(name.clone(), schema);
+        if let Some(rebuilt) = rebuilt {
+            self.tables.insert(name, rebuilt);
+        } else if let Some(entry) = self.tables.get_mut(&name) {
+            entry.cache = None;
+            entry.incremental.invalidate();
+            entry.stage = Stage::Registered;
+        }
+        Ok(())
+    }
+
+    // ── lifecycle: register ────────────────────────────────────────────────
+
+    /// Registers constraints, compiling them once into the session's
+    /// [`ConstraintSet`] registry. Constraints are grouped by the relation
+    /// they name (which must already be loaded); registering more constraints
+    /// for a relation extends its set, and the union is recompiled
+    /// (validate → minimize → normalize → dedupe) so duplicates collapse.
+    /// Invalidates cached detection state for every touched relation.
+    /// Registration is atomic: if any constraint fails to compile, no
+    /// relation's set changes.
+    pub fn register(&mut self, constraints: &[ECfd]) -> Result<()> {
+        let mut groups: BTreeMap<String, Vec<ECfd>> = BTreeMap::new();
+        for constraint in constraints {
+            groups
+                .entry(constraint.relation().to_string())
+                .or_default()
+                .push(constraint.clone());
+        }
+        // Stage every recompiled entry first; commit only when all succeed.
+        let mut staged: Vec<(String, Entry)> = Vec::with_capacity(groups.len());
+        for (name, group) in groups {
+            let schema = self
+                .loaded
+                .get(&name)
+                .ok_or_else(|| SessionError::NotLoaded(name.clone()))?
+                .clone();
+            let mut source: Vec<ECfd> = self
+                .tables
+                .get(&name)
+                .map(|entry| entry.set.source().to_vec())
+                .unwrap_or_default();
+            source.extend(group);
+            let entry = self.build_entry(&schema, &source)?;
+            staged.push((name, entry));
+        }
+        for (name, entry) in staged {
+            self.tables.insert(name, entry);
+        }
+        Ok(())
+    }
+
+    /// Parses the textual constraint syntax and registers the result.
+    pub fn register_text(&mut self, text: &str) -> Result<()> {
+        let constraints = ecfd_core::parse_ecfds(text)?;
+        self.register(&constraints)
+    }
+
+    fn build_entry(&self, schema: &Schema, source: &[ECfd]) -> Result<Entry> {
+        let set = ConstraintSet::compile_with(schema, source, self.compile)?;
+        let sql = SqlBackend::from_set(&set).map_err(|e| e.to_string());
+        Ok(Entry {
+            semantic: SemanticBackend::from_set(&set),
+            incremental: IncrementalBackend::from_set(&set),
+            repair: RepairEngine::from_set(&set).with_cost_model_arc(self.cost.clone()),
+            sql,
+            set,
+            cache: None,
+            stage: Stage::Registered,
+        })
+    }
+
+    // ── lifecycle: detect / explain ────────────────────────────────────────
+
+    /// Detects violations on the session's sole registered relation, serving
+    /// the cached result when one is current. The backend is the policy's
+    /// `detect_backend` — use [`Session::detect_with`] to force one.
+    pub fn detect(&mut self) -> Result<DetectionReport> {
+        self.detect_impl(None, None)
+    }
+
+    /// [`Session::detect`] against a named relation.
+    pub fn detect_on(&mut self, table: &str) -> Result<DetectionReport> {
+        self.detect_impl(Some(table), None)
+    }
+
+    /// Runs detection with an explicitly chosen backend, bypassing the cache
+    /// (the fresh result replaces it).
+    pub fn detect_with(&mut self, kind: BackendKind) -> Result<DetectionReport> {
+        self.detect_impl(None, Some(kind))
+    }
+
+    /// [`Session::detect_with`] against a named relation.
+    pub fn detect_on_with(&mut self, table: &str, kind: BackendKind) -> Result<DetectionReport> {
+        self.detect_impl(Some(table), Some(kind))
+    }
+
+    fn detect_impl(
+        &mut self,
+        table: Option<&str>,
+        kind: Option<BackendKind>,
+    ) -> Result<DetectionReport> {
+        let name = self.resolve(table)?;
+        let entry = self.tables.get_mut(&name).expect("resolved");
+        if kind.is_none() {
+            if let Some(cached) = &entry.cache {
+                return Ok(cached.report.clone());
+            }
+        }
+        let kind = kind.unwrap_or(self.policy.detect_backend);
+        let (report, evidence) = entry.backend_mut(kind)?.detect(&mut self.catalog)?;
+        entry.cache = Some(Cached {
+            kind,
+            report: report.clone(),
+            evidence,
+        });
+        entry.stage = Stage::Detected;
+        Ok(report)
+    }
+
+    /// The evidence behind the current detection result — which constraint
+    /// and pattern tuple every flagged row violates, and the offending
+    /// enforcement groups. Runs detection first when nothing is cached.
+    pub fn explain(&mut self) -> Result<EvidenceReport> {
+        self.explain_on_impl(None)
+    }
+
+    /// [`Session::explain`] against a named relation.
+    pub fn explain_on(&mut self, table: &str) -> Result<EvidenceReport> {
+        self.explain_on_impl(Some(table))
+    }
+
+    fn explain_on_impl(&mut self, table: Option<&str>) -> Result<EvidenceReport> {
+        let name = self.resolve(table)?;
+        self.detect_impl(Some(&name), None)?;
+        let entry = self.tables.get(&name).expect("resolved");
+        Ok(entry
+            .cache
+            .as_ref()
+            .expect("just detected")
+            .evidence
+            .clone())
+    }
+
+    /// The conflict graph of the current violations (who conflicts with whom,
+    /// and what a deletion repair is up against). Runs detection first when
+    /// nothing is cached.
+    pub fn conflict_graph(&mut self) -> Result<ConflictGraph> {
+        let name = self.resolve(None)?;
+        let evidence = self.explain_on_impl(Some(&name))?;
+        let entry = self.tables.get(&name).expect("resolved");
+        let base = base_relation(self.catalog.get(&name)?, entry.set.schema())?;
+        entry
+            .repair
+            .conflict_graph(&base, &evidence)
+            .map_err(Into::into)
+    }
+
+    // ── lifecycle: apply ───────────────────────────────────────────────────
+
+    /// Applies a batch of base-schema updates to the sole registered
+    /// relation, keeping flags, caches and auxiliary state current. The
+    /// backend is chosen by the routing policy's delta-size threshold —
+    /// incremental maintenance for small batches, a fresh batch pass for
+    /// large ones (the crossover of the paper's Fig. 7a).
+    pub fn apply(&mut self, delta: &Delta) -> Result<DetectionReport> {
+        self.apply_impl(None, None, delta)
+    }
+
+    /// [`Session::apply`] against a named relation.
+    pub fn apply_on(&mut self, table: &str, delta: &Delta) -> Result<DetectionReport> {
+        self.apply_impl(Some(table), None, delta)
+    }
+
+    /// Applies updates through an explicitly chosen backend.
+    pub fn apply_with(&mut self, kind: BackendKind, delta: &Delta) -> Result<DetectionReport> {
+        self.apply_impl(None, Some(kind), delta)
+    }
+
+    fn apply_impl(
+        &mut self,
+        table: Option<&str>,
+        kind: Option<BackendKind>,
+        delta: &Delta,
+    ) -> Result<DetectionReport> {
+        let name = self.resolve(table)?;
+        let table_len = self.catalog.get(&name)?.len();
+        let entry = self.tables.get_mut(&name).expect("resolved");
+        let kind = kind.unwrap_or_else(|| self.policy.route_delta(delta.len(), table_len));
+        let (report, evidence) = entry.backend_mut(kind)?.apply(&mut self.catalog, delta)?;
+        if kind != BackendKind::Incremental {
+            // The rows changed behind the incremental maintainer's back; its
+            // auxiliary group state no longer describes the table.
+            entry.incremental.invalidate();
+        }
+        entry.cache = Some(Cached {
+            kind,
+            report: report.clone(),
+            evidence,
+        });
+        entry.stage = Stage::Detected;
+        Ok(report)
+    }
+
+    // ── lifecycle: repair ──────────────────────────────────────────────────
+
+    /// Repairs the sole registered relation until it verifies clean, driving
+    /// the repair engine from the session-held evidence: the cached detection
+    /// result seeds the loop's first planning round, and when the incremental
+    /// backend's maintenance state is warm the loop starts from it directly —
+    /// no seeding re-scan at all. Uses default [`RepairOptions`].
+    pub fn repair(&mut self) -> Result<VerifiedRepair> {
+        self.repair_impl(None, RepairOptions::default())
+    }
+
+    /// [`Session::repair`] with explicit options.
+    pub fn repair_with(&mut self, options: RepairOptions) -> Result<VerifiedRepair> {
+        self.repair_impl(None, options)
+    }
+
+    /// [`Session::repair_with`] against a named relation.
+    pub fn repair_on(&mut self, table: &str, options: RepairOptions) -> Result<VerifiedRepair> {
+        self.repair_impl(Some(table), options)
+    }
+
+    fn repair_impl(
+        &mut self,
+        table: Option<&str>,
+        options: RepairOptions,
+    ) -> Result<VerifiedRepair> {
+        let name = self.resolve(table)?;
+        self.detect_impl(Some(&name), None)?;
+        let entry = self.tables.get_mut(&name).expect("resolved");
+        let seed = entry.cache.as_ref().map(|c| c.evidence.clone());
+        entry.repair.set_options(options);
+        // Warm incremental state means flags and group structure already
+        // describe the table — hand it to the loop and skip the seeding
+        // pass; otherwise run one pass from the compiled set. Either way the
+        // loop maintains the state, so it is handed back warm afterwards.
+        let mut inc = match entry.incremental.take_state() {
+            Some(state) => state,
+            None => ecfd_detect::IncrementalDetector::from_set(&entry.set, &mut self.catalog)?,
+        };
+        let outcome = repair_verified_with(&entry.repair, &mut self.catalog, &mut inc, seed)?;
+        entry.incremental.put_state(inc);
+        entry.cache = Some(Cached {
+            kind: BackendKind::Semantic,
+            report: outcome.final_report.clone(),
+            evidence: EvidenceReport {
+                total_rows: outcome.final_report.total_rows,
+                ..Default::default()
+            },
+        });
+        entry.stage = Stage::Repaired;
+        Ok(outcome)
+    }
+
+    // ── state & accessors ──────────────────────────────────────────────────
+
+    /// Lifecycle stage of a relation: `None` when the name was never loaded,
+    /// [`Stage::Loaded`] when loaded but without registered constraints.
+    pub fn stage_of(&self, table: &str) -> Option<Stage> {
+        match self.tables.get(table) {
+            Some(entry) => Some(entry.stage),
+            None => self.loaded.contains_key(table).then_some(Stage::Loaded),
+        }
+    }
+
+    /// Lifecycle stage of the session's sole relation (registered if any,
+    /// otherwise the sole loaded one).
+    pub fn stage(&self) -> Option<Stage> {
+        if let Ok(name) = self.resolve(None) {
+            return self.stage_of(&name);
+        }
+        if self.tables.is_empty() && self.loaded.len() == 1 {
+            return Some(Stage::Loaded);
+        }
+        None
+    }
+
+    /// The backend that produced the current cached detection result.
+    pub fn last_backend(&self) -> Option<BackendKind> {
+        let name = self.resolve(None).ok()?;
+        Some(self.tables.get(&name)?.cache.as_ref()?.kind)
+    }
+
+    /// The cached detection report, if current.
+    pub fn report(&self) -> Option<&DetectionReport> {
+        let name = self.resolve(None).ok()?;
+        Some(&self.tables.get(&name)?.cache.as_ref()?.report)
+    }
+
+    /// The compiled constraint set registered for a relation.
+    pub fn constraints(&self, table: &str) -> Result<&ConstraintSet> {
+        self.tables
+            .get(table)
+            .map(|entry| &entry.set)
+            .ok_or_else(|| self.missing(table))
+    }
+
+    /// The current contents of a relation, projected back onto its base
+    /// schema (without the detector-managed `SV` / `MV` flag columns).
+    pub fn data(&self, table: &str) -> Result<Relation> {
+        let schema = self
+            .loaded
+            .get(table)
+            .ok_or_else(|| SessionError::NotLoaded(table.to_string()))?;
+        base_relation(self.catalog.get(table)?, schema).map_err(Into::into)
+    }
+
+    /// Read access to the owned catalog (data tables plus whatever encoding /
+    /// auxiliary relations the backends installed).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Write access to the owned catalog. Mutating data behind the session's
+    /// back would desynchronise every cache, so this drops all cached
+    /// detection state first — prefer [`Session::apply`] for updates.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        self.invalidate();
+        &mut self.catalog
+    }
+
+    /// Drops all cached detection state and auxiliary backend state, for
+    /// every relation. The next `detect` / `apply` rebuilds from the current
+    /// table contents.
+    pub fn invalidate(&mut self) {
+        for entry in self.tables.values_mut() {
+            entry.cache = None;
+            entry.incremental.invalidate();
+            if entry.stage > Stage::Registered {
+                entry.stage = Stage::Registered;
+            }
+        }
+    }
+
+    /// Names of every loaded relation.
+    pub fn loaded_tables(&self) -> Vec<&str> {
+        self.loaded.keys().map(String::as_str).collect()
+    }
+
+    /// Names of every relation with registered constraints.
+    pub fn registered_tables(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    // ── internals ──────────────────────────────────────────────────────────
+
+    fn resolve(&self, table: Option<&str>) -> Result<String> {
+        match table {
+            Some(name) => {
+                if self.tables.contains_key(name) {
+                    Ok(name.to_string())
+                } else {
+                    Err(self.missing(name))
+                }
+            }
+            None => {
+                let mut names = self.tables.keys();
+                match (names.next(), names.next()) {
+                    (Some(name), None) => Ok(name.clone()),
+                    (Some(_), Some(_)) => Err(SessionError::AmbiguousRelation(
+                        self.registered_tables()
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
+                    )),
+                    (None, _) => Err(match self.loaded.keys().next() {
+                        Some(name) => SessionError::NoConstraints(name.clone()),
+                        None => SessionError::NotLoaded("<none>".to_string()),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn missing(&self, table: &str) -> SessionError {
+        if self.loaded.contains_key(table) {
+            SessionError::NoConstraints(table.to_string())
+        } else {
+            SessionError::NotLoaded(table.to_string())
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("loaded", &self.loaded.keys().collect::<Vec<_>>())
+            .field("registered", &self.tables.keys().collect::<Vec<_>>())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}

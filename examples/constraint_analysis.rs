@@ -68,18 +68,24 @@ fn main() {
     );
 
     // --- implication & redundancy removal ---------------------------------
+    // The compilation pipeline behind `Session::register`: validate →
+    // implication-based minimization → normalize → dedupe. Compiling the
+    // satisfiable subset with minimization drops the redundant constraint.
     let keep: Vec<ECfd> = outcome
         .satisfiable_subset
         .iter()
         .map(|&i| constraints[i].clone())
         .collect();
-    let cover = implication::minimal_cover(&schema, &keep).expect("implication analysis runs");
+    let compiled = ConstraintSet::compile_with(&schema, &keep, CompileOptions::minimizing())
+        .expect("implication analysis runs");
     println!(
-        "\nAfter removing implied constraints, {} of {} remain:",
-        cover.len(),
-        keep.len()
+        "\nCompiled with minimization: {} of {} registered constraints remain \
+         ({} pattern tuples):",
+        compiled.len(),
+        compiled.source().len(),
+        compiled.num_patterns()
     );
-    for c in &cover {
+    for c in compiled.ecfds() {
         println!("  {}", c);
     }
 

@@ -1,8 +1,10 @@
-//! Data-cleaning scenario, end to end: detect violations of the paper's
-//! 10-constraint workload, *explain* them (which eCFD, which pattern tuple,
-//! which enforcement group), *repair* the data with `ecfd_repair` (value
-//! modification where a consequent set names a fix, cardinality deletion for
-//! the rest) and *re-verify* that the repaired instance is clean.
+//! Data-cleaning scenario, end to end, through the [`Session`] API: detect
+//! violations of the paper's 10-constraint workload, *explain* them (which
+//! eCFD, which pattern tuple, which enforcement group), *repair* the data
+//! (value modification where a consequent set names a fix, cardinality
+//! deletion for the rest) and *re-verify* that the repaired instance is clean
+//! — the constraints are compiled once at registration and shared by every
+//! backend the session routes through.
 //!
 //! Run with: `cargo run --release --example data_cleaning [size] [noise%]`
 
@@ -24,11 +26,21 @@ fn main() {
     });
     println!("  {} tuples were corrupted by the noise injector", noisy);
 
-    let constraints = workload_constraints();
-    let schema = data.schema().clone();
-    println!("\nConstraint workload ({} eCFDs):", constraints.len());
-    for (i, c) in constraints.iter().enumerate() {
-        let text = c.to_string();
+    // ── One session for the whole lifecycle ────────────────────────────────
+    let mut session = Session::new().with_cost_model(EditDistanceCost::default());
+    session.load(data).expect("load succeeds");
+    session
+        .register(&workload_constraints())
+        .expect("constraints compile");
+    let set = session.constraints("cust").expect("registered");
+    println!(
+        "\nConstraint workload: {} eCFDs registered, compiled to {} ({} pattern tuples):",
+        set.source().len(),
+        set.len(),
+        set.num_patterns()
+    );
+    let headlines: Vec<String> = set.ecfds().iter().map(|c| c.to_string()).collect();
+    for (i, text) in headlines.iter().enumerate() {
         let head: String = text.chars().take(90).collect();
         println!(
             "  φ{:2}: {head}{}",
@@ -38,17 +50,15 @@ fn main() {
     }
 
     // ── Detect and explain ─────────────────────────────────────────────────
-    let engine = RepairEngine::new(&schema, &constraints)
-        .expect("constraints apply")
-        .with_cost_model(EditDistanceCost::default());
-    let evidence = engine.explain(&data).expect("detection runs");
-    let before = evidence.detection_report();
+    let before = session.detect().expect("detection runs");
+    let evidence = session.explain().expect("evidence is cached");
     println!(
-        "\nDetected {} violating tuples ({} SV, {} MV) of {}:",
+        "\nDetected {} violating tuples ({} SV, {} MV) of {} via the {} backend:",
         before.num_violations(),
         before.num_sv(),
         before.num_mv(),
-        data.len()
+        before.total_rows,
+        session.last_backend().expect("just detected")
     );
     let mut sv_per: BTreeMap<usize, usize> = BTreeMap::new();
     for e in &evidence.sv {
@@ -59,7 +69,7 @@ fn main() {
         *groups_per.entry(g.source.constraint).or_default() += 1;
     }
     println!("\nEvidence by constraint:");
-    for i in 0..constraints.len() {
+    for i in 0..headlines.len() {
         let sv = sv_per.get(&i).copied().unwrap_or(0);
         let groups = groups_per.get(&i).copied().unwrap_or(0);
         if sv + groups > 0 {
@@ -70,18 +80,15 @@ fn main() {
         }
     }
     if let Some(sample) = evidence.sv.first() {
-        let phi = &constraints[sample.source.constraint];
         println!(
             "\nSample explanation: row {} violates pattern tuple {} of φ{} = {}",
             sample.row,
             sample.source.pattern,
             sample.source.constraint + 1,
-            phi
+            headlines[sample.source.constraint]
         );
     }
-    let graph = engine
-        .conflict_graph(&data, &evidence)
-        .expect("conflict graph builds");
+    let graph = session.conflict_graph().expect("conflict graph builds");
     println!(
         "Conflict graph: {} nodes, {} conflict pairs in {} groups (trivial bound: delete {}).",
         graph.num_nodes(),
@@ -91,9 +98,9 @@ fn main() {
     );
 
     // ── Repair and re-verify ───────────────────────────────────────────────
-    let mut catalog = Catalog::new();
-    catalog.create(data).expect("fresh catalog");
-    let outcome = repair_verified(&engine, &mut catalog).expect("repair converges");
+    let outcome = session
+        .repair_with(RepairOptions::default())
+        .expect("repair converges");
     println!(
         "\nRepair: {} cell modifications + {} tuple deletions in {} round(s), total cost {:.1}.",
         outcome.num_modifications(),
@@ -128,18 +135,16 @@ fn main() {
         }
     }
 
-    // The invariant `repair → re-detect → zero violations` is checked by
-    // repair_verified itself (incrementally *and* from scratch); show it.
+    // The invariant `repair → re-detect → zero violations` is checked by the
+    // session's verified-repair loop (incrementally *and* from scratch);
+    // cross-check with an explicit semantic re-detection anyway.
     assert!(outcome.final_report.is_clean());
-    let base = ecfd::repair::base_relation(catalog.get("cust").expect("table"), &schema)
-        .expect("base projection");
-    let recheck = SemanticDetector::new(&schema, &constraints)
-        .expect("constraints apply")
-        .detect(&base)
-        .expect("detection runs");
+    let recheck = session
+        .detect_with(BackendKind::Semantic)
+        .expect("re-detection runs");
     assert!(recheck.is_clean());
     println!(
         "\nPost-repair verification: 0 violations across {} remaining tuples ✓",
-        base.len()
+        session.data("cust").expect("base projection").len()
     );
 }

@@ -3,6 +3,13 @@
 //! using INCDETECT — and compare against recomputing from scratch with
 //! BATCHDETECT after each batch (the trade-off of Fig. 7(a)).
 //!
+//! This is the designated *low-level* example: it wires
+//! `IncrementalDetector` / `BatchDetector` by hand, which is the layer the
+//! [`Session`] API (see `examples/quickstart.rs`) wraps. The final section
+//! replays the rounds through a session with the default auto-routing policy,
+//! which makes the Fig. 7(a) decision — incremental for small ΔD, batch for
+//! large — automatically.
+//!
 //! Run with: `cargo run --release --example incremental_monitoring [size]`
 
 use ecfd::datagen::constraints::workload_constraints;
@@ -98,4 +105,42 @@ fn main() {
         );
     }
     println!("\nIncremental and from-scratch detection agreed after every round.");
+
+    // ── The same monitoring loop, session-managed ──────────────────────────
+    // The session compiles the constraints once and routes each ΔD by size:
+    // small batches hit the incremental maintainer, large ones trigger a
+    // fresh batch pass.
+    println!("\nReplaying through Session with the default auto-routing policy:");
+    let (data, _) = generate(&CustConfig {
+        size,
+        noise_percent: 5.0,
+        ..CustConfig::default()
+    });
+    let mut session = Session::new();
+    session.load(data.clone()).expect("load succeeds");
+    session.register(&constraints).expect("constraints compile");
+    session.detect().expect("initial detection runs");
+    let mut mirror = data;
+    for (round, fraction) in [(1u64, 40usize), (2, 2)] {
+        let delta_size = size / fraction;
+        let delta = generate_delta(
+            &mirror,
+            &UpdateConfig {
+                insertions: delta_size,
+                deletions: delta_size,
+                noise_percent: 5.0,
+                seed: 200 + round,
+                ..UpdateConfig::default()
+            },
+        );
+        let report = session.apply(&delta).expect("session apply runs");
+        delta.apply(&mut mirror).expect("mirror stays in sync");
+        println!(
+            "  round {round}: |ΔD| = {} → routed to the {} backend (SV = {}, MV = {})",
+            delta.len(),
+            session.last_backend().expect("just applied"),
+            report.num_sv(),
+            report.num_mv()
+        );
+    }
 }

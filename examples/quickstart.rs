@@ -1,9 +1,11 @@
-//! Quickstart: define eCFDs, load data, find the dirty tuples.
+//! Quickstart: the whole lifecycle through the [`Session`] API — load data,
+//! register constraints once, detect, explain, repair, re-verify.
 //!
 //! Reproduces the running example of the paper (Fig. 1 + Fig. 2): the `cust`
-//! instance `D0` and the constraints φ1 / φ2, detected three ways — with the
-//! reference semantics, with the SQL-based BATCHDETECT, and printing the
-//! generated SQL so you can see what would run on a real RDBMS.
+//! instance `D0` and the constraints φ1 / φ2. The session compiles the
+//! constraints once and routes detection through its backends (SQL
+//! `BATCHDETECT` by default); the low-level per-detector API is demonstrated
+//! in `examples/incremental_monitoring.rs`.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -20,7 +22,7 @@ fn main() {
         .attr("ZIP", DataType::Str)
         .build();
     let d0 = Relation::with_tuples(
-        schema.clone(),
+        schema,
         [
             Tuple::from_iter(["718", "1111111", "Mike", "Tree Ave.", "Albany", "12238"]),
             Tuple::from_iter(["518", "2222222", "Joe", "Elm Str.", "Colonie", "12205"]),
@@ -33,56 +35,56 @@ fn main() {
     .expect("D0 matches the cust schema");
     println!("Instance D0:\n{}", d0.render());
 
-    // --- the eCFDs of Fig. 2, in the textual syntax ----------------------
-    let constraints = parse_ecfds(
-        "// φ1: outside NYC/LI the city determines the area code; the capital\n\
-         // district is bound to 518.\n\
-         cust: [CT] -> [AC] | [], { !{NYC, LI} || _ ; {Albany, Troy, Colonie} || {518} }\n\
-         // φ2: NYC numbers use one of the five NYC area codes.\n\
-         cust: [CT] -> [] | [AC], { {NYC} || {212, 718, 646, 347, 917} }\n",
-    )
-    .expect("the constraints parse");
-    for (i, c) in constraints.iter().enumerate() {
+    // --- load → register → detect → repair, in one session ----------------
+    let mut session = Session::new();
+    session.load(d0).expect("load succeeds");
+    session
+        .register_text(
+            "// φ1: outside NYC/LI the city determines the area code; the capital\n\
+             // district is bound to 518.\n\
+             cust: [CT] -> [AC] | [], { !{NYC, LI} || _ ; {Albany, Troy, Colonie} || {518} }\n\
+             // φ2: NYC numbers use one of the five NYC area codes.\n\
+             cust: [CT] -> [] | [AC], { {NYC} || {212, 718, 646, 347, 917} }\n",
+        )
+        .expect("the constraints parse and compile");
+    let set = session.constraints("cust").expect("registered");
+    for (i, c) in set.ecfds().iter().enumerate() {
         println!("φ{}: {}", i + 1, c);
     }
 
-    // --- 1. reference semantics ------------------------------------------
-    let result = check_all(&d0, &constraints).expect("constraints apply to cust");
+    let report = session.detect().expect("detection runs");
     println!(
-        "\nReference semantics: {} single-tuple violation(s), {} multi-tuple violation(s)",
-        result.violations().num_sv(),
-        result.violations().num_mv()
-    );
-    for v in result.violations().violations() {
-        let tuple = d0.get(v.row).expect("violating row exists");
-        println!(
-            "  t{} violates φ{} ({:?}): {}",
-            v.row.as_u64() + 1,
-            v.constraint + 1,
-            v.kind,
-            tuple
-        );
-    }
-
-    // --- 2. SQL-based BATCHDETECT ----------------------------------------
-    let detector = BatchDetector::new(&schema, &constraints).expect("constraints encode");
-    println!("\nGenerated detection statements (fixed number, independent of |Σ|):");
-    for sql in detector.statements() {
-        let head: String = sql.chars().take(100).collect();
-        println!("  {head}…");
-    }
-    let mut catalog = Catalog::new();
-    catalog.create(d0).expect("fresh catalog");
-    let report = detector.detect(&mut catalog).expect("BATCHDETECT runs");
-    println!(
-        "\nBATCHDETECT: SV = {}, MV = {}, vio(D0) = {} tuple(s)",
+        "\nDetection ({} backend): SV = {}, MV = {}, vio(D0) = {} tuple(s)",
+        session.last_backend().expect("just detected"),
         report.num_sv(),
         report.num_mv(),
         report.num_violations()
     );
 
-    // --- 3. static analysis ----------------------------------------------
-    let satisfiable = satisfiability::is_satisfiable(&schema, &constraints)
-        .expect("satisfiability analysis runs");
-    println!("\nThe constraint set is satisfiable: {satisfiable}");
+    // --- explain: which constraint, which pattern tuple -------------------
+    let evidence = session.explain().expect("evidence is cached");
+    for sv in &evidence.sv {
+        println!(
+            "  t{} violates pattern tuple {} of φ{}",
+            sv.row.as_u64() + 1,
+            sv.source.pattern,
+            sv.source.constraint + 1
+        );
+    }
+
+    // --- repair and re-verify ---------------------------------------------
+    let outcome = session.repair().expect("repair converges");
+    println!(
+        "\nRepair: {} cell modification(s) + {} tuple deletion(s) in {} round(s); clean = {}",
+        outcome.num_modifications(),
+        outcome.num_deletions(),
+        outcome.rounds.len(),
+        outcome.final_report.is_clean()
+    );
+    assert!(session.detect().expect("re-detection runs").is_clean());
+    println!(
+        "Post-repair state: {:?}, {} tuples remain",
+        session.stage().expect("one relation"),
+        session.data("cust").expect("base projection").len()
+    );
 }

@@ -23,10 +23,17 @@
 //!   cardinality repairs by tuple deletion (greedy and MAXGSAT-backed exact),
 //!   value-modification repairs under pluggable cost models, and a verified
 //!   repair → re-detect loop.
+//! * [`session`] — the high-level API: a stateful [`Session`](session::Session)
+//!   owning the catalog, compiled constraint sets, and the three detector
+//!   backends behind one `DetectorBackend` trait, with policy-based routing
+//!   between batch and incremental detection.
 //! * [`datagen`] — synthetic workloads reproducing the paper's experimental
 //!   setting.
 //!
 //! ## Quick start
+//!
+//! The [`session::Session`] API is the recommended path — load data, register
+//! constraints once, then detect / explain / repair against the compiled set:
 //!
 //! ```
 //! use ecfd::prelude::*;
@@ -36,27 +43,28 @@
 //!     .attr("CT", DataType::Str)
 //!     .attr("AC", DataType::Str)
 //!     .build();
-//! let data = Relation::with_tuples(schema.clone(), [
+//! let data = Relation::with_tuples(schema, [
 //!     Tuple::from_iter(["Albany", "718"]),   // wrong area code
 //!     Tuple::from_iter(["NYC", "212"]),
 //! ]).unwrap();
 //!
+//! let mut session = Session::new();
+//! session.load(data).unwrap();
 //! // φ1 of the paper, written in the textual syntax.
-//! let phi1 = parse_ecfd(
+//! session.register_text(
 //!     "cust: [CT] -> [AC] | [], { !{NYC, LI} || _ ; {Albany, Troy, Colonie} || {518} }",
 //! ).unwrap();
 //!
-//! // Check the semantics directly…
-//! let result = check(&data, &phi1).unwrap();
-//! assert_eq!(result.single_tuple_violations().len(), 1);
-//!
-//! // …or run the SQL-based detector, as the paper does.
-//! let mut catalog = Catalog::new();
-//! catalog.create(data).unwrap();
-//! let detector = BatchDetector::new(&schema, &[phi1]).unwrap();
-//! let report = detector.detect(&mut catalog).unwrap();
+//! let report = session.detect().unwrap();
 //! assert_eq!(report.num_sv(), 1);
+//!
+//! let outcome = session.repair().unwrap();
+//! assert!(outcome.final_report.is_clean());
 //! ```
+//!
+//! The per-detector types (`SemanticDetector`, `BatchDetector`,
+//! `IncrementalDetector`, `RepairEngine`) remain exported as the low-level
+//! layer — see `examples/incremental_monitoring.rs` for that style.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,17 +76,20 @@ pub use ecfd_engine as engine;
 pub use ecfd_logic as logic;
 pub use ecfd_relation as relation;
 pub use ecfd_repair as repair;
+pub use ecfd_session as session;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use ecfd_core::{
-        check, check_all, parse_ecfd, parse_ecfds, Cfd, ECfd, ECfdBuilder, PatternTuple,
-        PatternValue, SatisfactionResult, Violation, ViolationKind, ViolationSet,
+        check, check_all, parse_ecfd, parse_ecfds, Cfd, CompileOptions, ConstraintSet, ECfd,
+        ECfdBuilder, PatternTuple, PatternValue, SatisfactionResult, Violation, ViolationKind,
+        ViolationSet,
     };
     pub use ecfd_core::{implication, maxss, satisfiability};
     pub use ecfd_detect::{
-        BatchDetector, ConstraintRef, DetectionReport, Encoding, EvidenceReport,
-        IncrementalDetector, SemanticDetector,
+        BackendKind, BatchDetector, ConstraintRef, DetectionReport, DetectorBackend, Encoding,
+        EvidenceReport, IncrementalBackend, IncrementalDetector, SemanticBackend, SemanticDetector,
+        SqlBackend,
     };
     pub use ecfd_engine::{Engine, ResultSet};
     pub use ecfd_logic::{BoolExpr, HardSoftInstance, MaxGSatInstance, MaxGSatSolver};
@@ -89,4 +100,5 @@ pub mod prelude {
         repair_verified, ConflictGraph, ConstantCost, CostModel, DeletionSolver, EditDistanceCost,
         PerAttributeCost, Repair, RepairEngine, RepairMode, RepairOptions, VerifiedRepair,
     };
+    pub use ecfd_session::{RoutingPolicy, Session, SessionError, Stage};
 }

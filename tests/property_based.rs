@@ -217,6 +217,41 @@ proptest! {
         prop_assert!(recheck.is_clean());
     }
 
+    /// `ConstraintSet` minimization never changes detection output: the
+    /// minimized and the raw set yield identical violation flags on random
+    /// instances (and the minimized set is never larger).
+    #[test]
+    fn minimization_preserves_detection_output(
+        data in arb_relation(),
+        constraints in arb_constraints(),
+    ) {
+        let schema = schema();
+        let raw = ConstraintSet::compile(&schema, &constraints).unwrap();
+        let minimized =
+            ConstraintSet::compile_with(&schema, &constraints, CompileOptions::minimizing())
+                .unwrap();
+        prop_assert!(minimized.num_patterns() <= raw.num_patterns());
+
+        let flags_raw = SemanticDetector::from_set(&raw).detect(&data).unwrap();
+        let flags_min = SemanticDetector::from_set(&minimized).detect(&data).unwrap();
+        prop_assert_eq!(&flags_raw.sv_rows, &flags_min.sv_rows);
+        prop_assert_eq!(&flags_raw.mv_rows, &flags_min.mv_rows);
+
+        // The session registers through the same pipeline: a minimizing
+        // session and a default one must flag the same rows.
+        let mut plain = Session::new();
+        plain.load(data.clone()).unwrap();
+        plain.register(&constraints).unwrap();
+        let mut minimizing = Session::new()
+            .with_compile_options(CompileOptions::minimizing());
+        minimizing.load(data).unwrap();
+        minimizing.register(&constraints).unwrap();
+        let a = plain.detect().unwrap();
+        let b = minimizing.detect().unwrap();
+        prop_assert_eq!(a.sv_rows, b.sv_rows);
+        prop_assert_eq!(a.mv_rows, b.mv_rows);
+    }
+
     /// Applying a delta and detecting incrementally always matches detecting
     /// the updated relation from scratch.
     #[test]
