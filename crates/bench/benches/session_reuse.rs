@@ -12,7 +12,16 @@
 //!   workloads — the scaled 160-pattern tableau carries ~25% duplicate
 //!   pattern tuples, and since detection cost grows with `|Tp|`, *every*
 //!   session-side pass is proportionally cheaper than a pass over the raw
-//!   set (~5s vs ~9s at `|Tp|` = 160 on the reference machine).
+//!   set.
+//!
+//! Since the dictionary-encoded columnar refactor the session's default
+//! full-pass backend is the native semantic detector (pattern constants
+//! pre-resolved to codes at registration, coded group keys, sharded scan),
+//! which turned the ~5s per-pass figure of the SQL default at `|Tp|` = 160
+//! into low single-digit milliseconds on the reference machine — the
+//! `bench_detect` binary records the trajectory in `BENCH_detect.json`.
+//! `construct_per_detect` still measures the SQL path, so the gap between
+//! the two groups now shows the backend swap *and* the compile reuse.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecfd_bench::PreparedWorkload;

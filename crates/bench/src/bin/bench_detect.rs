@@ -1,0 +1,140 @@
+//! `bench_detect`: the recorded detection benchmark.
+//!
+//! Runs the scaled-tableau detection workload (the `|Tp|` knob of the
+//! paper's Fig. 5(c) / the `session_reuse` criterion group) through the
+//! dictionary-encoded semantic detector at one or more worker counts, and
+//! writes a machine-readable `BENCH_detect.json` so the perf trajectory of
+//! the hot path is recorded run over run (CI uploads it as an artifact).
+//!
+//! ```text
+//! cargo run --release -p ecfd_bench --bin bench_detect -- \
+//!     --rows 2000 --patterns 160 --threads 1,2,4 --passes 3 --out BENCH_detect.json
+//! ```
+
+use ecfd_bench::PreparedWorkload;
+use ecfd_core::ConstraintSet;
+use ecfd_detect::{Parallelism, SemanticDetector};
+use std::time::Instant;
+
+struct Args {
+    rows: usize,
+    patterns: usize,
+    threads: Vec<usize>,
+    passes: usize,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            rows: 2000,
+            patterns: 160,
+            threads: vec![1, 2, 4],
+            passes: 3,
+            out: "BENCH_detect.json".to_string(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+            match flag.as_str() {
+                "--rows" => args.rows = parse_num(&value("--rows")?)?,
+                "--patterns" => args.patterns = parse_num(&value("--patterns")?)?,
+                "--passes" => args.passes = parse_num(&value("--passes")?)?.max(1),
+                "--threads" => {
+                    args.threads = value("--threads")?
+                        .split(',')
+                        .map(parse_num)
+                        .collect::<Result<_, _>>()?;
+                    if args.threads.is_empty() {
+                        return Err("--threads needs at least one count".into());
+                    }
+                }
+                "--out" => args.out = value("--out")?,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: bench_detect [--rows N] [--patterns N] \
+                         [--threads A,B,...] [--passes N] [--out PATH]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num(text: &str) -> Result<usize, String> {
+    text.trim()
+        .parse::<usize>()
+        .map_err(|_| format!("`{text}` is not a number"))
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("bench_detect: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // The scaled workload: `rows` generated cust tuples at 5% noise, the
+    // 10-constraint workload with the first tableau scaled to `patterns`
+    // pattern tuples, compiled once (registration time) as a session would.
+    let workload = PreparedWorkload::with_tableau_size(args.rows, 5.0, 42, Some(args.patterns));
+    let set = ConstraintSet::compile(&workload.schema, &workload.constraints)
+        .expect("workload constraints compile");
+
+    let mut results = Vec::new();
+    for &threads in &args.threads {
+        let detector =
+            SemanticDetector::from_set(&set).with_parallelism(Parallelism::Fixed(threads));
+        // Warm-up pass: interns the data into the detector's dictionary and
+        // faults in the view allocation path.
+        let report = detector
+            .detect(&workload.data)
+            .expect("detection over the generated workload succeeds");
+        let start = Instant::now();
+        for _ in 0..args.passes {
+            let again = detector.detect(&workload.data).expect("detection succeeds");
+            assert_eq!(again, report, "detection must be deterministic");
+        }
+        let ns_per_pass = (start.elapsed().as_nanos() / args.passes as u128) as u64;
+        println!(
+            "threads={threads:<3} rows={} patterns={} ns/pass={ns_per_pass} ({:.2} ms) \
+             sv={} mv={}",
+            args.rows,
+            args.patterns,
+            ns_per_pass as f64 / 1e6,
+            report.num_sv(),
+            report.num_mv(),
+        );
+        results.push((threads, ns_per_pass));
+    }
+
+    let json = render_json(&args, &results);
+    std::fs::write(&args.out, &json).expect("write benchmark output");
+    println!("wrote {}", args.out);
+}
+
+/// Renders the result table as JSON by hand — the vendored serde shim has no
+/// serializer, and the schema here is flat and fixed.
+fn render_json(args: &Args, results: &[(usize, u64)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"detect\",\n");
+    out.push_str("  \"workload\": \"cust_scaled_tableau\",\n");
+    out.push_str(&format!("  \"rows\": {},\n", args.rows));
+    out.push_str(&format!("  \"patterns\": {},\n", args.patterns));
+    out.push_str(&format!("  \"passes\": {},\n", args.passes));
+    out.push_str("  \"results\": [\n");
+    for (i, (threads, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"threads\": {threads}, \"ns_per_pass\": {ns} }}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -62,6 +62,7 @@
 
 pub mod builder;
 pub mod cfd;
+pub mod coded;
 pub mod ecfd;
 pub mod error;
 pub mod implication;
@@ -77,6 +78,7 @@ pub mod violation;
 
 pub use builder::{ECfdBuilder, PatternTupleBuilder};
 pub use cfd::Cfd;
+pub use coded::{CodedCell, CodedSingle};
 pub use ecfd::{ECfd, PatternTuple};
 pub use error::{CoreError, Result};
 pub use parser::{parse_ecfd, parse_ecfds};

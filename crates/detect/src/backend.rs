@@ -26,6 +26,7 @@
 use crate::batch::BatchDetector;
 use crate::evidence::EvidenceReport;
 use crate::incremental::IncrementalDetector;
+use crate::parallel::Parallelism;
 use crate::report::DetectionReport;
 use crate::semantic::{ensure_flag_columns, write_flags, SemanticDetector};
 use crate::Result;
@@ -146,6 +147,11 @@ impl SemanticBackend {
         }
     }
 
+    /// Sets the worker fan-out of subsequent detection passes.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.detector.set_parallelism(parallelism);
+    }
+
     /// The wrapped detector.
     pub fn detector(&self) -> &SemanticDetector {
         &self.detector
@@ -238,6 +244,7 @@ impl DetectorBackend for SqlBackend {
 pub struct IncrementalBackend {
     set: ConstraintSet,
     state: Option<IncrementalDetector>,
+    parallelism: Parallelism,
 }
 
 impl IncrementalBackend {
@@ -247,7 +254,20 @@ impl IncrementalBackend {
         IncrementalBackend {
             set: set.clone(),
             state: None,
+            parallelism: Parallelism::default(),
         }
+    }
+
+    /// Sets the worker fan-out used by the seeding detection pass (the
+    /// per-delta maintenance itself touches only affected tuples and stays
+    /// sequential).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    fn seed(&self, catalog: &mut Catalog) -> Result<IncrementalDetector> {
+        let semantic = SemanticDetector::from_set(&self.set).with_parallelism(self.parallelism);
+        IncrementalDetector::initialize_from(self.set.schema(), semantic, catalog)
     }
 
     /// The maintained detector, if seeded.
@@ -294,7 +314,7 @@ impl DetectorBackend for IncrementalBackend {
     }
 
     fn detect(&mut self, catalog: &mut Catalog) -> Result<(DetectionReport, EvidenceReport)> {
-        let state = IncrementalDetector::from_set(&self.set, catalog)?;
+        let state = self.seed(catalog)?;
         let out = self.read_out(catalog, &state)?;
         self.state = Some(state);
         Ok(out)
@@ -306,7 +326,7 @@ impl DetectorBackend for IncrementalBackend {
         delta: &Delta,
     ) -> Result<(DetectionReport, EvidenceReport)> {
         if self.state.is_none() {
-            self.state = Some(IncrementalDetector::from_set(&self.set, catalog)?);
+            self.state = Some(self.seed(catalog)?);
         }
         let state = self.state.as_mut().expect("seeded above");
         state.apply(catalog, delta)?;

@@ -16,6 +16,17 @@
 //!   violating groups that gain members, have their members' `MV` flags set
 //!   (steps 2a–2e).
 //!
+//! ### The coded auxiliary state
+//!
+//! The maintained state is the coded group map of the semantic detector —
+//! `(CID, X-codes) → {Y-codes → count} + member rows` — plus a base-attribute
+//! [`ColumnarView`] of the stored table, both kept up to date under `Delta`
+//! application through the semantic detector's shared dictionary. Deletion
+//! victims are matched by coded prefix comparison (a victim containing a
+//! never-interned string cannot match any stored row), and `MV` re-derivation
+//! touches only the member rows of groups whose violation status changed,
+//! instead of re-scanning the table.
+//!
 //! ### Substitution note
 //!
 //! The paper implements these steps purely as SQL against the auxiliary
@@ -25,18 +36,19 @@
 //! every step and could not show the incremental-vs-batch behaviour of
 //! Figs. 6–7. The reproduction therefore keeps the *algorithm* (the same
 //! auxiliary state, the same case analysis, the same "only affected tuples"
-//! discipline) but maintains the auxiliary structure through the storage
-//! layer's hash-group state, which plays the role of the paper's
+//! discipline) but maintains the auxiliary structure through the columnar
+//! core's coded group state, which plays the role of the paper's
 //! `Aux(D)` + RDBMS indexes. `DESIGN.md` records this substitution.
 
-use crate::evidence::{attribute_sv_rows, ConstraintRef, EvidenceReport, MvEvidence};
+use crate::evidence::{ConstraintRef, EvidenceReport, MvEvidence, SvEvidence};
 use crate::report::DetectionReport;
-use crate::semantic::{ensure_flag_columns, GroupKey, GroupState, SemanticDetector};
+use crate::semantic::{ensure_flag_columns, GroupKey, GroupMap, GroupState, SemanticDetector};
 use crate::Result;
-use ecfd_core::matching::BoundECfd;
 use ecfd_core::ECfd;
-use ecfd_relation::{Catalog, Delta, RowId, Schema, Tuple, Value};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use ecfd_relation::{
+    AttrId, Catalog, Code, CodeVec, ColumnarView, Delta, RowId, Schema, Tuple, Value,
+};
+use std::collections::{BTreeSet, HashSet};
 
 /// Counters describing how much work one incremental step did — used by the
 /// experiments to explain the crossover of Fig. 7(a).
@@ -52,14 +64,26 @@ pub struct IncrementalStats {
     pub rows_reflagged: usize,
 }
 
-/// The incremental detector: wraps the constraint set, the group state
-/// (`Aux(D)` analogue) and the name of the data table it maintains.
+/// Per-single-pattern-constraint attribute positions, resolved against the
+/// base schema once at initialisation.
+#[derive(Debug, Clone)]
+struct KeySpec {
+    lhs: Vec<AttrId>,
+    fd_rhs: Vec<AttrId>,
+    rhs: Vec<AttrId>,
+}
+
+/// The incremental detector: wraps the constraint set, the coded group state
+/// (`Aux(D)` analogue), the maintained columnar view of the table's base
+/// attributes, and the name of the data table it maintains.
 #[derive(Debug, Clone)]
 pub struct IncrementalDetector {
     schema: Schema,
     semantic: SemanticDetector,
     table: String,
-    groups: HashMap<GroupKey, GroupState>,
+    groups: GroupMap,
+    view: ColumnarView,
+    specs: Vec<KeySpec>,
 }
 
 impl IncrementalDetector {
@@ -95,17 +119,46 @@ impl IncrementalDetector {
             semantic.detect_with_groups(relation)?
         };
         crate::semantic::write_flags(catalog, &table, &report)?;
+        let specs = semantic
+            .bind(schema)?
+            .iter()
+            .map(|b| KeySpec {
+                lhs: b.lhs_ids().to_vec(),
+                fd_rhs: b.fd_rhs_ids().to_vec(),
+                rhs: b.rhs_ids().to_vec(),
+            })
+            .collect();
+        let view = {
+            let relation = catalog.get(&table)?;
+            let mut codec = semantic.codec().write();
+            ColumnarView::build_prefix(relation, schema.arity(), &mut codec.dict)
+        };
         Ok(IncrementalDetector {
             schema: schema.clone(),
             semantic,
             table,
             groups,
+            view,
+            specs,
         })
     }
 
-    /// The current auxiliary group state (the `Aux(D)` analogue).
-    pub fn groups(&self) -> &HashMap<GroupKey, GroupState> {
+    /// The base schema the constraints were compiled against (the stored
+    /// table carries the detector-managed `SV` / `MV` columns on top of it).
+    pub fn base_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The current auxiliary group state (the `Aux(D)` analogue), keyed by
+    /// coded projections. Use [`IncrementalDetector::decode_key`] to read a
+    /// key back as values.
+    pub fn groups(&self) -> &GroupMap {
         &self.groups
+    }
+
+    /// Decodes a coded group key back to the values it stands for.
+    pub fn decode_key(&self, key: &CodeVec) -> Vec<Value> {
+        self.semantic.decode_key(key)
     }
 
     /// Number of groups currently violating their embedded FD.
@@ -119,56 +172,57 @@ impl IncrementalDetector {
     }
 
     /// Explains the current violation state: the maintained group structure
-    /// (`Aux(D)` analogue) yields one evidence record per violating group, and
-    /// the `SV` flags are attributed by re-matching the flagged rows against
-    /// the split single-pattern constraints.
+    /// (`Aux(D)` analogue) yields one evidence record per violating group —
+    /// member rows included, no table scan — and the `SV` flags are
+    /// attributed by re-matching only the flagged rows against the coded
+    /// single-pattern constraints.
     pub fn evidence(&self, catalog: &Catalog) -> Result<EvidenceReport> {
         let relation = catalog.get(&self.table)?;
         let report = DetectionReport::from_flags(relation)?;
-        let bounds = self.semantic.bind(relation.schema())?;
         let provenance = self.semantic.provenance();
+        let codec = self.semantic.codec().read();
 
         let mut evidence = EvidenceReport {
-            sv: attribute_sv_rows(&bounds, provenance, relation.iter(), &report.sv_rows),
             total_rows: relation.len(),
             ..Default::default()
         };
-        // Register one evidence record per violating group, then fill every
-        // member set in a single scan over the table.
-        let mut pending: HashMap<usize, HashMap<&Vec<Value>, usize>> = HashMap::new();
+        // SV attribution over the flagged rows only, via the coded cells.
+        for &row in &report.sv_rows {
+            let Some(pos) = self.view.position(row) else {
+                continue;
+            };
+            for (ci, spec) in self.specs.iter().enumerate() {
+                let cells = &codec.cells[ci];
+                if cells.lhs_matches(spec.lhs.iter().map(|a| self.view.code(pos, *a)))
+                    && !cells.rhs_matches(spec.rhs.iter().map(|a| self.view.code(pos, *a)))
+                {
+                    let (constraint, pattern) = provenance[ci];
+                    evidence.sv.push(SvEvidence {
+                        row,
+                        source: ConstraintRef::new(constraint, pattern),
+                    });
+                }
+            }
+        }
+        // MV evidence straight from the maintained membership lists.
         for ((ci, lhs_key), state) in &self.groups {
             if !state.violates() {
                 continue;
             }
             let (constraint, pattern) = provenance[*ci];
-            let idx = evidence.mv_groups.len();
             evidence.mv_groups.push(MvEvidence {
                 source: ConstraintRef::new(constraint, pattern),
-                group_key: lhs_key.clone(),
-                rows: BTreeSet::new(),
+                group_key: codec.dict.decode_all(lhs_key.as_slice()),
+                rows: state.rows.iter().copied().collect(),
             });
-            pending.entry(*ci).or_default().insert(lhs_key, idx);
-        }
-        if !pending.is_empty() {
-            for (row_id, tuple) in relation.iter() {
-                for (&ci, groups) in &pending {
-                    let bound = &bounds[ci];
-                    if !bound.lhs_matches(tuple, 0) {
-                        continue;
-                    }
-                    if let Some(&idx) = groups.get(&bound.lhs_key(tuple)) {
-                        evidence.mv_groups[idx].rows.insert(row_id);
-                    }
-                }
-            }
         }
         evidence.normalize();
         Ok(evidence)
     }
 
-    /// Applies a batch of updates, maintaining the table contents, the flags
-    /// and the auxiliary state. Deletions are processed before insertions, as
-    /// in the paper's presentation.
+    /// Applies a batch of updates, maintaining the table contents, the flags,
+    /// the columnar view and the auxiliary state. Deletions are processed
+    /// before insertions, as in the paper's presentation.
     pub fn apply(&mut self, catalog: &mut Catalog, delta: &Delta) -> Result<IncrementalStats> {
         let mut stats = IncrementalStats::default();
         let mut changed_groups: HashSet<GroupKey> = HashSet::new();
@@ -195,53 +249,93 @@ impl IncrementalDetector {
             return Ok(());
         }
         let table = self.table.clone();
-        // Deleted tuples are specified over the *base* schema; the stored
-        // table carries the two extra flag columns, so matching is by prefix.
-        let base_arity = self.schema.arity();
         let relation = catalog.get_mut(&table)?;
-        // Bind against the base schema: group keys use base attributes only.
-        // The constraints are cloned locally so that `self.groups` can be
-        // mutated while the bindings are alive.
-        let singles: Vec<ECfd> = self.semantic.singles().to_vec();
-        let bounds = bind_all(&singles, &self.schema)?;
+        let codec_arc = self.semantic.codec().clone();
 
         for victim in deletions {
-            // Find all stored rows whose base attributes equal the victim.
-            let matching: Vec<(RowId, Tuple)> = relation
-                .iter()
-                .filter(|(_, t)| &t.values()[..base_arity] == victim.values())
-                .map(|(id, t)| (id, t.clone()))
+            // A victim with the wrong arity cannot equal any base tuple —
+            // without this guard the coded prefix match below would treat a
+            // short victim as a wildcard over the remaining attributes.
+            if victim.arity() != self.schema.arity() {
+                continue;
+            }
+            // Encode the victim read-only: a component the dictionary has
+            // never interned cannot equal any encoded stored value, so the
+            // victim matches nothing.
+            let victim_codes: Option<Vec<Code>> = {
+                let codec = codec_arc.read();
+                victim
+                    .values()
+                    .iter()
+                    .map(|v| codec.dict.try_encode(v))
+                    .collect()
+            };
+            let Some(victim_codes) = victim_codes else {
+                continue;
+            };
+            // All stored rows whose base attributes equal the victim
+            // (coded prefix comparison against the maintained view).
+            let matching: Vec<RowId> = self
+                .view
+                .matching_prefix(&victim_codes)
+                .into_iter()
+                .map(|pos| self.view.row_id(pos))
                 .collect();
-            for (row_id, stored) in matching {
-                let base = Tuple::new(stored.values()[..base_arity].to_vec());
-                for (ci, bound) in bounds.iter().enumerate() {
-                    if bound.fd_rhs_ids().is_empty() || !bound.lhs_matches(&base, 0) {
-                        continue;
-                    }
-                    let key = (ci, bound.lhs_key(&base));
-                    if let Some(state) = self.groups.get_mut(&key) {
+            if matching.is_empty() {
+                continue;
+            }
+            // Every matched row carries the same base values, so the group
+            // memberships are computed once per victim.
+            let hits: Vec<(GroupKey, CodeVec)> = {
+                let codec = codec_arc.read();
+                self.specs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(ci, spec)| {
+                        if spec.fd_rhs.is_empty() {
+                            return None;
+                        }
+                        let cells = &codec.cells[ci];
+                        if !cells.lhs_matches(spec.lhs.iter().map(|a| victim_codes[a.index()])) {
+                            return None;
+                        }
+                        let key: CodeVec =
+                            spec.lhs.iter().map(|a| victim_codes[a.index()]).collect();
+                        let y: CodeVec = spec
+                            .fd_rhs
+                            .iter()
+                            .map(|a| victim_codes[a.index()])
+                            .collect();
+                        Some(((ci, key), y))
+                    })
+                    .collect()
+            };
+            for row_id in matching {
+                for (key, y) in &hits {
+                    if let Some(state) = self.groups.get_mut(key) {
                         let was_violating = state.violates();
-                        let y = bound.fd_rhs_key(&base);
-                        if let Some(count) = state.y_counts.get_mut(&y) {
+                        if let Some(count) = state.y_counts.get_mut(y) {
                             *count -= 1;
                             if *count == 0 {
-                                state.y_counts.remove(&y);
+                                state.y_counts.remove(y);
                             }
                         }
+                        state.rows.retain(|r| *r != row_id);
                         if state.y_counts.is_empty() {
-                            self.groups.remove(&key);
+                            self.groups.remove(key);
                         }
                         let now_violating = self
                             .groups
-                            .get(&key)
+                            .get(key)
                             .map(GroupState::violates)
                             .unwrap_or(false);
                         if was_violating != now_violating {
-                            changed_groups.insert(key);
+                            changed_groups.insert(key.clone());
                         }
                     }
                 }
                 relation.delete(row_id)?;
+                self.view.remove(row_id);
                 stats.deleted += 1;
             }
         }
@@ -259,53 +353,58 @@ impl IncrementalDetector {
             return Ok(());
         }
         let table = self.table.clone();
-        let singles: Vec<ECfd> = self.semantic.singles().to_vec();
-        let bounds = bind_all(&singles, &self.schema)?;
+        let relation = catalog.get_mut(&table)?;
+        let codec_arc = self.semantic.codec().clone();
 
-        // Pre-compute, outside the catalog borrow, the SV flag and group
-        // updates of every inserted tuple (step 1 and steps 2a/2d).
-        struct Planned {
-            stored: Tuple,
-            sv: bool,
-            mv: bool,
-        }
-        let mut planned: Vec<Planned> = Vec::with_capacity(insertions.len());
         for tuple in insertions {
+            let codes: Vec<Code> = codec_arc.write().dict.encode_tuple(tuple);
+            // Step 1 plus steps 2a/2d: the SV check on the new tuple alone,
+            // and the predicted group states after it joins.
             let mut sv = false;
             let mut mv = false;
-            for (ci, bound) in bounds.iter().enumerate() {
-                if !bound.lhs_matches(tuple, 0) {
-                    continue;
-                }
-                if !bound.rhs_matches(tuple, 0) {
-                    sv = true;
-                }
-                if bound.fd_rhs_ids().is_empty() {
-                    continue;
-                }
-                let key = (ci, bound.lhs_key(tuple));
-                let y = bound.fd_rhs_key(tuple);
-                let state = self.groups.entry(key.clone()).or_default();
-                let was_violating = state.violates();
-                *state.y_counts.entry(y).or_insert(0) += 1;
-                let now_violating = state.violates();
-                if now_violating {
-                    // The new tuple itself is part of a violating group
-                    // (step 2a / 2e).
-                    mv = true;
-                }
-                if was_violating != now_violating {
-                    changed_groups.insert(key);
+            let mut hits: Vec<(GroupKey, CodeVec)> = Vec::new();
+            {
+                let codec = codec_arc.read();
+                for (ci, spec) in self.specs.iter().enumerate() {
+                    let cells = &codec.cells[ci];
+                    if !cells.lhs_matches(spec.lhs.iter().map(|a| codes[a.index()])) {
+                        continue;
+                    }
+                    if !cells.rhs_matches(spec.rhs.iter().map(|a| codes[a.index()])) {
+                        sv = true;
+                    }
+                    if spec.fd_rhs.is_empty() {
+                        continue;
+                    }
+                    let key: GroupKey = (ci, spec.lhs.iter().map(|a| codes[a.index()]).collect());
+                    let y: CodeVec = spec.fd_rhs.iter().map(|a| codes[a.index()]).collect();
+                    let (was_violating, now_violating) = match self.groups.get(&key) {
+                        Some(state) => {
+                            let distinct_after = state.y_counts.len()
+                                + usize::from(!state.y_counts.contains_key(&y));
+                            (state.violates(), distinct_after > 1)
+                        }
+                        None => (false, false),
+                    };
+                    if now_violating {
+                        // The new tuple itself is part of a violating group
+                        // (step 2a / 2e).
+                        mv = true;
+                    }
+                    if was_violating != now_violating {
+                        changed_groups.insert(key.clone());
+                    }
+                    hits.push((key, y));
                 }
             }
             let stored = tuple.extended([Value::Int(i64::from(sv)), Value::Int(i64::from(mv))]);
-            planned.push(Planned { stored, sv, mv });
-        }
-
-        let relation = catalog.get_mut(&table)?;
-        for p in planned {
-            let _ = (p.sv, p.mv);
-            relation.insert(p.stored)?;
+            let row_id = relation.insert(stored)?;
+            self.view.insert(row_id, &codes);
+            for (key, y) in hits {
+                let state = self.groups.entry(key).or_default();
+                *state.y_counts.entry(y).or_insert(0) += 1;
+                state.rows.push(row_id);
+            }
             stats.inserted += 1;
         }
         Ok(())
@@ -314,27 +413,35 @@ impl IncrementalDetector {
     /// Recomputes the `MV` flag of every row belonging to a group whose
     /// violation status changed. A row's flag is the OR over *all* groups it
     /// belongs to, so membership in an unchanged violating group keeps the
-    /// flag set.
+    /// flag set. Only the member rows of changed groups are touched — the
+    /// maintained membership lists replace the full-table scan.
     fn reflag_members(&self, catalog: &mut Catalog, changed: &HashSet<GroupKey>) -> Result<usize> {
+        let affected: BTreeSet<RowId> = changed
+            .iter()
+            .filter_map(|key| self.groups.get(key))
+            .flat_map(|state| state.rows.iter().copied())
+            .collect();
+        if affected.is_empty() {
+            return Ok(0);
+        }
         let relation = catalog.get_mut(&self.table)?;
-        let stored_schema = relation.schema().clone();
-        let mv_col = stored_schema.require_attr("MV")?;
-        let bounds = self.semantic.bind(&self.schema)?;
-        let base_arity = self.schema.arity();
-
-        let mut updates: Vec<(RowId, i64)> = Vec::new();
-        for (row_id, stored) in relation.iter() {
-            let base = Tuple::new(stored.values()[..base_arity].to_vec());
-            let mut in_changed_group = false;
+        let mv_col = relation.schema().require_attr("MV")?;
+        let codec = self.semantic.codec().read();
+        let mut count = 0;
+        for row in affected {
+            let Some(pos) = self.view.position(row) else {
+                continue;
+            };
             let mut violates_any = false;
-            for (ci, bound) in bounds.iter().enumerate() {
-                if bound.fd_rhs_ids().is_empty() || !bound.lhs_matches(&base, 0) {
+            for (ci, spec) in self.specs.iter().enumerate() {
+                if spec.fd_rhs.is_empty() {
                     continue;
                 }
-                let key = (ci, bound.lhs_key(&base));
-                if changed.contains(&key) {
-                    in_changed_group = true;
+                let cells = &codec.cells[ci];
+                if !cells.lhs_matches(spec.lhs.iter().map(|a| self.view.code(pos, *a))) {
+                    continue;
                 }
+                let key: GroupKey = (ci, self.view.key(pos, &spec.lhs));
                 if self
                     .groups
                     .get(&key)
@@ -342,26 +449,14 @@ impl IncrementalDetector {
                     .unwrap_or(false)
                 {
                     violates_any = true;
+                    break;
                 }
             }
-            if in_changed_group {
-                updates.push((row_id, i64::from(violates_any)));
-            }
-        }
-        let count = updates.len();
-        for (row_id, flag) in updates {
-            relation.update_value(row_id, mv_col, Value::Int(flag))?;
+            relation.update_value(row, mv_col, Value::Int(i64::from(violates_any)))?;
+            count += 1;
         }
         Ok(count)
     }
-}
-
-/// Binds every single-pattern constraint against a schema.
-fn bind_all<'a>(singles: &'a [ECfd], schema: &Schema) -> Result<Vec<BoundECfd<'a>>> {
-    singles
-        .iter()
-        .map(|e| BoundECfd::bind(e, schema).map_err(Into::into))
-        .collect()
 }
 
 #[cfg(test)]
@@ -585,6 +680,34 @@ mod tests {
         // row, so positional order equals insertion order in both catalogs.
         assert_eq!(evidence.sv_pairs(), semantic.sv_pairs());
         assert_eq!(evidence.mv_pairs(), semantic.mv_pairs());
+    }
+
+    #[test]
+    fn arity_mismatched_deletion_victims_match_nothing() {
+        // A deletion victim must equal a full base tuple; a prefix (or an
+        // over-long tuple) deletes nothing, exactly like the value-based
+        // matching of the other backends.
+        let mut catalog = fresh_catalog(&[]);
+        let constraints = [phi1(), phi2()];
+        let mut inc =
+            IncrementalDetector::initialize(&cust_schema(), &constraints, &mut catalog).unwrap();
+        let before = inc.report(&catalog).unwrap();
+        let short = Tuple::from_iter(["718", "1111111"]);
+        let long = Tuple::from_iter([
+            "718",
+            "1111111",
+            "Mike",
+            "Tree Ave.",
+            "Albany",
+            "12238",
+            "extra",
+        ]);
+        let stats = inc
+            .apply(&mut catalog, &Delta::delete_only(vec![short, long]))
+            .unwrap();
+        assert_eq!(stats.deleted, 0);
+        assert_eq!(inc.report(&catalog).unwrap(), before);
+        assert_eq!(catalog.get("cust").unwrap().len(), 6);
     }
 
     #[test]

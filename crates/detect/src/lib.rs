@@ -26,7 +26,10 @@
 //!   touching only affected tuples and groups.
 //! * [`semantic`] is a pure-Rust detector with the same output, used for
 //!   differential testing and as the "native" baseline in the ablation
-//!   benchmarks.
+//!   benchmarks. It runs on the dictionary-encoded columnar core of
+//!   `ecfd_relation::columnar` — pattern constants resolve to codes once at
+//!   construction, and the scan shards across worker threads
+//!   ([`parallel::Parallelism`]).
 //!
 //! * [`evidence`] extends all three detectors beyond the paper's flags: an
 //!   [`EvidenceReport`] names, for every flagged row, the violated constraint
@@ -69,6 +72,7 @@ pub mod batch;
 pub mod encode;
 pub mod evidence;
 pub mod incremental;
+pub mod parallel;
 pub mod report;
 pub mod semantic;
 pub mod sqlgen;
@@ -78,6 +82,7 @@ pub use batch::BatchDetector;
 pub use encode::Encoding;
 pub use evidence::{ConstraintRef, EvidenceReport, MvEvidence, SvEvidence};
 pub use incremental::IncrementalDetector;
+pub use parallel::Parallelism;
 pub use report::DetectionReport;
 pub use semantic::SemanticDetector;
 

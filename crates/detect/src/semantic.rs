@@ -1,35 +1,58 @@
-//! The native ("semantic") detector: a direct, index-based implementation of
-//! the eCFD satisfaction semantics over the storage layer.
+//! The native ("semantic") detector: a direct implementation of the eCFD
+//! satisfaction semantics over the dictionary-encoded columnar core.
 //!
 //! This detector is not part of the paper — its detection technique is
-//! SQL-only — but it serves two purposes in the reproduction:
+//! SQL-only — but it serves three purposes in the reproduction:
 //!
 //! * it is the *oracle* for differential testing of the SQL path (both must
-//!   flag exactly the same rows); and
-//! * it is the "native" baseline of the `bench_sql_vs_native` ablation, which
-//!   quantifies how much the SQL layer costs on our (unoptimised) engine.
+//!   flag exactly the same rows);
+//! * it is the "native" baseline of the `bench_sql_vs_native` ablation; and
+//! * it is the system's fast path: rows are encoded once into a
+//!   [`ColumnarView`], pattern constants are pre-resolved to [`Code`]s at
+//!   construction (registration) time, group keys are [`CodeVec`] code
+//!   slices instead of cloned `Vec<Value>`s, and the scan hash-partitions
+//!   enforcement groups on the coded `X`-projection so it can fan out
+//!   across `std::thread::scope` workers (see [`crate::parallel`]).
 //!
 //! It also exposes the group bookkeeping (`(CID, X-projection) → distinct Y
-//! projections`) that the incremental detector maintains.
+//! projections + member rows`) that the incremental detector maintains.
+//!
+//! [`Code`]: ecfd_relation::Code
 
 use crate::evidence::{ConstraintRef, EvidenceReport, MvEvidence, SvEvidence};
+use crate::parallel::{effective_threads, split_ranges, Parallelism};
 use crate::report::DetectionReport;
 use crate::Result;
+use ecfd_core::coded::{intern_singles, CodedSingle};
 use ecfd_core::matching::BoundECfd;
 use ecfd_core::normalize::split_patterns;
 use ecfd_core::ECfd;
-use ecfd_relation::{Catalog, Relation, RowId, Schema, Value};
-use std::collections::HashMap;
+use ecfd_relation::columnar::shard_of;
+use ecfd_relation::{
+    AttrId, Catalog, CodeMap, CodeVec, ColumnarView, Dictionary, Relation, RowId, Schema, Tuple,
+    Value,
+};
+use parking_lot::RwLock;
+use std::sync::Arc;
 
 /// A key identifying one enforcement group: the single-pattern constraint id
-/// (index into the split constraint list) plus the tuple's `X` projection.
-pub type GroupKey = (usize, Vec<Value>);
+/// (index into the split constraint list) plus the tuple's coded `X`
+/// projection (codes issued by the detector's dictionary).
+pub type GroupKey = (usize, CodeVec);
 
-/// Per-group state: how many group members carry each distinct `Y` projection.
+/// The group map every detector produces and the incremental detector
+/// maintains (the paper's `Aux(D)` analogue), keyed by coded projections.
+pub type GroupMap = CodeMap<GroupKey, GroupState>;
+
+/// Per-group state: how many group members carry each distinct coded `Y`
+/// projection, plus the member rows themselves (one membership list shared
+/// with the count bookkeeping, so no per-tuple key clone is needed).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GroupState {
-    /// Count of member tuples per distinct `Y` projection.
-    pub y_counts: HashMap<Vec<Value>, usize>,
+    /// Count of member tuples per distinct coded `Y` projection.
+    pub y_counts: CodeMap<CodeVec, usize>,
+    /// Every member row of the group, in scan / insertion order.
+    pub rows: Vec<RowId>,
 }
 
 impl GroupState {
@@ -43,6 +66,28 @@ impl GroupState {
     pub fn violates(&self) -> bool {
         self.y_counts.len() > 1
     }
+
+    /// Merges another partial state into this one (summing counts,
+    /// concatenating member lists in argument order).
+    fn absorb(&mut self, other: GroupState) {
+        for (y, count) in other.y_counts {
+            *self.y_counts.entry(y).or_insert(0) += count;
+        }
+        self.rows.extend(other.rows);
+    }
+}
+
+/// The constraint codec shared by every clone of a detector (and by the
+/// incremental detector built on top of it): one [`Dictionary`] per compiled
+/// constraint set, plus the pattern cells pre-resolved to codes against it.
+/// The dictionary only grows — interning data values never invalidates the
+/// pattern codes resolved at construction time.
+#[derive(Debug)]
+pub(crate) struct Codec {
+    /// The issuing dictionary for pattern constants and data values alike.
+    pub(crate) dict: Dictionary,
+    /// Coded pattern cells, parallel to the split single-pattern constraints.
+    pub(crate) cells: Vec<CodedSingle>,
 }
 
 /// The native detector.
@@ -54,6 +99,8 @@ pub struct SemanticDetector {
     /// indices it came from — used to attribute evidence back to the user's
     /// original constraints.
     provenance: Vec<(usize, usize)>,
+    codec: Arc<RwLock<Codec>>,
+    parallelism: Parallelism,
 }
 
 impl SemanticDetector {
@@ -67,25 +114,50 @@ impl SemanticDetector {
             .iter()
             .map(|s| (s.source_constraint, s.source_pattern))
             .collect();
-        let singles = split.into_iter().map(|s| s.ecfd).collect();
-        Ok(SemanticDetector {
-            ecfds: ecfds.to_vec(),
-            singles,
-            provenance,
-        })
+        let singles: Vec<ECfd> = split.into_iter().map(|s| s.ecfd).collect();
+        Ok(Self::assemble(ecfds.to_vec(), singles, provenance))
     }
 
     /// Creates a detector from an already-compiled [`ConstraintSet`]: the
     /// set's validation and split are reused verbatim, so no per-detector
-    /// re-validation or re-splitting happens.
+    /// re-validation or re-splitting happens — and the pattern constants are
+    /// interned to codes here, once, at registration time.
     ///
     /// [`ConstraintSet`]: ecfd_core::ConstraintSet
     pub fn from_set(set: &ecfd_core::ConstraintSet) -> Self {
+        Self::assemble(
+            set.ecfds().to_vec(),
+            set.singles().iter().map(|s| s.ecfd.clone()).collect(),
+            set.provenance(),
+        )
+    }
+
+    fn assemble(ecfds: Vec<ECfd>, singles: Vec<ECfd>, provenance: Vec<(usize, usize)>) -> Self {
+        let mut dict = Dictionary::new();
+        let cells = intern_singles(&singles, &mut dict);
         SemanticDetector {
-            ecfds: set.ecfds().to_vec(),
-            singles: set.singles().iter().map(|s| s.ecfd.clone()).collect(),
-            provenance: set.provenance(),
+            ecfds,
+            singles,
+            provenance,
+            codec: Arc::new(RwLock::new(Codec { dict, cells })),
+            parallelism: Parallelism::default(),
         }
+    }
+
+    /// Sets the worker fan-out of subsequent detection passes.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the worker fan-out of subsequent detection passes.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The configured worker fan-out.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The original constraints.
@@ -105,6 +177,44 @@ impl SemanticDetector {
         &self.provenance
     }
 
+    /// The shared codec (dictionary + coded pattern cells). Crate-internal:
+    /// the incremental detector maintains its view and group state through
+    /// the same dictionary.
+    pub(crate) fn codec(&self) -> &Arc<RwLock<Codec>> {
+        &self.codec
+    }
+
+    /// Encodes a tuple projection into a coded group key through the
+    /// detector's dictionary (interning unseen values). This is how the
+    /// repair layer keys its conflict classes by the same codes the
+    /// detectors group on. Prefer [`SemanticDetector::encode_keys`] for
+    /// many tuples — it takes the dictionary lock once.
+    pub fn encode_key(&self, tuple: &Tuple, attrs: &[AttrId]) -> CodeVec {
+        let mut codec = self.codec.write();
+        CodeVec::from_iter_exact(attrs.iter().map(|a| codec.dict.encode(tuple.value(*a))))
+    }
+
+    /// Encodes the same projection of many tuples under a single dictionary
+    /// lock, in input order.
+    pub fn encode_keys<'t>(
+        &self,
+        tuples: impl IntoIterator<Item = &'t Tuple>,
+        attrs: &[AttrId],
+    ) -> Vec<CodeVec> {
+        let mut codec = self.codec.write();
+        tuples
+            .into_iter()
+            .map(|tuple| {
+                CodeVec::from_iter_exact(attrs.iter().map(|a| codec.dict.encode(tuple.value(*a))))
+            })
+            .collect()
+    }
+
+    /// Decodes a coded group key back to the values it was issued for.
+    pub fn decode_key(&self, key: &CodeVec) -> Vec<Value> {
+        self.codec.read().dict.decode_all(key.as_slice())
+    }
+
     /// Detects violations in a relation, returning the report without
     /// modifying the relation.
     pub fn detect(&self, relation: &Relation) -> Result<DetectionReport> {
@@ -119,10 +229,7 @@ impl SemanticDetector {
 
     /// Detects violations and also returns the group state, which is the seed
     /// state of the incremental detector.
-    pub fn detect_with_groups(
-        &self,
-        relation: &Relation,
-    ) -> Result<(DetectionReport, HashMap<GroupKey, GroupState>)> {
+    pub fn detect_with_groups(&self, relation: &Relation) -> Result<(DetectionReport, GroupMap)> {
         let (report, _, groups) = self.detect_full(relation)?;
         Ok((report, groups))
     }
@@ -140,16 +247,87 @@ impl SemanticDetector {
     }
 
     /// The full scan behind every `detect*` entry point: flags, evidence and
-    /// group state in one pass over the relation.
+    /// group state in one (possibly parallel) pass over the relation.
+    ///
+    /// The scan runs in two phases. Phase 1 splits the rows into contiguous
+    /// chunks, one `std::thread::scope` worker each; a worker evaluates the
+    /// coded pattern cells against the view's code columns and partitions
+    /// its partial group states by `shard_of(ci, X-codes)`. Phase 2 merges
+    /// each shard's partials (all members of a group land in one shard) and
+    /// derives the multi-tuple violations. Both phases are deterministic, so
+    /// 1 worker and N workers produce identical reports, evidence and group
+    /// maps.
     pub fn detect_full(
         &self,
         relation: &Relation,
-    ) -> Result<(
-        DetectionReport,
-        EvidenceReport,
-        HashMap<GroupKey, GroupState>,
-    )> {
+    ) -> Result<(DetectionReport, EvidenceReport, GroupMap)> {
         let bounds = self.bind(relation.schema())?;
+        let mut codec_guard = self.codec.write();
+        let view = ColumnarView::build(relation, &mut codec_guard.dict);
+        let codec: &Codec = &codec_guard;
+
+        let n_rows = view.num_rows();
+        let threads = effective_threads(self.parallelism, n_rows, self.singles.len());
+        let n_shards = threads;
+
+        // Phase 1: chunked row scan.
+        let chunks: Vec<ChunkOut> = if threads <= 1 {
+            vec![scan_chunk(&view, &bounds, codec, 0, n_rows, 1)]
+        } else {
+            let ranges = split_ranges(n_rows, threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let (view, bounds) = (&view, &bounds);
+                        s.spawn(move || scan_chunk(view, bounds, codec, lo, hi, n_shards))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("detection worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Transpose the per-chunk, per-shard partials into per-shard inputs
+        // (chunk order preserved so member lists merge in global row order).
+        let mut sv_pairs: Vec<(RowId, usize)> = Vec::new();
+        let mut shard_inputs: Vec<Vec<CodeMap<GroupKey, GroupState>>> = (0..n_shards)
+            .map(|_| Vec::with_capacity(chunks.len()))
+            .collect();
+        for chunk in chunks {
+            sv_pairs.extend(chunk.sv);
+            for (shard, part) in chunk.parts.into_iter().enumerate() {
+                shard_inputs[shard].push(part);
+            }
+        }
+
+        // Phase 2: per-shard merge; every member of a group is in exactly one
+        // shard, so merges are independent.
+        let shard_outs: Vec<ShardOut> = if threads <= 1 {
+            shard_inputs
+                .into_iter()
+                .map(|parts| merge_shard(parts, &self.provenance, &codec.dict))
+                .collect()
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = shard_inputs
+                    .into_iter()
+                    .map(|parts| {
+                        let provenance = &self.provenance;
+                        s.spawn(move || merge_shard(parts, provenance, &codec.dict))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Deterministic assembly: reports are sorted sets, evidence is
+        // normalized, the group map is a union of disjoint shard maps.
         let mut report = DetectionReport {
             total_rows: relation.len(),
             ..Default::default()
@@ -158,48 +336,22 @@ impl SemanticDetector {
             total_rows: relation.len(),
             ..Default::default()
         };
-        let mut groups: HashMap<GroupKey, GroupState> = HashMap::new();
-        // Remember which rows belong to which groups so the MV pass does not
-        // need a second scan per group.
-        let mut memberships: HashMap<GroupKey, Vec<RowId>> = HashMap::new();
-
-        for (row_id, tuple) in relation.iter() {
-            for (ci, bound) in bounds.iter().enumerate() {
-                if !bound.lhs_matches(tuple, 0) {
-                    continue;
-                }
-                if !bound.rhs_matches(tuple, 0) {
-                    report.sv_rows.insert(row_id);
-                    let (constraint, pattern) = self.provenance[ci];
-                    evidence.sv.push(SvEvidence {
-                        row: row_id,
-                        source: ConstraintRef::new(constraint, pattern),
-                    });
-                }
-                if !bound.fd_rhs_ids().is_empty() {
-                    let key = (ci, bound.lhs_key(tuple));
-                    let y = bound.fd_rhs_key(tuple);
-                    *groups
-                        .entry(key.clone())
-                        .or_default()
-                        .y_counts
-                        .entry(y)
-                        .or_insert(0) += 1;
-                    memberships.entry(key).or_default().push(row_id);
-                }
-            }
+        for (row, ci) in sv_pairs {
+            report.sv_rows.insert(row);
+            let (constraint, pattern) = self.provenance[ci];
+            evidence.sv.push(SvEvidence {
+                row,
+                source: ConstraintRef::new(constraint, pattern),
+            });
         }
-        for (key, state) in &groups {
-            if state.violates() {
-                if let Some(rows) = memberships.get(key) {
-                    report.mv_rows.extend(rows.iter().copied());
-                    let (constraint, pattern) = self.provenance[key.0];
-                    evidence.mv_groups.push(MvEvidence {
-                        source: ConstraintRef::new(constraint, pattern),
-                        group_key: key.1.clone(),
-                        rows: rows.iter().copied().collect(),
-                    });
-                }
+        let mut groups = GroupMap::default();
+        for shard in shard_outs {
+            report.mv_rows.extend(shard.mv_rows);
+            evidence.mv_groups.extend(shard.mv_groups);
+            if groups.is_empty() {
+                groups = shard.groups;
+            } else {
+                groups.extend(shard.groups);
             }
         }
         evidence.normalize();
@@ -226,6 +378,102 @@ impl SemanticDetector {
             .iter()
             .map(|e| BoundECfd::bind(e, schema).map_err(Into::into))
             .collect()
+    }
+}
+
+/// What one phase-1 worker produces for its row chunk.
+struct ChunkOut {
+    /// `(row, split-constraint)` single-tuple violations, in row order.
+    sv: Vec<(RowId, usize)>,
+    /// Partial group states, partitioned by `shard_of(ci, X-codes)`.
+    parts: Vec<CodeMap<GroupKey, GroupState>>,
+}
+
+/// Phase 1: scans rows `lo..hi` of the view against every coded constraint.
+fn scan_chunk(
+    view: &ColumnarView,
+    bounds: &[BoundECfd<'_>],
+    codec: &Codec,
+    lo: usize,
+    hi: usize,
+    n_shards: usize,
+) -> ChunkOut {
+    let mut out = ChunkOut {
+        sv: Vec::new(),
+        parts: vec![CodeMap::default(); n_shards],
+    };
+    for pos in lo..hi {
+        let row_id = view.row_id(pos);
+        for (ci, bound) in bounds.iter().enumerate() {
+            let cells = &codec.cells[ci];
+            if !cells.lhs_matches(bound.lhs_ids().iter().map(|a| view.code(pos, *a))) {
+                continue;
+            }
+            if !cells.rhs_matches(bound.rhs_ids().iter().map(|a| view.code(pos, *a))) {
+                out.sv.push((row_id, ci));
+            }
+            if !bound.fd_rhs_ids().is_empty() {
+                let key = view.key(pos, bound.lhs_ids());
+                let shard = if n_shards == 1 {
+                    0
+                } else {
+                    shard_of(ci, &key, n_shards)
+                };
+                let y = view.key(pos, bound.fd_rhs_ids());
+                // One key allocation serves count and membership bookkeeping.
+                let state = out.parts[shard].entry((ci, key)).or_default();
+                *state.y_counts.entry(y).or_insert(0) += 1;
+                state.rows.push(row_id);
+            }
+        }
+    }
+    out
+}
+
+/// What one phase-2 worker produces for its shard.
+struct ShardOut {
+    groups: CodeMap<GroupKey, GroupState>,
+    mv_rows: Vec<RowId>,
+    mv_groups: Vec<MvEvidence>,
+}
+
+/// Phase 2: merges one shard's partial group states (in chunk order, so
+/// member lists end up in global row order) and derives the multi-tuple
+/// violations.
+fn merge_shard(
+    parts: Vec<CodeMap<GroupKey, GroupState>>,
+    provenance: &[(usize, usize)],
+    dict: &Dictionary,
+) -> ShardOut {
+    let mut iter = parts.into_iter();
+    let mut groups = iter.next().unwrap_or_default();
+    for part in iter {
+        for (key, state) in part {
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().absorb(state),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(state);
+                }
+            }
+        }
+    }
+    let mut mv_rows = Vec::new();
+    let mut mv_groups = Vec::new();
+    for ((ci, key), state) in &groups {
+        if state.violates() {
+            mv_rows.extend(state.rows.iter().copied());
+            let (constraint, pattern) = provenance[*ci];
+            mv_groups.push(MvEvidence {
+                source: ConstraintRef::new(constraint, pattern),
+                group_key: dict.decode_all(key.as_slice()),
+                rows: state.rows.iter().copied().collect(),
+            });
+        }
+    }
+    ShardOut {
+        groups,
+        mv_rows,
+        mv_groups,
     }
 }
 
@@ -378,10 +626,14 @@ mod tests {
         // The Albany group of the first single-pattern constraint violates.
         let albany_groups: Vec<&GroupState> = groups
             .iter()
-            .filter(|((_, key), _)| key == &vec![Value::str("Albany")])
+            .filter(|((_, key), _)| detector.decode_key(key) == vec![Value::str("Albany")])
             .map(|(_, state)| state)
             .collect();
         assert!(albany_groups.iter().any(|g| g.violates()));
+        // Membership is tracked alongside the counts.
+        for g in &albany_groups {
+            assert_eq!(g.rows.len(), g.size());
+        }
     }
 
     #[test]
@@ -400,11 +652,14 @@ mod tests {
 
     #[test]
     fn group_state_size_and_violation() {
+        let mut dict = Dictionary::new();
+        let y518: CodeVec = [dict.encode(&Value::str("518"))].into_iter().collect();
+        let y718: CodeVec = [dict.encode(&Value::str("718"))].into_iter().collect();
         let mut state = GroupState::default();
-        *state.y_counts.entry(vec![Value::str("518")]).or_insert(0) += 2;
+        *state.y_counts.entry(y518).or_insert(0) += 2;
         assert_eq!(state.size(), 2);
         assert!(!state.violates());
-        *state.y_counts.entry(vec![Value::str("718")]).or_insert(0) += 1;
+        *state.y_counts.entry(y718).or_insert(0) += 1;
         assert_eq!(state.size(), 3);
         assert!(state.violates());
     }
@@ -424,6 +679,45 @@ mod tests {
         let expected = DetectionReport::from_violation_set(reference.violations(), db.len());
         assert_eq!(report.sv_rows, expected.sv_rows);
         assert_eq!(report.mv_rows, expected.mv_rows);
+    }
+
+    #[test]
+    fn parallel_detection_matches_sequential_detection() {
+        // Enough rows to clear the sequential-scan cutoff at Fixed(4).
+        let mut db = d0();
+        for i in 0..4000 {
+            let city = ["Albany", "Troy", "NYC", "Colonie", "Utica"][i % 5];
+            let ac = ["518", "718", "212", "519"][i % 4];
+            db.insert(Tuple::from_iter([ac, "0", "Gen", "Any St.", city, "00000"]))
+                .unwrap();
+        }
+        let constraints = [phi1(), phi2(), fd_ct_ac()];
+        let sequential = SemanticDetector::new(&cust_schema(), &constraints)
+            .unwrap()
+            .with_parallelism(Parallelism::Fixed(1));
+        let parallel = SemanticDetector::new(&cust_schema(), &constraints)
+            .unwrap()
+            .with_parallelism(Parallelism::Fixed(4));
+        let (seq_report, seq_evidence, seq_groups) = sequential.detect_full(&db).unwrap();
+        let (par_report, par_evidence, par_groups) = parallel.detect_full(&db).unwrap();
+        assert_eq!(seq_report, par_report);
+        assert_eq!(seq_evidence, par_evidence);
+        // Group maps agree key-for-key once decoded through each dictionary.
+        assert_eq!(seq_groups.len(), par_groups.len());
+        let canon = |det: &SemanticDetector, groups: &GroupMap| {
+            let mut out: Vec<(usize, Vec<Value>, usize, Vec<RowId>)> = groups
+                .iter()
+                .map(|((ci, key), state)| {
+                    (*ci, det.decode_key(key), state.size(), state.rows.clone())
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        assert_eq!(
+            canon(&sequential, &seq_groups),
+            canon(&parallel, &par_groups)
+        );
     }
 
     #[test]

@@ -13,6 +13,19 @@
 //! reused by the SQL engine (`ecfd-engine`), the constraint library
 //! (`ecfd-core`) and the detection algorithms (`ecfd-detect`).
 //!
+//! ## The columnar execution core
+//!
+//! Alongside the row-oriented storage, [`columnar`] provides the
+//! dictionary-encoded representation the detection hot path runs on: a
+//! [`Dictionary`] interning strings to dense symbols, a fixed-width [`Code`]
+//! word packing `Null` / `Int` / `Bool` / interned-string values (see the
+//! [`columnar`] module docs for the exact Value ↔ Code mapping, dictionary
+//! lifetime rules, and when a view is invalidated), a [`CodeVec`]
+//! small-vector projection key, and a [`ColumnarView`] of per-attribute code
+//! columns derivable from any [`Relation`] and maintainable under [`Delta`]
+//! application. Code equality decides value equality within one dictionary,
+//! so group-by and pattern matching become single-word integer comparisons.
+//!
 //! ## Example
 //!
 //! ```
@@ -32,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod columnar;
 pub mod csv;
 pub mod error;
 pub mod index;
@@ -42,6 +56,7 @@ pub mod update;
 pub mod value;
 
 pub use catalog::{Catalog, SharedCatalog};
+pub use columnar::{Code, CodeMap, CodeVec, ColumnarView, Dictionary, FxBuildHasher};
 pub use error::{RelationError, Result};
 pub use index::HashIndex;
 pub use relation::{Relation, RowId};

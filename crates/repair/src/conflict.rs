@@ -18,7 +18,7 @@ use crate::{RepairError, Result};
 use ecfd_detect::evidence::{ConstraintRef, EvidenceReport};
 use ecfd_detect::SemanticDetector;
 use ecfd_logic::{BoolExpr, HardSoftInstance, MaxGSatSolver, VarId};
-use ecfd_relation::{Relation, RowId, Tuple, Value};
+use ecfd_relation::{CodeVec, Relation, RowId, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One tuple participating in a conflict.
@@ -119,23 +119,40 @@ impl ConflictGraph {
                 .get(&group.source)
                 .ok_or(RepairError::UnknownConstraint(group.source))?;
             let bound = &bounds[ci];
-            let mut classes: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
-            for &row in &group.rows {
-                let idx = add_node(&mut graph, &mut node_of, row)?;
-                let stored = &graph.nodes[idx].tuple;
-                let effective = patched.get(&row).unwrap_or(stored);
-                classes
-                    .entry(bound.fd_rhs_key(effective))
-                    .or_default()
-                    .push(idx);
+            // Partition members by their coded `Y` projection — the same
+            // code keys the detectors group on, issued by the detector's own
+            // dictionary, so class formation is integer hashing instead of
+            // value-vector cloning. The whole group encodes under one
+            // dictionary lock.
+            let member_idx: Vec<usize> = group
+                .rows
+                .iter()
+                .map(|&row| add_node(&mut graph, &mut node_of, row))
+                .collect::<Result<_>>()?;
+            let keys = {
+                let effectives = member_idx.iter().map(|&idx| {
+                    let node = &graph.nodes[idx];
+                    patched.get(&node.row).unwrap_or(&node.tuple)
+                });
+                detector.encode_keys(effectives, bound.fd_rhs_ids())
+            };
+            let mut classes: HashMap<CodeVec, Vec<usize>> = HashMap::new();
+            for (&idx, key) in member_idx.iter().zip(keys) {
+                classes.entry(key).or_default().push(idx);
             }
             // Patching may have merged all members into one class — then the
             // group no longer conflicts and value modification resolved it.
             if classes.len() > 1 {
+                // Decode for a deterministic, value-ordered class list (the
+                // planner's tie-breaks must not depend on interning order).
+                let decoded: BTreeMap<Vec<Value>, Vec<usize>> = classes
+                    .into_iter()
+                    .map(|(key, members)| (detector.decode_key(&key), members))
+                    .collect();
                 graph.groups.push(GroupConflict {
                     source: group.source,
                     group_key: group.group_key.clone(),
-                    classes: classes.into_values().collect(),
+                    classes: decoded.into_values().collect(),
                 });
             }
         }

@@ -50,20 +50,31 @@
 //! | `apply` via semantic / SQL | replaced               | dropped               |
 //! | `repair`                   | replaced (clean)       | maintained            |
 //! | `catalog_mut` / `invalidate` | dropped              | dropped               |
+//! | `with_policy` (new [`Parallelism`]) | kept          | kept (fan-out retrofitted) |
 //!
 //! A full detection pass rewrites the `SV` / `MV` flag columns but does not
 //! move rows, so the incremental backend's group state stays valid across
 //! `detect_with` regardless of which backend ran. Updates applied through a
 //! non-incremental backend *do* move rows, which is why they drop it.
 //!
-//! ## Backend routing
+//! ## Backend routing and parallelism
 //!
 //! Every detection-shaped call can name a [`BackendKind`] explicitly
 //! (`detect_with`, `apply_with`); otherwise the session's [`RoutingPolicy`]
-//! decides. The default policy runs full passes on the SQL batch detector
+//! decides. The default policy runs full passes on the native semantic
+//! detector — the fast path since the dictionary-encoded columnar refactor —
 //! and routes update batches by the delta-size threshold of the paper's
 //! Fig. 7(a): small batches go to incremental maintenance, large ones to a
-//! fresh batch pass.
+//! fresh full pass. The SQL batch detector remains the paper-faithful
+//! reference, selectable per call or via [`RoutingPolicy::fixed`].
+//!
+//! The policy also carries the [`Parallelism`] of the detection scans:
+//! `Auto` (every available core, the default) or `Fixed(n)`. It is applied
+//! to the backends at registration time; replacing the policy with
+//! [`Session::with_policy`](session::Session::with_policy) retrofits the new
+//! fan-out onto already-registered backends. Constraint pattern constants
+//! are pre-resolved to dictionary codes once at `register` time, so per-scan
+//! match tests are integer comparisons regardless of the fan-out.
 //!
 //! ## Example
 //!
@@ -103,8 +114,10 @@ pub use error::{Result, SessionError};
 pub use policy::RoutingPolicy;
 pub use session::{Session, Stage};
 
-// The kinds a policy routes between are part of this crate's vocabulary.
+// The kinds a policy routes between — and the worker fan-out it carries —
+// are part of this crate's vocabulary.
 pub use ecfd_detect::backend::BackendKind;
+pub use ecfd_detect::Parallelism;
 
 #[cfg(test)]
 mod tests {
@@ -166,7 +179,7 @@ mod tests {
         let first = session.detect().unwrap();
         assert_eq!(first.num_sv(), 1);
         assert_eq!(first.num_mv(), 2, "the two Albany rows conflict");
-        assert_eq!(session.last_backend(), Some(BackendKind::Sql));
+        assert_eq!(session.last_backend(), Some(BackendKind::Semantic));
 
         // Cached: same result, no backend switch.
         let again = session.detect().unwrap();
@@ -203,7 +216,7 @@ mod tests {
                 .collect(),
         );
         session.apply(&large).unwrap();
-        assert_eq!(session.last_backend(), Some(BackendKind::Sql));
+        assert_eq!(session.last_backend(), Some(BackendKind::Semantic));
     }
 
     #[test]

@@ -1,14 +1,22 @@
-//! Backend routing: which detection strategy serves which call.
+//! Backend routing: which detection strategy serves which call, and how many
+//! worker threads it fans out across.
 
-use ecfd_detect::BackendKind;
+use ecfd_detect::{BackendKind, Parallelism};
 
 /// Decides which [`BackendKind`] serves full detection passes and update
-/// batches when the caller does not pick one explicitly.
+/// batches when the caller does not pick one explicitly, and the
+/// [`Parallelism`] of the detection scans.
 ///
 /// The interesting decision is the one the paper's Fig. 7(a) measures: below
 /// a certain update-batch size incremental maintenance beats recomputing from
 /// scratch, above it the batch pass wins. The policy mirrors that crossover
 /// with a simple threshold on `|ΔD| / |D|`.
+///
+/// Full passes default to the native semantic backend — since the
+/// dictionary-encoded columnar refactor it is the system's fast path (coded
+/// pattern matching, sharded parallel scan), while the SQL backend remains
+/// the paper-faithful reference implementation, selectable explicitly or via
+/// [`RoutingPolicy::fixed`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoutingPolicy {
     /// Backend for full detection passes ([`crate::Session::detect`]).
@@ -21,15 +29,20 @@ pub struct RoutingPolicy {
     /// current table size`. The paper's crossover sits somewhere below a
     /// third of the data size on its workloads.
     pub incremental_max_fraction: f64,
+    /// Worker fan-out of the (semantic) detection scans: all available cores
+    /// by default, or a fixed count. Applied to the backends at registration
+    /// time and whenever the policy is replaced.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RoutingPolicy {
     fn default() -> Self {
         RoutingPolicy {
-            detect_backend: BackendKind::Sql,
+            detect_backend: BackendKind::Semantic,
             small_delta_backend: BackendKind::Incremental,
-            large_delta_backend: BackendKind::Sql,
+            large_delta_backend: BackendKind::Semantic,
             incremental_max_fraction: 0.25,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -41,8 +54,14 @@ impl RoutingPolicy {
             detect_backend: kind,
             small_delta_backend: kind,
             large_delta_backend: kind,
-            incremental_max_fraction: 0.25,
+            ..RoutingPolicy::default()
         }
+    }
+
+    /// The same policy with a different worker fan-out.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The routing decision for an update batch of `delta_len` tuples against
@@ -64,18 +83,29 @@ mod tests {
     #[test]
     fn default_policy_routes_by_delta_size() {
         let policy = RoutingPolicy::default();
+        assert_eq!(policy.detect_backend, BackendKind::Semantic);
+        assert_eq!(policy.parallelism, Parallelism::Auto);
         assert_eq!(policy.route_delta(10, 1000), BackendKind::Incremental);
         assert_eq!(policy.route_delta(250, 1000), BackendKind::Incremental);
-        assert_eq!(policy.route_delta(251, 1000), BackendKind::Sql);
+        assert_eq!(policy.route_delta(251, 1000), BackendKind::Semantic);
         // An empty table pushes everything to the batch path.
-        assert_eq!(policy.route_delta(1, 0), BackendKind::Sql);
+        assert_eq!(policy.route_delta(1, 0), BackendKind::Semantic);
     }
 
     #[test]
     fn fixed_policy_never_routes_elsewhere() {
-        let policy = RoutingPolicy::fixed(BackendKind::Semantic);
-        assert_eq!(policy.detect_backend, BackendKind::Semantic);
-        assert_eq!(policy.route_delta(1, 1000), BackendKind::Semantic);
-        assert_eq!(policy.route_delta(999, 1000), BackendKind::Semantic);
+        let policy = RoutingPolicy::fixed(BackendKind::Sql);
+        assert_eq!(policy.detect_backend, BackendKind::Sql);
+        assert_eq!(policy.route_delta(1, 1000), BackendKind::Sql);
+        assert_eq!(policy.route_delta(999, 1000), BackendKind::Sql);
+    }
+
+    #[test]
+    fn parallelism_is_part_of_the_policy() {
+        let policy = RoutingPolicy::default().with_parallelism(Parallelism::Fixed(2));
+        assert_eq!(policy.parallelism, Parallelism::Fixed(2));
+        let fixed =
+            RoutingPolicy::fixed(BackendKind::Semantic).with_parallelism(Parallelism::Fixed(1));
+        assert_eq!(fixed.parallelism.threads(), 1);
     }
 }

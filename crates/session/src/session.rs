@@ -108,9 +108,16 @@ impl Session {
         }
     }
 
-    /// Replaces the routing policy.
+    /// Replaces the routing policy, retrofitting its [`Parallelism`] onto
+    /// every already-registered backend.
+    ///
+    /// [`Parallelism`]: ecfd_detect::Parallelism
     pub fn with_policy(mut self, policy: RoutingPolicy) -> Self {
         self.policy = policy;
+        for entry in self.tables.values_mut() {
+            entry.semantic.set_parallelism(policy.parallelism);
+            entry.incremental.set_parallelism(policy.parallelism);
+        }
         self
     }
 
@@ -233,9 +240,15 @@ impl Session {
     fn build_entry(&self, schema: &Schema, source: &[ECfd]) -> Result<Entry> {
         let set = ConstraintSet::compile_with(schema, source, self.compile)?;
         let sql = SqlBackend::from_set(&set).map_err(|e| e.to_string());
+        // Pattern constants resolve to dictionary codes inside the backends'
+        // `from_set` constructors — once, here, at registration time.
+        let mut semantic = SemanticBackend::from_set(&set);
+        semantic.set_parallelism(self.policy.parallelism);
+        let mut incremental = IncrementalBackend::from_set(&set);
+        incremental.set_parallelism(self.policy.parallelism);
         Ok(Entry {
-            semantic: SemanticBackend::from_set(&set),
-            incremental: IncrementalBackend::from_set(&set),
+            semantic,
+            incremental,
             repair: RepairEngine::from_set(&set).with_cost_model_arc(self.cost.clone()),
             sql,
             set,

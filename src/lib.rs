@@ -88,13 +88,14 @@ pub mod prelude {
     pub use ecfd_core::{implication, maxss, satisfiability};
     pub use ecfd_detect::{
         BackendKind, BatchDetector, ConstraintRef, DetectionReport, DetectorBackend, Encoding,
-        EvidenceReport, IncrementalBackend, IncrementalDetector, SemanticBackend, SemanticDetector,
-        SqlBackend,
+        EvidenceReport, IncrementalBackend, IncrementalDetector, Parallelism, SemanticBackend,
+        SemanticDetector, SqlBackend,
     };
     pub use ecfd_engine::{Engine, ResultSet};
     pub use ecfd_logic::{BoolExpr, HardSoftInstance, MaxGSatInstance, MaxGSatSolver};
     pub use ecfd_relation::{
-        Catalog, DataType, Delta, Domain, Relation, RowId, Schema, Tuple, Value,
+        Catalog, Code, CodeVec, ColumnarView, DataType, Delta, Dictionary, Domain, Relation, RowId,
+        Schema, Tuple, Value,
     };
     pub use ecfd_repair::{
         repair_verified, ConflictGraph, ConstantCost, CostModel, DeletionSolver, EditDistanceCost,

@@ -88,7 +88,7 @@ fn auto_routing_picks_incremental_below_the_threshold_and_batch_above() {
     session.load(data.clone()).unwrap();
     session.register(&constraints).unwrap();
     session.detect().unwrap();
-    assert_eq!(session.last_backend(), Some(BackendKind::Sql));
+    assert_eq!(session.last_backend(), Some(BackendKind::Semantic));
 
     let small = generate_delta(
         &data,
@@ -114,7 +114,7 @@ fn auto_routing_picks_incremental_below_the_threshold_and_batch_above() {
         },
     );
     session.apply(&large).unwrap();
-    assert_eq!(session.last_backend(), Some(BackendKind::Sql));
+    assert_eq!(session.last_backend(), Some(BackendKind::Semantic));
 
     // Whatever the routing history, the flags must match a from-scratch pass.
     let routed = session.detect_with(BackendKind::Semantic).unwrap();
