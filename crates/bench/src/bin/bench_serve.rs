@@ -1,0 +1,213 @@
+//! `bench_serve`: reader throughput under write load, recorded.
+//!
+//! Drives the serving layer in-process (hub + writer, no TCP, so the numbers
+//! measure the snapshot machinery rather than loopback sockets) in two
+//! phases over the generated `cust` workload:
+//!
+//! 1. **no write load** — `readers` threads each loop `snapshot()` →
+//!    `detect_fresh()` and verify the result against the published report;
+//! 2. **full write load** — the same reader loop while a writer thread
+//!    applies generated insert/delete deltas as fast as the ingest queue
+//!    hands them over.
+//!
+//! Every reader round-trip asserts byte-identical cached-vs-fresh reports,
+//! so the benchmark doubles as a stress test of snapshot isolation. Results
+//! go to a machine-readable `BENCH_serve.json` (CI uploads it as an
+//! artifact).
+//!
+//! ```text
+//! cargo run --release -p ecfd_bench --bin bench_serve -- \
+//!     --rows 2000 --readers 4 --millis 500 --out BENCH_serve.json
+//! ```
+
+use ecfd_bench::PreparedWorkload;
+use ecfd_relation::Delta;
+use ecfd_serve::Writer;
+use ecfd_session::Session;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    rows: usize,
+    readers: usize,
+    millis: u64,
+    delta_size: usize,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            rows: 2000,
+            readers: 4,
+            millis: 500,
+            delta_size: 8,
+            out: "BENCH_serve.json".to_string(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+            match flag.as_str() {
+                "--rows" => args.rows = parse_num(&value("--rows")?)?,
+                "--readers" => args.readers = parse_num(&value("--readers")?)?.max(1),
+                "--millis" => args.millis = parse_num(&value("--millis")?)? as u64,
+                "--delta-size" => args.delta_size = parse_num(&value("--delta-size")?)?.max(1),
+                "--out" => args.out = value("--out")?,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: bench_serve [--rows N] [--readers N] [--millis N] \
+                         [--delta-size N] [--out PATH]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num(text: &str) -> Result<usize, String> {
+    text.trim()
+        .parse::<usize>()
+        .map_err(|_| format!("`{text}` is not a number"))
+}
+
+struct PhaseResult {
+    reads_total: u64,
+    reads_per_sec: f64,
+    epochs_advanced: u64,
+    deltas_applied: u64,
+}
+
+/// Runs one measurement phase: `readers` verify-loops for `duration`, with
+/// the writer either idle or applying generated deltas at full speed.
+fn run_phase(
+    workload: &PreparedWorkload,
+    args: &Args,
+    duration: Duration,
+    write_load: bool,
+) -> PhaseResult {
+    let mut session = Session::new();
+    session
+        .load(workload.data.clone())
+        .expect("workload data loads");
+    session
+        .register(&workload.constraints)
+        .expect("workload constraints compile");
+    let (mut writer, hub) = Writer::bootstrap(session, 64, 32).expect("bootstrap");
+    let start_epoch = hub.epoch();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut deltas_applied = 0u64;
+    let reads_total: u64 = std::thread::scope(|scope| {
+        let reader_handles: Vec<_> = (0..args.readers)
+            .map(|_| {
+                let hub = &hub;
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    let mut rounds = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = hub.snapshot();
+                        let fresh = snap.detect_fresh().expect("frozen scan succeeds");
+                        assert_eq!(
+                            &fresh,
+                            snap.report(),
+                            "snapshot isolation violated at epoch {}",
+                            snap.epoch()
+                        );
+                        rounds += 1;
+                    }
+                    rounds
+                })
+            })
+            .collect();
+
+        // Feed and drive the writer (same thread: `step` only blocks for the
+        // pop timeout, so submission interleaves with application).
+        let deadline = Instant::now() + duration;
+        if write_load {
+            let mut seed = 1u64;
+            while Instant::now() < deadline {
+                if hub.queue().pending() < hub.queue().capacity() / 2 {
+                    let delta: Delta = workload.delta(args.delta_size, args.delta_size / 2, seed);
+                    hub.submit(delta).expect("queue open");
+                    seed += 1;
+                }
+                if let ecfd_serve::StepOutcome::Applied(n) = writer
+                    .step(&hub, Duration::from_millis(1))
+                    .expect("writer step")
+                {
+                    deltas_applied += n as u64;
+                }
+            }
+        } else {
+            std::thread::sleep(duration);
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader_handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread"))
+            .sum()
+    });
+
+    PhaseResult {
+        reads_total,
+        reads_per_sec: reads_total as f64 / duration.as_secs_f64(),
+        epochs_advanced: hub.epoch() - start_epoch,
+        deltas_applied,
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("bench_serve: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let duration = Duration::from_millis(args.millis.max(50));
+    let workload = PreparedWorkload::new(args.rows, 5.0, 42);
+
+    let idle = run_phase(&workload, &args, duration, false);
+    println!(
+        "no write load:  {} readers, {:.0} verified detect round-trips/s ({} total)",
+        args.readers, idle.reads_per_sec, idle.reads_total
+    );
+    let loaded = run_phase(&workload, &args, duration, true);
+    println!(
+        "write load:     {} readers, {:.0} verified detect round-trips/s ({} total), \
+         {} epochs published",
+        args.readers, loaded.reads_per_sec, loaded.reads_total, loaded.epochs_advanced
+    );
+
+    let json = render_json(&args, &idle, &loaded);
+    std::fs::write(&args.out, &json).expect("write benchmark output");
+    println!("wrote {}", args.out);
+}
+
+/// Renders the result as JSON by hand — the vendored serde shim has no
+/// serializer, and the schema here is flat and fixed.
+fn render_json(args: &Args, idle: &PhaseResult, loaded: &PhaseResult) -> String {
+    let phase = |r: &PhaseResult| {
+        format!(
+            "{{ \"reads_total\": {}, \"reads_per_sec\": {:.1}, \
+             \"epochs_advanced\": {}, \"deltas_applied\": {} }}",
+            r.reads_total, r.reads_per_sec, r.epochs_advanced, r.deltas_applied
+        )
+    };
+    format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"workload\": \"cust\",\n  \"rows\": {},\n  \
+         \"readers\": {},\n  \"duration_ms\": {},\n  \"delta_size\": {},\n  \
+         \"no_write_load\": {},\n  \"write_load\": {}\n}}\n",
+        args.rows,
+        args.readers,
+        args.millis,
+        args.delta_size,
+        phase(idle),
+        phase(loaded)
+    )
+}

@@ -31,6 +31,11 @@
 //! Violation *detection* on large instances lives in the companion crate
 //! `ecfd-detect`, which encodes tableaux as data and generates SQL (Section V).
 //!
+//! A standalone grammar-and-semantics reference for the pattern-tuple
+//! language — constants, wildcards, disjunction, negation, `Yp`-attribute
+//! violations, with the paper's figures worked through — lives in
+//! `docs/ecfd-syntax.md` at the repository root.
+//!
 //! ## Example
 //!
 //! ```
@@ -58,7 +63,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod cfd;

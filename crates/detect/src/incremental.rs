@@ -161,6 +161,24 @@ impl IncrementalDetector {
         self.semantic.decode_key(key)
     }
 
+    /// The semantic detector whose codec this maintainer shares. Reader-side
+    /// code pairs it with [`IncrementalDetector::freeze`] to re-detect over a
+    /// snapshot without touching the live state.
+    pub fn semantic(&self) -> &SemanticDetector {
+        &self.semantic
+    }
+
+    /// Freezes the maintained base-attribute view together with the current
+    /// dictionary state: a consistent point-in-time unit that
+    /// [`SemanticDetector::detect_frozen`] can re-scan without
+    /// synchronisation, and the cheapest snapshot-extraction path when the
+    /// incremental state is warm (the view is already encoded — no table
+    /// re-encode happens, only the clone).
+    pub fn freeze(&self) -> ecfd_relation::FrozenView {
+        let codec = self.semantic.codec().read();
+        ecfd_relation::FrozenView::new(self.view.clone(), codec.dict.clone())
+    }
+
     /// Number of groups currently violating their embedded FD.
     pub fn violating_groups(&self) -> usize {
         self.groups.values().filter(|g| g.violates()).count()
@@ -192,7 +210,7 @@ impl IncrementalDetector {
                 continue;
             };
             for (ci, spec) in self.specs.iter().enumerate() {
-                let cells = &codec.cells[ci];
+                let cells = &self.semantic.cells()[ci];
                 if cells.lhs_matches(spec.lhs.iter().map(|a| self.view.code(pos, *a)))
                     && !cells.rhs_matches(spec.rhs.iter().map(|a| self.view.code(pos, *a)))
                 {
@@ -287,7 +305,6 @@ impl IncrementalDetector {
             // Every matched row carries the same base values, so the group
             // memberships are computed once per victim.
             let hits: Vec<(GroupKey, CodeVec)> = {
-                let codec = codec_arc.read();
                 self.specs
                     .iter()
                     .enumerate()
@@ -295,7 +312,7 @@ impl IncrementalDetector {
                         if spec.fd_rhs.is_empty() {
                             return None;
                         }
-                        let cells = &codec.cells[ci];
+                        let cells = &self.semantic.cells()[ci];
                         if !cells.lhs_matches(spec.lhs.iter().map(|a| victim_codes[a.index()])) {
                             return None;
                         }
@@ -364,9 +381,8 @@ impl IncrementalDetector {
             let mut mv = false;
             let mut hits: Vec<(GroupKey, CodeVec)> = Vec::new();
             {
-                let codec = codec_arc.read();
                 for (ci, spec) in self.specs.iter().enumerate() {
-                    let cells = &codec.cells[ci];
+                    let cells = &self.semantic.cells()[ci];
                     if !cells.lhs_matches(spec.lhs.iter().map(|a| codes[a.index()])) {
                         continue;
                     }
@@ -426,7 +442,6 @@ impl IncrementalDetector {
         }
         let relation = catalog.get_mut(&self.table)?;
         let mv_col = relation.schema().require_attr("MV")?;
-        let codec = self.semantic.codec().read();
         let mut count = 0;
         for row in affected {
             let Some(pos) = self.view.position(row) else {
@@ -437,7 +452,7 @@ impl IncrementalDetector {
                 if spec.fd_rhs.is_empty() {
                     continue;
                 }
-                let cells = &codec.cells[ci];
+                let cells = &self.semantic.cells()[ci];
                 if !cells.lhs_matches(spec.lhs.iter().map(|a| self.view.code(pos, *a))) {
                     continue;
                 }

@@ -29,8 +29,8 @@ use ecfd_core::normalize::split_patterns;
 use ecfd_core::ECfd;
 use ecfd_relation::columnar::shard_of;
 use ecfd_relation::{
-    AttrId, Catalog, CodeMap, CodeVec, ColumnarView, Dictionary, Relation, RowId, Schema, Tuple,
-    Value,
+    AttrId, Catalog, CodeMap, CodeVec, ColumnarView, Dictionary, FrozenView, Relation, RowId,
+    Schema, Tuple, Value,
 };
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -79,15 +79,16 @@ impl GroupState {
 
 /// The constraint codec shared by every clone of a detector (and by the
 /// incremental detector built on top of it): one [`Dictionary`] per compiled
-/// constraint set, plus the pattern cells pre-resolved to codes against it.
-/// The dictionary only grows — interning data values never invalidates the
-/// pattern codes resolved at construction time.
+/// constraint set. The dictionary only grows — interning data values never
+/// invalidates the pattern codes resolved at construction time.
+///
+/// The coded pattern cells themselves live *outside* this lock (they are
+/// immutable after construction, see [`SemanticDetector`]), so read-only
+/// detection over a [`FrozenView`] never takes it.
 #[derive(Debug)]
 pub(crate) struct Codec {
     /// The issuing dictionary for pattern constants and data values alike.
     pub(crate) dict: Dictionary,
-    /// Coded pattern cells, parallel to the split single-pattern constraints.
-    pub(crate) cells: Vec<CodedSingle>,
 }
 
 /// The native detector.
@@ -99,6 +100,13 @@ pub struct SemanticDetector {
     /// indices it came from — used to attribute evidence back to the user's
     /// original constraints.
     provenance: Vec<(usize, usize)>,
+    /// Coded pattern cells, parallel to the split single-pattern constraints.
+    /// Interned once at construction against the codec dictionary's *initial*
+    /// state; immutable afterwards, so they are shared outside the codec lock
+    /// and stay valid against every later dictionary state (grow-only
+    /// interning) — including the dictionary clone inside any [`FrozenView`]
+    /// descended from this detector's codec.
+    cells: Arc<Vec<CodedSingle>>,
     codec: Arc<RwLock<Codec>>,
     parallelism: Parallelism,
 }
@@ -139,7 +147,8 @@ impl SemanticDetector {
             ecfds,
             singles,
             provenance,
-            codec: Arc::new(RwLock::new(Codec { dict, cells })),
+            cells: Arc::new(cells),
+            codec: Arc::new(RwLock::new(Codec { dict })),
             parallelism: Parallelism::default(),
         }
     }
@@ -177,11 +186,17 @@ impl SemanticDetector {
         &self.provenance
     }
 
-    /// The shared codec (dictionary + coded pattern cells). Crate-internal:
-    /// the incremental detector maintains its view and group state through
-    /// the same dictionary.
+    /// The shared codec (the issuing dictionary). Crate-internal: the
+    /// incremental detector maintains its view and group state through the
+    /// same dictionary.
     pub(crate) fn codec(&self) -> &Arc<RwLock<Codec>> {
         &self.codec
+    }
+
+    /// The coded pattern cells, parallel to [`SemanticDetector::singles`].
+    /// Immutable after construction and held outside the codec lock.
+    pub(crate) fn cells(&self) -> &[CodedSingle] {
+        &self.cells
     }
 
     /// Encodes a tuple projection into a coded group key through the
@@ -264,23 +279,67 @@ impl SemanticDetector {
         let bounds = self.bind(relation.schema())?;
         let mut codec_guard = self.codec.write();
         let view = ColumnarView::build(relation, &mut codec_guard.dict);
-        let codec: &Codec = &codec_guard;
+        Ok(self.scan_view(&view, &codec_guard.dict, &bounds, relation.len()))
+    }
 
+    /// Runs a full, read-only detection pass over a [`FrozenView`] — the
+    /// serving layer's reader path. The frozen dictionary must descend from
+    /// this detector's codec (e.g. produced by [`SemanticDetector::freeze`]
+    /// or `IncrementalDetector::freeze`), so the pattern cells coded at
+    /// construction time match its codes. Nothing is locked and nothing is
+    /// interned: any number of threads can run this concurrently against the
+    /// same handle, and the output is deterministic at every worker count —
+    /// byte-identical to a from-scratch [`SemanticDetector::detect_with_evidence`]
+    /// over the relation the view was frozen from.
+    pub fn detect_frozen(
+        &self,
+        frozen: &FrozenView,
+        schema: &Schema,
+    ) -> Result<(DetectionReport, EvidenceReport)> {
+        let bounds = self.bind(schema)?;
+        let (report, evidence, _) =
+            self.scan_view(frozen.view(), frozen.dict(), &bounds, frozen.num_rows());
+        Ok((report, evidence))
+    }
+
+    /// Encodes the first `base_arity` attributes of `relation` through the
+    /// detector's dictionary and freezes the result together with a
+    /// dictionary clone: one consistent point-in-time unit that
+    /// [`SemanticDetector::detect_frozen`] can re-scan without
+    /// synchronisation. This is the snapshot-extraction primitive of the
+    /// serving layer.
+    pub fn freeze(&self, relation: &Relation, base_arity: usize) -> FrozenView {
+        let mut codec = self.codec.write();
+        let view = ColumnarView::build_prefix(relation, base_arity, &mut codec.dict);
+        FrozenView::new(view, codec.dict.clone())
+    }
+
+    /// The shared two-phase scan: flags, evidence and group state from one
+    /// (possibly parallel) pass over an already-encoded view. `dict` must be
+    /// the dictionary state (or a later state of the same lineage) that
+    /// issued the view's codes.
+    fn scan_view(
+        &self,
+        view: &ColumnarView,
+        dict: &Dictionary,
+        bounds: &[BoundECfd<'_>],
+        total_rows: usize,
+    ) -> (DetectionReport, EvidenceReport, GroupMap) {
+        let cells: &[CodedSingle] = &self.cells;
         let n_rows = view.num_rows();
         let threads = effective_threads(self.parallelism, n_rows, self.singles.len());
         let n_shards = threads;
 
         // Phase 1: chunked row scan.
         let chunks: Vec<ChunkOut> = if threads <= 1 {
-            vec![scan_chunk(&view, &bounds, codec, 0, n_rows, 1)]
+            vec![scan_chunk(view, bounds, cells, 0, n_rows, 1)]
         } else {
             let ranges = split_ranges(n_rows, threads);
             std::thread::scope(|s| {
                 let handles: Vec<_> = ranges
                     .iter()
                     .map(|&(lo, hi)| {
-                        let (view, bounds) = (&view, &bounds);
-                        s.spawn(move || scan_chunk(view, bounds, codec, lo, hi, n_shards))
+                        s.spawn(move || scan_chunk(view, bounds, cells, lo, hi, n_shards))
                     })
                     .collect();
                 handles
@@ -308,7 +367,7 @@ impl SemanticDetector {
         let shard_outs: Vec<ShardOut> = if threads <= 1 {
             shard_inputs
                 .into_iter()
-                .map(|parts| merge_shard(parts, &self.provenance, &codec.dict))
+                .map(|parts| merge_shard(parts, &self.provenance, dict))
                 .collect()
         } else {
             std::thread::scope(|s| {
@@ -316,7 +375,7 @@ impl SemanticDetector {
                     .into_iter()
                     .map(|parts| {
                         let provenance = &self.provenance;
-                        s.spawn(move || merge_shard(parts, provenance, &codec.dict))
+                        s.spawn(move || merge_shard(parts, provenance, dict))
                     })
                     .collect();
                 handles
@@ -329,11 +388,11 @@ impl SemanticDetector {
         // Deterministic assembly: reports are sorted sets, evidence is
         // normalized, the group map is a union of disjoint shard maps.
         let mut report = DetectionReport {
-            total_rows: relation.len(),
+            total_rows,
             ..Default::default()
         };
         let mut evidence = EvidenceReport {
-            total_rows: relation.len(),
+            total_rows,
             ..Default::default()
         };
         for (row, ci) in sv_pairs {
@@ -355,7 +414,7 @@ impl SemanticDetector {
             }
         }
         evidence.normalize();
-        Ok((report, evidence, groups))
+        (report, evidence, groups)
     }
 
     /// Detects violations and writes the `SV` / `MV` flag columns of the named
@@ -393,7 +452,7 @@ struct ChunkOut {
 fn scan_chunk(
     view: &ColumnarView,
     bounds: &[BoundECfd<'_>],
-    codec: &Codec,
+    coded: &[CodedSingle],
     lo: usize,
     hi: usize,
     n_shards: usize,
@@ -405,7 +464,7 @@ fn scan_chunk(
     for pos in lo..hi {
         let row_id = view.row_id(pos);
         for (ci, bound) in bounds.iter().enumerate() {
-            let cells = &codec.cells[ci];
+            let cells = &coded[ci];
             if !cells.lhs_matches(bound.lhs_ids().iter().map(|a| view.code(pos, *a))) {
                 continue;
             }
@@ -759,6 +818,47 @@ mod tests {
             assert_eq!(group.rows.len(), 2);
             assert_eq!(group.source.constraint, 0);
         }
+    }
+
+    #[test]
+    fn frozen_detection_matches_live_detection_and_survives_later_writes() {
+        let mut db = d0();
+        db.insert(Tuple::from_iter([
+            "519", "7", "Zoe", "Pine St.", "Albany", "12239",
+        ]))
+        .unwrap();
+        let detector = SemanticDetector::new(&cust_schema(), &[phi1(), phi2(), fd_ct_ac()])
+            .unwrap()
+            .with_parallelism(Parallelism::Fixed(1));
+        let (live_report, live_evidence) = detector.detect_with_evidence(&db).unwrap();
+
+        let frozen = detector.freeze(&db, cust_schema().arity());
+        // Mutate the relation *and* the shared dictionary after the freeze.
+        db.insert(Tuple::from_iter([
+            "999",
+            "8",
+            "New",
+            "Post-freeze",
+            "Utica",
+            "13501",
+        ]))
+        .unwrap();
+        detector.detect(&db).unwrap();
+
+        let (frozen_report, frozen_evidence) =
+            detector.detect_frozen(&frozen, &cust_schema()).unwrap();
+        assert_eq!(frozen_report, live_report, "frozen scan is isolated");
+        assert_eq!(frozen_evidence, live_evidence);
+
+        // Concurrent frozen scans on clones agree at other worker counts.
+        let parallel = detector.clone().with_parallelism(Parallelism::Fixed(4));
+        let handle = frozen.clone();
+        let out = std::thread::spawn(move || parallel.detect_frozen(&handle, &cust_schema()))
+            .join()
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.0, live_report);
+        assert_eq!(out.1, live_evidence);
     }
 
     #[test]

@@ -485,6 +485,11 @@ impl ColumnarView {
         true
     }
 
+    /// The codes of one row across all columns, in attribute order.
+    pub fn row_codes(&self, pos: usize) -> Vec<Code> {
+        self.columns.iter().map(|col| col[pos]).collect()
+    }
+
     /// Row positions whose first `codes.len()` columns equal `codes` — the
     /// coded equivalent of matching a deletion victim by base-attribute
     /// prefix.
@@ -497,6 +502,67 @@ impl ColumnarView {
                     .enumerate()
                     .all(|(c, &code)| self.columns[c][pos] == code)
             })
+            .collect()
+    }
+}
+
+/// An immutable, cheaply cloneable `(view, dictionary)` pair: one consistent
+/// point-in-time encoding of a relation.
+///
+/// A live [`ColumnarView`] is only meaningful next to the (growing)
+/// [`Dictionary`] that issued its codes, and both mutate as deltas stream in.
+/// A `FrozenView` pins the pair: the view and a clone of the dictionary taken
+/// at the same instant, shared behind [`Arc`]s so that handing a copy to
+/// another thread is two reference-count bumps. Nothing behind the handle can
+/// change, so any number of threads may scan, decode and re-detect against it
+/// without synchronisation — this is the unit the serving layer publishes as
+/// an epoch snapshot.
+///
+/// Because a dictionary only ever grows, codes inside the frozen view remain
+/// valid against *later* states of the source dictionary; the converse does
+/// not hold (a code interned after the freeze is unknown to the frozen
+/// dictionary), which is why the pair is kept together.
+///
+/// [`Arc`]: std::sync::Arc
+#[derive(Debug, Clone)]
+pub struct FrozenView {
+    view: std::sync::Arc<ColumnarView>,
+    dict: std::sync::Arc<Dictionary>,
+}
+
+impl FrozenView {
+    /// Freezes a view together with the dictionary state that encoded it.
+    pub fn new(view: ColumnarView, dict: Dictionary) -> Self {
+        FrozenView {
+            view: std::sync::Arc::new(view),
+            dict: std::sync::Arc::new(dict),
+        }
+    }
+
+    /// The frozen code columns.
+    pub fn view(&self) -> &ColumnarView {
+        &self.view
+    }
+
+    /// The dictionary state that issued the view's codes.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Number of frozen rows.
+    pub fn num_rows(&self) -> usize {
+        self.view.num_rows()
+    }
+
+    /// Decodes the row stored at `pos` back to values, in attribute order.
+    pub fn decode_row(&self, pos: usize) -> Vec<crate::value::Value> {
+        self.dict.decode_all(&self.view.row_codes(pos))
+    }
+
+    /// Decodes every frozen row as `(RowId, values)` pairs, in storage order.
+    pub fn decode_rows(&self) -> Vec<(RowId, Vec<crate::value::Value>)> {
+        (0..self.view.num_rows())
+            .map(|pos| (self.view.row_id(pos), self.decode_row(pos)))
             .collect()
     }
 }
@@ -594,6 +660,50 @@ mod tests {
             let s = shard_of(3, &key, shards);
             assert!(s < shards);
             assert_eq!(s, shard_of(3, &key, shards));
+        }
+    }
+
+    #[test]
+    fn frozen_view_is_isolated_from_later_mutation() {
+        let mut rel = Relation::with_tuples(
+            schema(),
+            [
+                Tuple::new(vec![Value::str("Albany"), Value::int(1), Value::bool(true)]),
+                Tuple::new(vec![Value::str("NYC"), Value::int(2), Value::bool(false)]),
+            ],
+        )
+        .unwrap();
+        let mut dict = Dictionary::new();
+        let mut view = ColumnarView::build(&rel, &mut dict);
+        let frozen = FrozenView::new(view.clone(), dict.clone());
+        let reader = frozen.clone(); // cheap Arc clone, shareable across threads
+
+        // Mutate the live view and dictionary behind the frozen handle's back.
+        let t = Tuple::new(vec![Value::str("Troy"), Value::int(3), Value::bool(true)]);
+        let codes = dict.encode_tuple(&t);
+        let id = rel.insert(t).unwrap();
+        view.insert(id, &codes);
+
+        assert_eq!(reader.num_rows(), 2, "the freeze predates the insert");
+        assert_eq!(reader.dict().num_strings(), 2, "`Troy` was interned later");
+        let rows = reader.decode_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].1,
+            vec![Value::str("Albany"), Value::int(1), Value::bool(true)]
+        );
+        // A relation rebuilt from the frozen rows preserves the row ids.
+        let copy = Relation::with_rows(
+            schema(),
+            rows.into_iter().map(|(id, vs)| (id, Tuple::new(vs))),
+        )
+        .unwrap();
+        assert_eq!(copy.len(), 2);
+        for (pos, row) in reader.view().row_ids().iter().enumerate() {
+            assert_eq!(
+                copy.get(*row).unwrap().values(),
+                reader.decode_row(pos).as_slice()
+            );
         }
     }
 

@@ -98,6 +98,23 @@ pub fn to_csv(relation: &Relation) -> String {
     out
 }
 
+/// Parses CSV text into a relation named `name`, inferring an all-string
+/// schema from the header row. This is the loader of the `serve` binary's
+/// `--csv` flag: eCFD pattern constants are strings in the paper's
+/// experiments, so string columns are the lossless default — use
+/// [`from_csv`] with an explicit [`Schema`] when typed columns matter.
+pub fn from_csv_infer(name: &str, text: &str) -> Result<Relation> {
+    let header = text.lines().next().ok_or(RelationError::Csv {
+        line: 1,
+        message: "missing header row".into(),
+    })?;
+    let mut builder = Schema::builder(name);
+    for field in parse_line(header, 1)? {
+        builder = builder.attr(field, DataType::Str);
+    }
+    from_csv(builder.try_build()?, text)
+}
+
 /// Parses CSV text into a relation conforming to `schema`.
 ///
 /// The header row must list exactly the schema's attribute names in order.

@@ -37,6 +37,8 @@ pub enum RelationError {
     DuplicateRelation(String),
     /// A row id was not present in the relation.
     UnknownRow(u64),
+    /// A row id was supplied twice to a row-preserving constructor.
+    DuplicateRow(u64),
     /// A CSV line could not be parsed.
     Csv {
         /// 1-based line number.
@@ -72,6 +74,7 @@ impl fmt::Display for RelationError {
                 write!(f, "relation `{name}` already exists in the catalog")
             }
             RelationError::UnknownRow(id) => write!(f, "row id {id} does not exist"),
+            RelationError::DuplicateRow(id) => write!(f, "row id {id} supplied twice"),
             RelationError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             RelationError::Schema(msg) => write!(f, "schema error: {msg}"),
         }

@@ -42,7 +42,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod catalog;
 pub mod columnar;
@@ -56,7 +56,7 @@ pub mod update;
 pub mod value;
 
 pub use catalog::{Catalog, SharedCatalog};
-pub use columnar::{Code, CodeMap, CodeVec, ColumnarView, Dictionary, FxBuildHasher};
+pub use columnar::{Code, CodeMap, CodeVec, ColumnarView, Dictionary, FrozenView, FxBuildHasher};
 pub use error::{RelationError, Result};
 pub use index::HashIndex;
 pub use relation::{Relation, RowId};

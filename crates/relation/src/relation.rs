@@ -64,6 +64,30 @@ impl Relation {
         Ok(rel)
     }
 
+    /// Creates a relation from `(RowId, Tuple)` pairs, *preserving* the given
+    /// row ids instead of assigning fresh ones. Used to materialise a
+    /// relation from a frozen snapshot (see `columnar::FrozenView`) so that
+    /// row-id-keyed reports and evidence stay meaningful against the copy.
+    /// Subsequent [`Relation::insert`] calls assign ids above the largest id
+    /// supplied here. Fails on duplicate row ids and on tuples that do not
+    /// fit the schema.
+    pub fn with_rows(
+        schema: Schema,
+        rows: impl IntoIterator<Item = (RowId, Tuple)>,
+    ) -> Result<Self> {
+        let mut rel = Relation::new(schema);
+        for (id, tuple) in rows {
+            rel.validate(&tuple)?;
+            if rel.positions.contains_key(&id) {
+                return Err(RelationError::DuplicateRow(id.0));
+            }
+            rel.next_row_id = rel.next_row_id.max(id.0 + 1);
+            rel.positions.insert(id, rel.rows.len());
+            rel.rows.push((id, tuple));
+        }
+        Ok(rel)
+    }
+
     /// The schema of the relation.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -1,0 +1,169 @@
+//! `serve`: the eCFD constraint server.
+//!
+//! Starts a TCP server speaking the line protocol of
+//! [`ecfd_serve::protocol`] over a demo instance (Fig. 1's `cust` relation
+//! with the paper's φ1 / φ2 constraints), or over a CSV file with constraints
+//! from a text file.
+//!
+//! ```text
+//! cargo run --release -p ecfd_serve --bin serve -- --addr 127.0.0.1:7878
+//! cargo run --release -p ecfd_serve --bin serve -- \
+//!     --csv data.csv --table cust --constraints rules.ecfd
+//! ```
+//!
+//! Talk to it with anything line-based:
+//!
+//! ```text
+//! $ printf 'EPOCH\nDETECT\nAPPLY +519,7,Zoe,Pine%%20St.,Albany,12239\nSYNC\nDETECT\nQUIT\n' | nc 127.0.0.1 7878
+//! ```
+
+use ecfd_serve::{ServeConfig, Server};
+use ecfd_session::Session;
+
+struct Args {
+    addr: String,
+    queue: usize,
+    batch: usize,
+    csv: Option<String>,
+    table: String,
+    constraints: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            addr: "127.0.0.1:7878".to_string(),
+            queue: 64,
+            batch: 32,
+            csv: None,
+            table: "cust".to_string(),
+            constraints: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+            match flag.as_str() {
+                "--addr" => args.addr = value("--addr")?,
+                "--queue" => args.queue = parse_num(&value("--queue")?)?,
+                "--batch" => args.batch = parse_num(&value("--batch")?)?,
+                "--csv" => args.csv = Some(value("--csv")?),
+                "--table" => args.table = value("--table")?,
+                "--constraints" => args.constraints = Some(value("--constraints")?),
+                "--help" | "-h" => {
+                    println!(
+                        "usage: serve [--addr HOST:PORT] [--queue N] [--batch N]\n\
+                         \x20            [--csv PATH --table NAME [--constraints PATH]]\n\
+                         Without --csv, serves the paper's demo instance (Fig. 1 + φ1/φ2)."
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num(text: &str) -> Result<usize, String> {
+    text.trim()
+        .parse::<usize>()
+        .map_err(|_| format!("`{text}` is not a number"))
+}
+
+/// Fig. 1's `cust` instance and the two constraints of Fig. 2, in the textual
+/// syntax (`docs/ecfd-syntax.md`).
+fn demo_session() -> Session {
+    use ecfd_relation::{DataType, Relation, Schema, Tuple};
+    let schema = Schema::builder("cust")
+        .attr("AC", DataType::Str)
+        .attr("PN", DataType::Str)
+        .attr("NM", DataType::Str)
+        .attr("STR", DataType::Str)
+        .attr("CT", DataType::Str)
+        .attr("ZIP", DataType::Str)
+        .build();
+    let data = Relation::with_tuples(
+        schema,
+        [
+            Tuple::from_iter(["718", "1111111", "Mike", "Tree Ave.", "Albany", "12238"]),
+            Tuple::from_iter(["518", "2222222", "Joe", "Elm Str.", "Colonie", "12205"]),
+            Tuple::from_iter(["518", "2222222", "Jim", "Oak Ave.", "Troy", "12181"]),
+            Tuple::from_iter(["100", "1111111", "Rick", "8th Ave.", "NYC", "10001"]),
+            Tuple::from_iter(["212", "3333333", "Ben", "5th Ave.", "NYC", "10016"]),
+            Tuple::from_iter(["646", "4444444", "Ian", "High St.", "NYC", "10011"]),
+        ],
+    )
+    .expect("demo data fits the demo schema");
+    let mut session = Session::new();
+    session.load(data).expect("demo data loads");
+    session
+        .register_text(
+            "cust: [CT] -> [AC] | [], { !{NYC, LI} || _ ; {Albany, Troy, Colonie} || {518} }\n\
+             cust: [CT] -> []   | [AC], { {NYC} || {212, 718, 646, 347, 917} }",
+        )
+        .expect("demo constraints compile");
+    session
+}
+
+fn csv_session(csv: &str, table: &str, constraints: Option<&str>) -> Result<Session, String> {
+    let text = std::fs::read_to_string(csv).map_err(|e| format!("reading {csv}: {e}"))?;
+    let relation = ecfd_relation::csv::from_csv_infer(table, &text)
+        .map_err(|e| format!("parsing {csv}: {e}"))?;
+    let mut session = Session::new();
+    session
+        .load(relation)
+        .map_err(|e| format!("loading {csv}: {e}"))?;
+    let rules = match constraints {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+        None => return Err("--csv needs --constraints (a file of textual eCFDs)".to_string()),
+    };
+    session
+        .register_text(&rules)
+        .map_err(|e| format!("registering constraints: {e}"))?;
+    Ok(session)
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let session = match &args.csv {
+        Some(csv) => match csv_session(csv, &args.table, args.constraints.as_deref()) {
+            Ok(session) => session,
+            Err(msg) => {
+                eprintln!("serve: {msg}");
+                std::process::exit(2);
+            }
+        },
+        None => demo_session(),
+    };
+
+    let config = ServeConfig {
+        addr: args.addr,
+        queue_capacity: args.queue,
+        batch_max: args.batch,
+        ..ServeConfig::default()
+    };
+    let server = match Server::bind(session, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("serving on {addr}");
+    println!("protocol: PING | EPOCH | DETECT [FRESH] | CHECK | EXPLAIN | APPLY +f,… -f,… | SYNC | REPAIR-PLAN | QUIT");
+    match server.run() {
+        Ok(_session) => println!("shut down cleanly"),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! A small blocking client for the serving protocol.
+
+use crate::protocol::{Request, Response, TupleOp};
+use crate::{Result, ServeError};
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One protocol connection: sends a [`Request`] line, reads the [`Response`]
+/// line. Used by the examples, the workspace tests and anything speaking to
+/// the `serve` binary from Rust.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the matching response.
+    pub fn request(&mut self, request: &Request) -> Result<Response> {
+        self.writer.write_all(request.render().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        Response::parse(line.trim_end()).map_err(ServeError::Protocol)
+    }
+
+    /// `PING` → expects `PONG`.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("PONG", &other)),
+        }
+    }
+
+    /// `EPOCH` → the raw response (epoch + counters).
+    pub fn epoch(&mut self) -> Result<Response> {
+        self.request(&Request::Epoch)
+    }
+
+    /// `DETECT` / `DETECT FRESH` → the report response.
+    pub fn detect(&mut self, fresh: bool) -> Result<Response> {
+        self.request(&Request::Detect { fresh })
+    }
+
+    /// `CHECK` → `(epoch, consistent)`.
+    pub fn check(&mut self) -> Result<(u64, bool)> {
+        match self.request(&Request::Check)? {
+            Response::Checked {
+                epoch, consistent, ..
+            } => Ok((epoch, consistent)),
+            other => Err(unexpected("CHECKED", &other)),
+        }
+    }
+
+    /// `EXPLAIN` → the evidence response.
+    pub fn explain(&mut self) -> Result<Response> {
+        self.request(&Request::Explain)
+    }
+
+    /// `APPLY` → the acknowledged ticket.
+    pub fn apply(&mut self, ops: Vec<TupleOp>) -> Result<u64> {
+        match self.request(&Request::Apply { ops })? {
+            Response::Ack { ticket, .. } => Ok(ticket),
+            Response::Err { message } => Err(ServeError::Protocol(message)),
+            other => Err(unexpected("ACK", &other)),
+        }
+    }
+
+    /// `SYNC` → the epoch after the barrier.
+    pub fn sync(&mut self) -> Result<u64> {
+        match self.request(&Request::Sync)? {
+            Response::Synced { epoch } => Ok(epoch),
+            Response::Err { message } => Err(ServeError::Protocol(message)),
+            other => Err(unexpected("SYNCED", &other)),
+        }
+    }
+
+    /// `REPAIR-PLAN` → the plan response.
+    pub fn repair_plan(&mut self) -> Result<Response> {
+        self.request(&Request::RepairPlan)
+    }
+
+    /// `QUIT` → expects `BYE` and drops the connection.
+    pub fn quit(mut self) -> Result<()> {
+        match self.request(&Request::Quit)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected("BYE", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    ServeError::Protocol(format!("expected {wanted}, got `{}`", got.render()))
+}

@@ -1,0 +1,136 @@
+//! The hub: shared state connecting producers, the writer and readers.
+
+use crate::ingest::{IngestQueue, PushError, Ticket};
+use crate::store::SnapshotStore;
+use crate::{Result, ServeError};
+use ecfd_relation::Delta;
+use ecfd_session::Snapshot;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A point-in-time view of the hub's counters, as reported by `EPOCH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+    /// Deltas waiting in the ingest queue.
+    pub queued: usize,
+    /// Apply errors the writer has swallowed (bad deltas are skipped, not
+    /// fatal — see [`Hub::last_error`] for the most recent message).
+    pub write_errors: u64,
+}
+
+/// The shared core of a serving deployment: the [`SnapshotStore`] readers
+/// poll, the [`IngestQueue`] producers feed, and the shutdown/error
+/// bookkeeping that ties the threads together. The TCP [`Server`] is a thin
+/// wrapper around a `Hub`; benchmarks and in-process embedders use it
+/// directly.
+///
+/// [`Server`]: crate::Server
+#[derive(Debug)]
+pub struct Hub {
+    store: SnapshotStore,
+    queue: IngestQueue,
+    shutdown: AtomicBool,
+    write_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl Hub {
+    /// Creates a hub publishing `initial` with an ingest queue of
+    /// `queue_capacity` pending deltas.
+    pub fn new(initial: Snapshot, queue_capacity: usize) -> Arc<Self> {
+        Arc::new(Hub {
+            store: SnapshotStore::new(initial),
+            queue: IngestQueue::new(queue_capacity),
+            shutdown: AtomicBool::new(false),
+            write_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        })
+    }
+
+    /// The snapshot store (reader side).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// The ingest queue (producer/writer side).
+    pub fn queue(&self) -> &IngestQueue {
+        &self.queue
+    }
+
+    /// The currently published snapshot — the entry point of every reader
+    /// query. Lock held for one pointer clone; everything after is lock-free.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.current()
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    /// Submits a delta for the writer, blocking while the queue is full
+    /// (backpressure). Returns the ticket to [`Hub::sync_to`] on.
+    pub fn submit(&self, delta: Delta) -> Result<Ticket> {
+        self.queue.push(delta).map_err(|e| match e {
+            PushError::Closed => ServeError::QueueClosed,
+            PushError::Full => unreachable!("blocking push never reports Full"),
+        })
+    }
+
+    /// Blocks until every delta submitted to the hub — by *any* producer —
+    /// before this call has been applied and its snapshot published (or
+    /// `timeout` elapses). This is the global barrier for in-process
+    /// embedders; the protocol's `SYNC` verb barriers per connection via
+    /// [`Hub::sync_to`] on that connection's last ACKed ticket.
+    pub fn sync(&self, timeout: Duration) -> Result<u64> {
+        self.sync_to(self.queue.last_ticket(), timeout)
+    }
+
+    /// Blocks until `ticket` is applied and published, then returns the
+    /// current epoch.
+    pub fn sync_to(&self, ticket: Ticket, timeout: Duration) -> Result<u64> {
+        if self.queue.wait_applied(ticket, timeout) {
+            Ok(self.epoch())
+        } else {
+            Err(ServeError::SyncTimeout)
+        }
+    }
+
+    /// Requests shutdown: closes the queue (pending deltas still drain) and
+    /// flips the flag the accept and connection loops poll.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Whether shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Records a writer-side apply failure (the batch is skipped).
+    pub(crate) fn record_write_error(&self, message: String) {
+        self.write_errors.fetch_add(1, Ordering::SeqCst);
+        *self.last_error.lock().unwrap_or_else(|e| e.into_inner()) = Some(message);
+    }
+
+    /// The most recent writer-side apply failure, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Current counters, as reported by the `EPOCH` verb.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            epoch: self.epoch(),
+            queued: self.queue.pending(),
+            write_errors: self.write_errors.load(Ordering::SeqCst),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The bounded ingest queue: how deltas reach the writer, with backpressure.
+
+use ecfd_relation::Delta;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Sequence number assigned to a submitted delta. Tickets are issued in
+/// submission order starting at 1; [`IngestQueue::is_applied`] /
+/// [`IngestQueue::wait_applied`] answer whether the writer has applied *and
+/// published* everything up to a ticket.
+pub type Ticket = u64;
+
+/// Why a non-blocking push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `capacity` pending deltas; the producer should retry
+    /// (or use the blocking [`IngestQueue::push`] and let backpressure work).
+    Full,
+    /// The queue was closed — the server is shutting down.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner {
+    items: VecDeque<(Ticket, Delta)>,
+    next_ticket: Ticket,
+    /// Highest ticket whose delta has been applied and whose snapshot has
+    /// been published.
+    applied: Ticket,
+    closed: bool,
+}
+
+/// A bounded multi-producer / single-consumer queue of [`Delta`] batches.
+///
+/// Producers (connection handlers, in-process embedders) push; the single
+/// [`Writer`](crate::Writer) pops. The capacity bound is the serving layer's
+/// backpressure mechanism: when the writer falls behind, blocking producers
+/// wait instead of growing an unbounded backlog — over TCP that wait
+/// propagates naturally to the client, which sees its `APPLY` acknowledged
+/// only once the queue accepted the delta.
+///
+/// The queue also tracks application progress so `SYNC`-style barriers need
+/// no extra channel: every push returns a [`Ticket`], and the writer calls
+/// [`IngestQueue::mark_applied`] after publishing the snapshot that covers
+/// it.
+#[derive(Debug)]
+pub struct IngestQueue {
+    inner: Mutex<Inner>,
+    not_full: Condvar,
+    progress: Condvar,
+    capacity: usize,
+}
+
+impl IngestQueue {
+    /// Creates a queue holding at most `capacity` pending deltas
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        IngestQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                next_ticket: 1,
+                applied: 0,
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            progress: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of deltas waiting to be applied.
+    pub fn pending(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The most recently issued ticket (0 before the first push).
+    pub fn last_ticket(&self) -> Ticket {
+        self.lock().next_ticket - 1
+    }
+
+    /// Whether everything up to and including `ticket` has been applied and
+    /// published.
+    pub fn is_applied(&self, ticket: Ticket) -> bool {
+        self.lock().applied >= ticket
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Enqueues a delta, blocking while the queue is full (backpressure).
+    /// Returns the delta's ticket, or `Err(PushError::Closed)` once the
+    /// queue is shut down.
+    pub fn push(&self, delta: Delta) -> Result<Ticket, PushError> {
+        let mut inner = self.lock();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        Ok(self.enqueue(&mut inner, delta))
+    }
+
+    /// Enqueues a delta without blocking, failing with [`PushError::Full`]
+    /// when the queue is at capacity.
+    pub fn try_push(&self, delta: Delta) -> Result<Ticket, PushError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        Ok(self.enqueue(&mut inner, delta))
+    }
+
+    fn enqueue(&self, inner: &mut Inner, delta: Delta) -> Ticket {
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner.items.push_back((ticket, delta));
+        self.progress.notify_all();
+        ticket
+    }
+
+    /// Pops up to `max` pending deltas for the writer, blocking up to
+    /// `timeout` for the first one. Returns:
+    ///
+    /// * `Some(batch)` with 1..=`max` deltas when work arrived;
+    /// * `Some(vec![])` when the timeout elapsed with nothing pending;
+    /// * `None` when the queue is closed **and** fully drained — the writer's
+    ///   signal to exit.
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Option<Vec<(Ticket, Delta)>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        while inner.items.is_empty() {
+            if inner.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(Vec::new());
+            }
+            let (guard, _) = self
+                .progress
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+        let take = max.max(1).min(inner.items.len());
+        let batch: Vec<(Ticket, Delta)> = inner.items.drain(..take).collect();
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Records that every delta up to and including `ticket` has been applied
+    /// and its snapshot published, waking `SYNC` waiters.
+    pub fn mark_applied(&self, ticket: Ticket) {
+        let mut inner = self.lock();
+        if ticket > inner.applied {
+            inner.applied = ticket;
+            self.progress.notify_all();
+        }
+    }
+
+    /// Blocks until everything up to `ticket` is applied and published, the
+    /// queue is closed with the ticket unreachable, or `timeout` elapses.
+    /// Returns whether the ticket was reached.
+    pub fn wait_applied(&self, ticket: Ticket, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if inner.applied >= ticket {
+                return true;
+            }
+            // Closed with nothing left to drain: the ticket will never come.
+            if inner.closed && inner.items.is_empty() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .progress
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Closes the queue: pending deltas stay poppable (the writer drains
+    /// them), new pushes fail, and every blocked producer or waiter wakes.
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        self.not_full.notify_all();
+        self.progress.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfd_relation::Tuple;
+    use std::time::Duration;
+
+    fn delta(tag: &str) -> Delta {
+        Delta::insert_only(vec![Tuple::from_iter([tag, "x"])])
+    }
+
+    #[test]
+    fn backpressure_blocks_and_try_push_refuses() {
+        let q = IngestQueue::new(1);
+        let t1 = q.try_push(delta("a")).unwrap();
+        assert_eq!(t1, 1);
+        assert_eq!(q.try_push(delta("b")), Err(PushError::Full));
+        assert_eq!(q.pending(), 1);
+
+        // A blocked producer proceeds as soon as the consumer drains.
+        let out = std::thread::scope(|s| {
+            let producer = s.spawn(|| q.push(delta("c")));
+            std::thread::sleep(Duration::from_millis(20));
+            let batch = q.pop_batch(8, Duration::from_millis(100)).unwrap();
+            assert_eq!(batch.len(), 1, "only the first delta was in yet");
+            producer.join().unwrap()
+        });
+        assert_eq!(out, Ok(2));
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn pop_batch_times_out_empty_and_drains_after_close() {
+        let q = IngestQueue::new(4);
+        assert_eq!(
+            q.pop_batch(8, Duration::from_millis(5)),
+            Some(Vec::new()),
+            "timeout with nothing pending"
+        );
+        q.push(delta("a")).unwrap();
+        q.push(delta("b")).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.push(delta("c")), Err(PushError::Closed));
+        let batch = q.pop_batch(8, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch.len(), 2, "pending work survives close");
+        assert_eq!(q.pop_batch(8, Duration::from_millis(5)), None, "drained");
+    }
+
+    #[test]
+    fn tickets_track_application_progress() {
+        let q = IngestQueue::new(4);
+        let t1 = q.push(delta("a")).unwrap();
+        let t2 = q.push(delta("b")).unwrap();
+        assert_eq!(q.last_ticket(), t2);
+        assert!(!q.is_applied(t1));
+        assert!(!q.wait_applied(t1, Duration::from_millis(5)));
+
+        let batch = q.pop_batch(8, Duration::from_millis(5)).unwrap();
+        let max_ticket = batch.iter().map(|(t, _)| *t).max().unwrap();
+        q.mark_applied(max_ticket);
+        assert!(q.is_applied(t1));
+        assert!(q.is_applied(t2));
+        assert!(q.wait_applied(t2, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn wait_applied_gives_up_when_closed_and_drained() {
+        let q = IngestQueue::new(4);
+        let t = q.push(delta("a")).unwrap();
+        q.close();
+        // Drain without applying: the waiter must not hang.
+        q.pop_batch(8, Duration::from_millis(5)).unwrap();
+        assert!(!q.wait_applied(t, Duration::from_millis(50)));
+    }
+}

@@ -1,0 +1,313 @@
+//! The TCP front end: a listener plus scoped per-connection workers.
+
+use crate::hub::Hub;
+use crate::protocol::{MvLine, Request, Response};
+use crate::writer::Writer;
+use crate::Result;
+use ecfd_repair::RepairOptions;
+use ecfd_session::{Session, Snapshot};
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port — the default,
+    /// so tests and examples never collide).
+    pub addr: String,
+    /// Capacity of the ingest queue (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Maximum number of queued deltas the writer applies (in ticket order)
+    /// per published epoch.
+    pub batch_max: usize,
+    /// How long a `SYNC` request waits before reporting a timeout.
+    pub sync_timeout: Duration,
+    /// Socket read timeout; doubles as the shutdown-poll interval of idle
+    /// connections.
+    pub read_timeout: Duration,
+    /// Accept-loop poll interval while no connection is pending.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 64,
+            batch_max: 32,
+            sync_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_millis(100),
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server: the TCP face of a [`Hub`] + [`Writer`]
+/// pair. [`Server::run`] blocks the calling thread; grab a
+/// [`ServerHandle`] first to shut it down from elsewhere.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    hub: Arc<Hub>,
+    writer: Writer,
+    config: ServeConfig,
+}
+
+/// A cheap, cloneable remote control for a running [`Server`] (or bare hub):
+/// request shutdown, read the epoch, take in-process snapshots.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    hub: Arc<Hub>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown: the queue closes, pending deltas drain, connection
+    /// workers and the accept loop exit, and [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.hub.shutdown();
+    }
+
+    /// The shared hub, for in-process readers living next to the server.
+    pub fn hub(&self) -> &Arc<Hub> {
+        &self.hub
+    }
+}
+
+impl Server {
+    /// Binds the listener and bootstraps the writer: takes ownership of a
+    /// prepared session (data loaded, constraints registered), publishes the
+    /// initial snapshot, and returns the server ready to [`Server::run`].
+    pub fn bind(session: Session, config: ServeConfig) -> Result<Server> {
+        let (writer, hub) = Writer::bootstrap(session, config.queue_capacity, config.batch_max)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            hub,
+            writer,
+            config,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `127.0.0.1:0`).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            hub: self.hub.clone(),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called: the writer loop and
+    /// one worker per accepted connection all run as [`std::thread::scope`]
+    /// threads, so this call owns every serving thread and returns only after
+    /// all of them (and the drained session) are done. Returns the session
+    /// in its final state.
+    pub fn run(self) -> Result<Session> {
+        let Server {
+            listener,
+            hub,
+            writer,
+            config,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let session = std::thread::scope(|scope| -> Result<Session> {
+            let writer_thread = scope.spawn(|| writer.run(&hub));
+            loop {
+                if hub.is_shutdown() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let hub = &hub;
+                        let config = &config;
+                        scope.spawn(move || {
+                            let _ = handle_connection(stream, hub, config);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(config.poll_interval);
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Make sure the writer drains and exits even if the accept loop
+            // stopped for a reason other than an explicit shutdown.
+            hub.shutdown();
+            writer_thread.join().expect("writer thread panicked")
+        })?;
+        Ok(session)
+    }
+}
+
+/// Serves one connection: read a line, answer a line, until `QUIT`, EOF or
+/// shutdown.
+fn handle_connection(stream: TcpStream, hub: &Hub, config: &ServeConfig) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    // The most recent ticket ACKed on *this* connection: SYNC barriers on
+    // it, so one client's barrier is never hostage to another's backlog.
+    let mut last_ticket: u64 = 0;
+    loop {
+        if hub.is_shutdown() {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {
+                let response = respond(&line, hub, config, &mut last_ticket);
+                let quit = matches!(response, Response::Bye);
+                writer.write_all(response.render().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                line.clear();
+                if quit {
+                    return Ok(());
+                }
+            }
+            // Timeout mid-wait: partial bytes (if any) stay in `line`; loop
+            // to poll the shutdown flag and keep accumulating.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Executes one request line against the hub. Never panics on client input —
+/// malformed lines come back as `ERR`. `last_ticket` is the connection's
+/// APPLY high-water mark (0 before the first APPLY), updated here on ACK.
+fn respond(line: &str, hub: &Hub, config: &ServeConfig, last_ticket: &mut u64) -> Response {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => return Response::Err { message },
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Quit => Response::Bye,
+        Request::Epoch => {
+            let snap = hub.snapshot();
+            let stats = hub.stats();
+            Response::Epoch {
+                epoch: snap.epoch(),
+                rows: snap.num_rows(),
+                sv: snap.report().num_sv(),
+                mv: snap.report().num_mv(),
+                queued: stats.queued,
+                errors: stats.write_errors,
+            }
+        }
+        Request::Detect { fresh } => {
+            let snap = hub.snapshot();
+            let report = if fresh {
+                match snap.detect_fresh() {
+                    Ok(report) => report,
+                    Err(e) => {
+                        return Response::Err {
+                            message: e.to_string(),
+                        }
+                    }
+                }
+            } else {
+                snap.report().clone()
+            };
+            Response::Report {
+                epoch: snap.epoch(),
+                total: report.total_rows,
+                sv: report.sv_rows.iter().map(|r| r.as_u64()).collect(),
+                mv: report.mv_rows.iter().map(|r| r.as_u64()).collect(),
+            }
+        }
+        Request::Check => {
+            let snap = hub.snapshot();
+            match snap.detect_fresh() {
+                Ok(fresh) => Response::Checked {
+                    epoch: snap.epoch(),
+                    total: fresh.total_rows,
+                    sv: fresh.num_sv(),
+                    mv: fresh.num_mv(),
+                    consistent: &fresh == snap.report(),
+                },
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Explain => {
+            let snap = hub.snapshot();
+            evidence_response(&snap)
+        }
+        Request::Apply { ops } => {
+            let snap = hub.snapshot();
+            let delta = match Request::ops_to_delta(&ops, snap.schema()) {
+                Ok(delta) => delta,
+                Err(message) => return Response::Err { message },
+            };
+            match hub.submit(delta) {
+                Ok(ticket) => {
+                    *last_ticket = ticket;
+                    Response::Ack {
+                        ticket,
+                        epoch: snap.epoch(),
+                    }
+                }
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Sync => match hub.sync_to(*last_ticket, config.sync_timeout) {
+            Ok(epoch) => Response::Synced { epoch },
+            Err(e) => Response::Err {
+                message: e.to_string(),
+            },
+        },
+        Request::RepairPlan => {
+            let snap = hub.snapshot();
+            match snap.repair_plan(RepairOptions::default()) {
+                Ok(plan) => Response::Plan {
+                    epoch: snap.epoch(),
+                    deletions: plan.num_deletions(),
+                    modifications: plan.num_modifications(),
+                    cost: plan.total_cost(),
+                },
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            }
+        }
+    }
+}
+
+fn evidence_response(snap: &Snapshot) -> Response {
+    let evidence = snap.evidence();
+    Response::Evidence {
+        epoch: snap.epoch(),
+        total: evidence.total_rows,
+        sv: evidence
+            .sv
+            .iter()
+            .map(|e| (e.row.as_u64(), e.source.constraint, e.source.pattern))
+            .collect(),
+        mv: evidence
+            .mv_groups
+            .iter()
+            .map(|g| MvLine {
+                constraint: g.source.constraint,
+                pattern: g.source.pattern,
+                key: g.group_key.iter().map(|v| v.to_string()).collect(),
+                rows: g.rows.iter().map(|r| r.as_u64()).collect(),
+            })
+            .collect(),
+    }
+}

@@ -1,0 +1,230 @@
+//! The single writer: drain the queue, apply, snapshot, publish.
+
+use crate::hub::Hub;
+use crate::Result;
+use ecfd_session::Session;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What one [`Writer::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A batch of this many deltas was applied and a new epoch published.
+    Applied(usize),
+    /// Nothing was pending within the timeout.
+    Idle,
+    /// The queue is closed and fully drained — the writer loop should exit.
+    Drained,
+}
+
+/// The sole owner of the mutable [`Session`] in a serving deployment.
+///
+/// The writer enforces the single-writer discipline by construction: it
+/// *consumes* the session, so no other code can touch it while serving, and
+/// [`Writer::run`] hands it back when the hub shuts down. Each cycle pops up
+/// to `batch_max` pending deltas and applies them **one at a time, in ticket
+/// order** — ticket order *is* the serialization order, and `+X` then `-X`
+/// from different clients always means X ends up deleted, regardless of how
+/// the deltas landed in batches. Each delta routes through the session's
+/// policy (incremental maintenance below the delta-size threshold, a fresh
+/// pass above it); one epoch-stamped snapshot is published per cycle, after
+/// the whole batch.
+///
+/// A failing delta (e.g. tuples that no longer fit the schema) is counted
+/// and skipped rather than wedging the loop — the blast radius is that one
+/// ticket; later tickets in the same batch still apply. Skipped tickets are
+/// still marked applied so `SYNC` barriers cannot hang on a poisoned delta
+/// (the error is observable via the `ERRORS` counter of `EPOCH` and
+/// [`Hub::last_error`]).
+#[derive(Debug)]
+pub struct Writer {
+    session: Session,
+    table: String,
+    batch_max: usize,
+}
+
+impl Writer {
+    /// Builds the writer around a prepared session (data loaded, constraints
+    /// registered) and publishes the initial snapshot into a fresh [`Hub`]
+    /// with the given ingest-queue capacity. Returns the writer and the hub
+    /// to share with producers and readers.
+    pub fn bootstrap(
+        mut session: Session,
+        queue_capacity: usize,
+        batch_max: usize,
+    ) -> Result<(Writer, Arc<Hub>)> {
+        let snapshot = session.snapshot()?;
+        let table = snapshot.table().to_string();
+        let hub = Hub::new(snapshot, queue_capacity);
+        Ok((
+            Writer {
+                session,
+                table,
+                batch_max: batch_max.max(1),
+            },
+            hub,
+        ))
+    }
+
+    /// Name of the served relation.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Read access to the owned session (e.g. for pre-run inspection).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Runs one cycle: wait up to `timeout` for pending deltas, apply them
+    /// in ticket order, publish one new snapshot covering the whole batch.
+    pub fn step(&mut self, hub: &Hub, timeout: Duration) -> Result<StepOutcome> {
+        let Some(batch) = hub.queue().pop_batch(self.batch_max, timeout) else {
+            return Ok(StepOutcome::Drained);
+        };
+        if batch.is_empty() {
+            return Ok(StepOutcome::Idle);
+        }
+        let max_ticket = batch.iter().map(|(t, _)| *t).max().expect("non-empty");
+        let count = batch.len();
+        for (ticket, delta) in batch {
+            // One failing ticket is skipped (and recorded) on its own; a
+            // failed apply drops the session's caches, so the snapshot below
+            // still describes the actual table contents.
+            if let Err(e) = self.session.apply_on(&self.table, &delta) {
+                hub.record_write_error(format!("ticket {ticket}: {e}"));
+            }
+        }
+        let snapshot = self.session.snapshot_of(&self.table)?;
+        hub.store().publish(snapshot);
+        hub.queue().mark_applied(max_ticket);
+        Ok(StepOutcome::Applied(count))
+    }
+
+    /// The writer loop: steps until the hub shuts down and the queue drains,
+    /// then returns the session to the caller.
+    pub fn run(mut self, hub: &Hub) -> Result<Session> {
+        loop {
+            match self.step(hub, Duration::from_millis(20))? {
+                StepOutcome::Drained => return Ok(self.session),
+                StepOutcome::Applied(_) | StepOutcome::Idle => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfd_relation::{DataType, Delta, Relation, Schema, Tuple};
+
+    fn ready_session() -> Session {
+        let schema = Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build();
+        let data = Relation::with_tuples(
+            schema,
+            [
+                Tuple::from_iter(["Albany", "718"]),
+                Tuple::from_iter(["NYC", "212"]),
+            ],
+        )
+        .unwrap();
+        let mut session = Session::new();
+        session.load(data).unwrap();
+        session
+            .register_text("cust: [CT] -> [AC] | [], { {Albany} || {518} }")
+            .unwrap();
+        session
+    }
+
+    #[test]
+    fn steps_apply_merge_publish_and_mark_applied() {
+        let (mut writer, hub) = Writer::bootstrap(ready_session(), 8, 4).unwrap();
+        assert_eq!(writer.table(), "cust");
+        let e0 = hub.epoch();
+        assert_eq!(hub.snapshot().report().num_sv(), 1);
+
+        let t1 = hub
+            .submit(Delta::insert_only(vec![Tuple::from_iter([
+                "Albany", "519",
+            ])]))
+            .unwrap();
+        let t2 = hub
+            .submit(Delta::delete_only(vec![Tuple::from_iter(["NYC", "212"])]))
+            .unwrap();
+        assert_eq!(
+            writer.step(&hub, Duration::from_millis(10)).unwrap(),
+            StepOutcome::Applied(2),
+            "both deltas apply in one cycle"
+        );
+        assert!(hub.queue().is_applied(t2));
+        assert!(hub.epoch() > e0);
+        let snap = hub.snapshot();
+        assert_eq!(snap.num_rows(), 2);
+        assert!(hub.queue().is_applied(t1));
+        assert_eq!(&snap.detect_fresh().unwrap(), snap.report());
+
+        assert_eq!(
+            writer.step(&hub, Duration::from_millis(5)).unwrap(),
+            StepOutcome::Idle
+        );
+        hub.shutdown();
+        assert_eq!(
+            writer.step(&hub, Duration::from_millis(5)).unwrap(),
+            StepOutcome::Drained
+        );
+    }
+
+    #[test]
+    fn tickets_apply_in_submission_order_within_a_batch() {
+        let (mut writer, hub) = Writer::bootstrap(ready_session(), 8, 8).unwrap();
+        // +X then -X from two producers, popped as ONE batch: ticket order
+        // must win, so X ends up deleted (a merged delete-then-insert replay
+        // would resurrect it).
+        hub.submit(Delta::insert_only(vec![Tuple::from_iter(["Utica", "315"])]))
+            .unwrap();
+        hub.submit(Delta::delete_only(vec![Tuple::from_iter(["Utica", "315"])]))
+            .unwrap();
+        assert_eq!(
+            writer.step(&hub, Duration::from_millis(10)).unwrap(),
+            StepOutcome::Applied(2)
+        );
+        let snap = hub.snapshot();
+        assert_eq!(snap.num_rows(), 2, "the inserted row was deleted again");
+        assert!(!snap
+            .to_relation()
+            .unwrap()
+            .tuples()
+            .any(|t| t == &Tuple::from_iter(["Utica", "315"])));
+        assert_eq!(hub.stats().write_errors, 0);
+    }
+
+    #[test]
+    fn bad_deltas_are_skipped_not_fatal() {
+        let (mut writer, hub) = Writer::bootstrap(ready_session(), 8, 4).unwrap();
+        let before = hub.snapshot();
+        // An insertion with the wrong arity cannot be applied — and a valid
+        // delta behind it in the same batch must still land.
+        let ticket = hub
+            .submit(Delta::insert_only(vec![Tuple::from_iter(["only-one"])]))
+            .unwrap();
+        let good = hub
+            .submit(Delta::insert_only(vec![Tuple::from_iter(["Troy", "518"])]))
+            .unwrap();
+        writer.step(&hub, Duration::from_millis(10)).unwrap();
+        assert!(hub.queue().is_applied(ticket), "SYNC must not hang");
+        assert!(hub.queue().is_applied(good));
+        assert_eq!(hub.stats().write_errors, 1);
+        assert!(hub.last_error().unwrap().starts_with("ticket 1:"));
+        let after = hub.snapshot();
+        assert_eq!(after.num_rows(), 3, "the good ticket landed");
+        assert_eq!(
+            after.report().sv_rows,
+            before.report().sv_rows,
+            "the clean Troy insert changed no flags"
+        );
+        assert_eq!(&after.detect_fresh().unwrap(), after.report());
+    }
+}

@@ -48,6 +48,7 @@
 //! | `detect_with(kind)`        | replaced               | kept (see below)      |
 //! | `apply` via incremental    | replaced               | maintained            |
 //! | `apply` via semantic / SQL | replaced               | dropped               |
+//! | `apply` that errors        | dropped (table may be partially mutated) | dropped |
 //! | `repair`                   | replaced (clean)       | maintained            |
 //! | `catalog_mut` / `invalidate` | dropped              | dropped               |
 //! | `with_policy` (new [`Parallelism`]) | kept          | kept (fan-out retrofitted) |
@@ -109,10 +110,12 @@
 mod error;
 mod policy;
 mod session;
+pub mod snapshot;
 
 pub use error::{Result, SessionError};
 pub use policy::RoutingPolicy;
 pub use session::{Session, Stage};
+pub use snapshot::Snapshot;
 
 // The kinds a policy routes between — and the worker fan-out it carries —
 // are part of this crate's vocabulary.
@@ -464,6 +467,101 @@ mod tests {
         let scratch = session.detect_with(BackendKind::Semantic).unwrap();
         assert_eq!(after, scratch);
         assert_eq!(after.num_sv(), 1, "the fresh 999 row violates φ");
+    }
+
+    #[test]
+    fn snapshots_are_epoch_stamped_and_isolated() {
+        let mut session = ready_session();
+        let v0 = session.version();
+        let snap = session.snapshot().unwrap();
+        assert_eq!(snap.epoch(), v0, "detect does not mutate state");
+        assert_eq!(snap.table(), "cust");
+        assert_eq!(snap.num_rows(), 3);
+        assert_eq!(snap.report().num_sv(), 1);
+        assert_eq!(snap.report().num_mv(), 2);
+        // The fresh re-scan over the frozen view agrees byte-for-byte.
+        assert_eq!(&snap.detect_fresh().unwrap(), snap.report());
+        let (report, evidence) = snap.detect_fresh_with_evidence().unwrap();
+        assert_eq!(&report, snap.report());
+        assert_eq!(&evidence, snap.evidence());
+
+        // Mutate the session: the old snapshot must not move.
+        let delta = Delta::insert_only(vec![Tuple::from_iter(["Albany", "999"])]);
+        session.apply(&delta).unwrap();
+        assert!(session.version() > v0, "apply bumps the version");
+        let newer = session.snapshot().unwrap();
+        assert!(newer.epoch() > snap.epoch());
+        assert_eq!(newer.num_rows(), 4);
+        assert_eq!(snap.num_rows(), 3, "old snapshot is frozen");
+        assert_eq!(&snap.detect_fresh().unwrap(), snap.report());
+        assert_eq!(&newer.detect_fresh().unwrap(), newer.report());
+        // Same epoch ⇒ identical snapshot (served from the same state).
+        let again = session.snapshot().unwrap();
+        assert_eq!(again.epoch(), newer.epoch());
+        assert_eq!(again.report(), newer.report());
+    }
+
+    #[test]
+    fn snapshot_freezes_from_warm_incremental_state() {
+        let mut session = ready_session();
+        session.detect().unwrap();
+        let delta = Delta {
+            insertions: vec![Tuple::from_iter(["Troy", "518"])],
+            deletions: vec![Tuple::from_iter(["NYC", "212"])],
+        };
+        session
+            .apply_with(BackendKind::Incremental, &delta)
+            .unwrap();
+        let snap = session.snapshot().unwrap();
+        assert_eq!(snap.num_rows(), 3);
+        assert_eq!(&snap.detect_fresh().unwrap(), snap.report());
+        // The materialised copy carries the base schema and live row ids.
+        let copy = snap.to_relation().unwrap();
+        assert_eq!(copy.schema(), &schema());
+        assert_eq!(copy.len(), 3);
+        for row in snap.report().violating_rows() {
+            assert!(copy.contains_row(row), "{row} must exist in the copy");
+        }
+    }
+
+    #[test]
+    fn failed_apply_invalidates_stale_state() {
+        let mut session = ready_session();
+        session.detect().unwrap();
+        let version_before = session.version();
+        // The deletion is valid and lands before the wrong-arity insertion
+        // fails the batch: the table has mutated, so every cache must go.
+        let delta = Delta {
+            deletions: vec![Tuple::from_iter(["NYC", "212"])],
+            insertions: vec![Tuple::from_iter(["only-one"])],
+        };
+        assert!(session.apply(&delta).is_err());
+        assert!(session.version() > version_before, "table mutated");
+        assert!(session.report().is_none(), "stale cache must be dropped");
+        let report = session.detect().unwrap();
+        assert_eq!(report.total_rows, 2, "the deletion did land");
+        assert_eq!(
+            report,
+            session.detect_with(BackendKind::Semantic).unwrap(),
+            "post-error detection describes the actual table"
+        );
+    }
+
+    #[test]
+    fn snapshot_repair_plan_is_read_only() {
+        let mut session = ready_session();
+        let snap = session.snapshot().unwrap();
+        let plan = snap
+            .repair_plan(RepairOptions {
+                mode: RepairMode::DeleteOnly,
+                ..RepairOptions::default()
+            })
+            .unwrap();
+        assert!(!plan.is_empty(), "the dirty instance needs repairs");
+        assert!(plan.num_deletions() >= 1);
+        // Planning on the snapshot left the session untouched.
+        assert_eq!(session.version(), snap.epoch());
+        assert_eq!(session.detect().unwrap().num_violations(), 2);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::error::{Result, SessionError};
 use crate::policy::RoutingPolicy;
+use crate::snapshot::Snapshot;
 use ecfd_core::{CompileOptions, ConstraintSet, ECfd};
 use ecfd_detect::backend::{
     BackendKind, DetectorBackend, IncrementalBackend, SemanticBackend, SqlBackend,
@@ -86,6 +87,10 @@ pub struct Session {
     /// [`Session::data`] projects back to.
     loaded: BTreeMap<String, Schema>,
     tables: BTreeMap<String, Entry>,
+    /// Mutation counter: bumped by every operation that can change what a
+    /// detection-state snapshot would contain (data, constraints, compile
+    /// options, cost model). Snapshots are stamped with it as their epoch.
+    version: u64,
 }
 
 impl Default for Session {
@@ -105,6 +110,7 @@ impl Session {
             cost: Arc::new(ecfd_repair::ConstantCost::default()),
             loaded: BTreeMap::new(),
             tables: BTreeMap::new(),
+            version: 0,
         }
     }
 
@@ -145,6 +151,7 @@ impl Session {
         for (name, entry) in rebuilt {
             self.tables.insert(name, entry);
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -156,6 +163,7 @@ impl Session {
             entry.repair =
                 RepairEngine::from_set(&entry.set).with_cost_model_arc(self.cost.clone());
         }
+        self.version += 1;
         self
     }
 
@@ -180,6 +188,7 @@ impl Session {
         };
         self.catalog.create_or_replace(relation);
         self.loaded.insert(name.clone(), schema);
+        self.version += 1;
         if let Some(rebuilt) = rebuilt {
             self.tables.insert(name, rebuilt);
         } else if let Some(entry) = self.tables.get_mut(&name) {
@@ -228,6 +237,7 @@ impl Session {
         for (name, entry) in staged {
             self.tables.insert(name, entry);
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -374,7 +384,22 @@ impl Session {
         let table_len = self.catalog.get(&name)?.len();
         let entry = self.tables.get_mut(&name).expect("resolved");
         let kind = kind.unwrap_or_else(|| self.policy.route_delta(delta.len(), table_len));
-        let (report, evidence) = entry.backend_mut(kind)?.apply(&mut self.catalog, delta)?;
+        let (report, evidence) = match entry.backend_mut(kind)?.apply(&mut self.catalog, delta) {
+            Ok(out) => out,
+            Err(e) => {
+                // The backend may have mutated part of the table (e.g. the
+                // deletions of a mixed delta) before failing on the rest —
+                // nothing cached describes the table any more. Drop it all so
+                // the next detect rebuilds from the actual contents.
+                entry.cache = None;
+                entry.incremental.invalidate();
+                if entry.stage > Stage::Registered {
+                    entry.stage = Stage::Registered;
+                }
+                self.version += 1;
+                return Err(e.into());
+            }
+        };
         if kind != BackendKind::Incremental {
             // The rows changed behind the incremental maintainer's back; its
             // auxiliary group state no longer describes the table.
@@ -386,6 +411,7 @@ impl Session {
             evidence,
         });
         entry.stage = Stage::Detected;
+        self.version += 1;
         Ok(report)
     }
 
@@ -439,6 +465,7 @@ impl Session {
             },
         });
         entry.stage = Stage::Repaired;
+        self.version += 1;
         Ok(outcome)
     }
 
@@ -477,6 +504,64 @@ impl Session {
         Some(&self.tables.get(&name)?.cache.as_ref()?.report)
     }
 
+    // ── snapshots ──────────────────────────────────────────────────────────
+
+    /// The session's mutation counter: bumped by every operation that can
+    /// change what a [`Snapshot`] would contain (loading data, registering
+    /// constraints, applying deltas, repairing, recompiling, invalidating).
+    /// Serving layers use it as the epoch stamp — equal versions mean a
+    /// published snapshot is still current.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Extracts an immutable, epoch-stamped [`Snapshot`] of the sole
+    /// registered relation: the frozen base-attribute view and dictionary,
+    /// the compiled constraint set with a lineage-matched detector, and the
+    /// current report/evidence (running detection first when nothing is
+    /// cached). The snapshot is self-contained — cloning it is cheap, every
+    /// query on it is read-only, and later session mutations never affect it.
+    ///
+    /// When the incremental backend's maintenance state is warm, the frozen
+    /// view is cloned straight from it (the rows are already encoded); the
+    /// cold path encodes the table once through the semantic detector's
+    /// dictionary.
+    pub fn snapshot(&mut self) -> Result<Snapshot> {
+        let name = self.resolve(None)?;
+        self.snapshot_of(&name)
+    }
+
+    /// [`Session::snapshot`] against a named relation.
+    pub fn snapshot_of(&mut self, table: &str) -> Result<Snapshot> {
+        let name = self.resolve(Some(table))?;
+        // Make sure a report/evidence pair describing the current contents is
+        // cached (served from the cache when already current).
+        self.detect_impl(Some(&name), None)?;
+        let entry = self.tables.get(&name).expect("resolved");
+        let cached = entry.cache.as_ref().expect("just detected");
+        let schema = entry.set.schema().clone();
+        let (frozen, detector) = match entry.incremental.detector() {
+            // Warm incremental state: its maintained view *is* the current
+            // encoding of the table — freeze is a clone, not a re-encode.
+            Some(inc) => (inc.freeze(), inc.semantic().clone()),
+            None => {
+                let relation = self.catalog.get(&name)?;
+                let detector = entry.semantic.detector();
+                (detector.freeze(relation, schema.arity()), detector.clone())
+            }
+        };
+        Ok(Snapshot {
+            epoch: self.version,
+            table: name,
+            schema,
+            set: entry.set.clone(),
+            detector,
+            frozen,
+            report: cached.report.clone(),
+            evidence: cached.evidence.clone(),
+        })
+    }
+
     /// The compiled constraint set registered for a relation.
     pub fn constraints(&self, table: &str) -> Result<&ConstraintSet> {
         self.tables
@@ -513,6 +598,7 @@ impl Session {
     /// every relation. The next `detect` / `apply` rebuilds from the current
     /// table contents.
     pub fn invalidate(&mut self) {
+        self.version += 1;
         for entry in self.tables.values_mut() {
             entry.cache = None;
             entry.incremental.invalidate();

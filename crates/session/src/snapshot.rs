@@ -1,0 +1,141 @@
+//! Epoch-stamped, immutable snapshots of a session's detection state.
+//!
+//! A [`Session`](crate::Session) is single-owner and mutable: one caller
+//! loads, registers, applies and repairs. A [`Snapshot`] is the opposite — a
+//! frozen, self-contained copy of everything a *reader* needs to answer
+//! detect / explain / repair-plan queries about one relation at one point in
+//! time:
+//!
+//! * the relation's base attributes as a [`FrozenView`] (dictionary-encoded
+//!   code columns plus the issuing dictionary state, both behind `Arc`s);
+//! * the compiled [`ConstraintSet`] and a lineage-matched
+//!   [`SemanticDetector`] clone, so the coded pattern cells agree with the
+//!   frozen dictionary;
+//! * the cached [`DetectionReport`] and [`EvidenceReport`] describing that
+//!   exact state;
+//! * the **epoch**: the session's mutation counter at extraction time.
+//!
+//! Cloning a snapshot is cheap (reference-count bumps plus the report
+//! clones), every accessor takes `&self`, and [`Snapshot::detect_fresh`]
+//! re-derives the report from the frozen codes without any lock — so any
+//! number of threads can hold and query the same snapshot while the owning
+//! session keeps mutating. This is the unit the `ecfd_serve` crate publishes
+//! to its readers.
+
+use crate::error::Result;
+use ecfd_core::ConstraintSet;
+use ecfd_detect::{DetectionReport, EvidenceReport, SemanticDetector};
+use ecfd_relation::{FrozenView, Relation, Schema, Tuple};
+use ecfd_repair::{Repair, RepairEngine, RepairOptions};
+
+/// An immutable, epoch-stamped view of one relation's detection state. See
+/// the module docs for the isolation contract.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) epoch: u64,
+    pub(crate) table: String,
+    pub(crate) schema: Schema,
+    pub(crate) set: ConstraintSet,
+    pub(crate) detector: SemanticDetector,
+    pub(crate) frozen: FrozenView,
+    pub(crate) report: DetectionReport,
+    pub(crate) evidence: EvidenceReport,
+}
+
+impl Snapshot {
+    /// The session's mutation counter at extraction time. Two snapshots of
+    /// the same session with equal epochs describe identical data and
+    /// constraint state; a later mutation always produces a larger epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Name of the snapshotted relation.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The base schema the constraints compile against (without the
+    /// detector-managed `SV` / `MV` flag columns).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The compiled constraint set in force at the epoch.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.set
+    }
+
+    /// Number of rows frozen in the snapshot.
+    pub fn num_rows(&self) -> usize {
+        self.frozen.num_rows()
+    }
+
+    /// The frozen code columns and dictionary.
+    pub fn frozen(&self) -> &FrozenView {
+        &self.frozen
+    }
+
+    /// The detection report cached at extraction time (produced by whichever
+    /// backend ran last — all backends agree, a property the differential
+    /// suite asserts).
+    pub fn report(&self) -> &DetectionReport {
+        &self.report
+    }
+
+    /// The evidence behind [`Snapshot::report`]: which constraint and
+    /// pattern tuple every flagged row violates, and the offending groups.
+    pub fn evidence(&self) -> &EvidenceReport {
+        &self.evidence
+    }
+
+    /// Re-runs detection from scratch over the frozen view — a single-pass,
+    /// read-only scan that never touches the live session, takes no lock and
+    /// interns nothing. The result is byte-identical to [`Snapshot::report`]
+    /// (asserted by the serving layer's tests); readers call this to *verify*
+    /// the published state rather than trust it.
+    pub fn detect_fresh(&self) -> Result<DetectionReport> {
+        let (report, _) = self.detector.detect_frozen(&self.frozen, &self.schema)?;
+        Ok(report)
+    }
+
+    /// Like [`Snapshot::detect_fresh`], also re-deriving the evidence.
+    pub fn detect_fresh_with_evidence(&self) -> Result<(DetectionReport, EvidenceReport)> {
+        Ok(self.detector.detect_frozen(&self.frozen, &self.schema)?)
+    }
+
+    /// Materialises the frozen rows as a standalone base-schema [`Relation`]
+    /// with the original row ids preserved, so report- and evidence-carried
+    /// row ids remain meaningful against the copy.
+    pub fn to_relation(&self) -> Result<Relation> {
+        Ok(Relation::with_rows(
+            self.schema.clone(),
+            self.frozen
+                .decode_rows()
+                .into_iter()
+                .map(|(id, values)| (id, Tuple::new(values))),
+        )?)
+    }
+
+    /// Plans (but does not apply) a repair of the snapshot's violations: a
+    /// deletion cover plus value modifications under `options`, computed on a
+    /// private decoded copy of the frozen rows. Pure read-only with respect
+    /// to the owning session — the serving layer exposes this as the
+    /// `REPAIR-PLAN` query.
+    pub fn repair_plan(&self, options: RepairOptions) -> Result<Repair> {
+        let engine = RepairEngine::from_set(&self.set).with_options(options);
+        let base = self.to_relation()?;
+        Ok(engine.plan(&base, &self.evidence)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_send_sync_clone() {
+        fn assert_bounds<T: Send + Sync + Clone>() {}
+        assert_bounds::<Snapshot>();
+    }
+}

@@ -26,7 +26,12 @@
 //! * [`session`] — the high-level API: a stateful [`Session`](session::Session)
 //!   owning the catalog, compiled constraint sets, and the three detector
 //!   backends behind one `DetectorBackend` trait, with policy-based routing
-//!   between batch and incremental detection.
+//!   between batch and incremental detection — plus epoch-stamped
+//!   [`Snapshot`](session::Snapshot)s for concurrent readers.
+//! * [`serve`] — the concurrent serving layer: a single writer applying
+//!   delta batches from a bounded ingest queue, Arc-swapped snapshot
+//!   publication for lock-free readers, and a line protocol over TCP
+//!   (see `ARCHITECTURE.md` for the epoch lifecycle).
 //! * [`datagen`] — synthetic workloads reproducing the paper's experimental
 //!   setting.
 //!
@@ -76,6 +81,7 @@ pub use ecfd_engine as engine;
 pub use ecfd_logic as logic;
 pub use ecfd_relation as relation;
 pub use ecfd_repair as repair;
+pub use ecfd_serve as serve;
 pub use ecfd_session as session;
 
 /// The most commonly used items, re-exported flat.
@@ -101,5 +107,6 @@ pub mod prelude {
         repair_verified, ConflictGraph, ConstantCost, CostModel, DeletionSolver, EditDistanceCost,
         PerAttributeCost, Repair, RepairEngine, RepairMode, RepairOptions, VerifiedRepair,
     };
-    pub use ecfd_session::{RoutingPolicy, Session, SessionError, Stage};
+    pub use ecfd_serve::{Hub, ServeConfig, Server, SnapshotStore, Writer};
+    pub use ecfd_session::{RoutingPolicy, Session, SessionError, Snapshot, Stage};
 }

@@ -1,0 +1,148 @@
+//! Fails on broken intra-repo links in the Markdown documentation.
+//!
+//! Scans every `*.md` at the repository root and under `docs/`, extracts
+//! `[text](target)` links outside fenced code blocks, and checks that every
+//! relative target resolves to an existing file or directory — and that
+//! `file#anchor` targets name a heading that actually exists in the target
+//! file (GitHub-style slugs). CI runs this as the docs-link gate.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every Markdown file we publish: the repo root plus `docs/`.
+fn markdown_files() -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in [repo_root(), repo_root().join("docs")] {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(
+        files.iter().any(|p| p.ends_with("ARCHITECTURE.md")),
+        "expected the architecture doc among {files:?}"
+    );
+    files
+}
+
+/// `[text](target)` occurrences outside fenced code blocks.
+fn extract_links(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let after = &rest[open + 2..];
+            let Some(close) = after.find(')') else { break };
+            links.push(after[..close].to_string());
+            rest = &after[close + 1..];
+        }
+    }
+    links
+}
+
+/// GitHub-style heading slug: lowercase, spaces to hyphens, punctuation
+/// dropped (hyphens and underscores kept).
+fn slugify(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn heading_slugs(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let mut slugs = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            slugs.push(slugify(line.trim_start_matches('#')));
+        }
+    }
+    slugs
+}
+
+#[test]
+fn every_intra_repo_markdown_link_resolves() {
+    let mut broken = Vec::new();
+    for file in markdown_files() {
+        let text = std::fs::read_to_string(&file).expect("markdown file reads");
+        let dir = file.parent().expect("file has a parent");
+        for target in extract_links(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue; // external; offline CI cannot check these
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a.to_string())),
+                None => (target.as_str(), None),
+            };
+            let resolved = if path_part.is_empty() {
+                file.clone() // pure-anchor link into the same file
+            } else {
+                dir.join(path_part)
+            };
+            if !resolved.exists() {
+                broken.push(format!("{}: `{target}` (missing file)", file.display()));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                if resolved.is_file()
+                    && resolved.extension().is_some_and(|e| e == "md")
+                    && !heading_slugs(&resolved).contains(&anchor)
+                {
+                    broken.push(format!("{}: `{target}` (missing anchor)", file.display()));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo documentation links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn link_extraction_and_slugs_behave() {
+    let links = extract_links(
+        "see [a](x.md) and [b](y.md#sec) twice [c](z/)\n```\nnot [a](code.md)\n```\n",
+    );
+    assert_eq!(links, vec!["x.md", "y.md#sec", "z/"]);
+    assert_eq!(
+        slugify("The epoch / snapshot lifecycle (PR 5)"),
+        "the-epoch--snapshot-lifecycle-pr-5"
+    );
+    assert_eq!(slugify("## Serving".trim_start_matches('#')), "serving");
+}
