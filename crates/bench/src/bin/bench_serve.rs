@@ -8,7 +8,11 @@
 //!    `detect_fresh()` and verify the result against the published report;
 //! 2. **full write load** — the same reader loop while a writer thread
 //!    applies generated insert/delete deltas as fast as the ingest queue
-//!    hands them over.
+//!    hands them over;
+//! 3. **durable write load** — phase 2 again with a WAL attached
+//!    (`Writer::bootstrap_durable`), so every accepted delta is fsynced
+//!    before its ACK and every epoch logs a checkpoint: the durable-vs-
+//!    in-memory delta is the price of crash safety.
 //!
 //! Every reader round-trip asserts byte-identical cached-vs-fresh reports,
 //! so the benchmark doubles as a stress test of snapshot isolation. Results
@@ -83,12 +87,15 @@ struct PhaseResult {
 }
 
 /// Runs one measurement phase: `readers` verify-loops for `duration`, with
-/// the writer either idle or applying generated deltas at full speed.
+/// the writer either idle or applying generated deltas at full speed. With
+/// `wal_dir` set the stack runs durably: fsync-per-ACK plus a checkpoint
+/// record per published epoch.
 fn run_phase(
     workload: &PreparedWorkload,
     args: &Args,
     duration: Duration,
     write_load: bool,
+    wal_dir: Option<&std::path::Path>,
 ) -> PhaseResult {
     let mut session = Session::new();
     session
@@ -97,7 +104,14 @@ fn run_phase(
     session
         .register(&workload.constraints)
         .expect("workload constraints compile");
-    let (mut writer, hub) = Writer::bootstrap(session, 64, 32).expect("bootstrap");
+    let (mut writer, hub) = match wal_dir {
+        Some(dir) => {
+            let (writer, hub, _recovery) =
+                Writer::bootstrap_durable(session, 64, 32, dir).expect("durable bootstrap");
+            (writer, hub)
+        }
+        None => Writer::bootstrap(session, 64, 32).expect("bootstrap"),
+    };
     let start_epoch = hub.epoch();
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -172,26 +186,44 @@ fn main() {
     let duration = Duration::from_millis(args.millis.max(50));
     let workload = PreparedWorkload::new(args.rows, 5.0, 42);
 
-    let idle = run_phase(&workload, &args, duration, false);
+    let idle = run_phase(&workload, &args, duration, false, None);
     println!(
         "no write load:  {} readers, {:.0} verified detect round-trips/s ({} total)",
         args.readers, idle.reads_per_sec, idle.reads_total
     );
-    let loaded = run_phase(&workload, &args, duration, true);
+    let loaded = run_phase(&workload, &args, duration, true, None);
     println!(
         "write load:     {} readers, {:.0} verified detect round-trips/s ({} total), \
          {} epochs published",
         args.readers, loaded.reads_per_sec, loaded.reads_total, loaded.epochs_advanced
     );
+    let wal_dir = std::env::temp_dir().join(format!("ecfd-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let durable = run_phase(&workload, &args, duration, true, Some(&wal_dir));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    println!(
+        "durable load:   {} readers, {:.0} verified detect round-trips/s ({} total), \
+         {} epochs published, {} deltas fsynced",
+        args.readers,
+        durable.reads_per_sec,
+        durable.reads_total,
+        durable.epochs_advanced,
+        durable.deltas_applied
+    );
 
-    let json = render_json(&args, &idle, &loaded);
+    let json = render_json(&args, &idle, &loaded, &durable);
     std::fs::write(&args.out, &json).expect("write benchmark output");
     println!("wrote {}", args.out);
 }
 
 /// Renders the result as JSON by hand — the vendored serde shim has no
 /// serializer, and the schema here is flat and fixed.
-fn render_json(args: &Args, idle: &PhaseResult, loaded: &PhaseResult) -> String {
+fn render_json(
+    args: &Args,
+    idle: &PhaseResult,
+    loaded: &PhaseResult,
+    durable: &PhaseResult,
+) -> String {
     let phase = |r: &PhaseResult| {
         format!(
             "{{ \"reads_total\": {}, \"reads_per_sec\": {:.1}, \
@@ -202,12 +234,13 @@ fn render_json(args: &Args, idle: &PhaseResult, loaded: &PhaseResult) -> String 
     format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"workload\": \"cust\",\n  \"rows\": {},\n  \
          \"readers\": {},\n  \"duration_ms\": {},\n  \"delta_size\": {},\n  \
-         \"no_write_load\": {},\n  \"write_load\": {}\n}}\n",
+         \"no_write_load\": {},\n  \"write_load\": {},\n  \"write_load_durable\": {}\n}}\n",
         args.rows,
         args.readers,
         args.millis,
         args.delta_size,
         phase(idle),
-        phase(loaded)
+        phase(loaded),
+        phase(durable)
     )
 }

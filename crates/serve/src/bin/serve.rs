@@ -17,8 +17,10 @@
 //! $ printf 'EPOCH\nDETECT\nAPPLY +519,7,Zoe,Pine%%20St.,Albany,12239\nSYNC\nDETECT\nQUIT\n' | nc 127.0.0.1 7878
 //! ```
 
-use ecfd_serve::{ServeConfig, Server};
+use ecfd_serve::{Client, Follower, ServeConfig, Server};
 use ecfd_session::Session;
+use std::path::Path;
+use std::time::Duration;
 
 struct Args {
     addr: String,
@@ -27,6 +29,9 @@ struct Args {
     csv: Option<String>,
     table: String,
     constraints: Option<String>,
+    wal_dir: Option<String>,
+    recover: bool,
+    follow: Option<String>,
 }
 
 impl Args {
@@ -38,6 +43,9 @@ impl Args {
             csv: None,
             table: "cust".to_string(),
             constraints: None,
+            wal_dir: None,
+            recover: false,
+            follow: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -50,16 +58,25 @@ impl Args {
                 "--csv" => args.csv = Some(value("--csv")?),
                 "--table" => args.table = value("--table")?,
                 "--constraints" => args.constraints = Some(value("--constraints")?),
+                "--wal-dir" => args.wal_dir = Some(value("--wal-dir")?),
+                "--recover" => args.recover = true,
+                "--follow" => args.follow = Some(value("--follow")?),
                 "--help" | "-h" => {
                     println!(
                         "usage: serve [--addr HOST:PORT] [--queue N] [--batch N]\n\
                          \x20            [--csv PATH --table NAME [--constraints PATH]]\n\
-                         Without --csv, serves the paper's demo instance (Fig. 1 + φ1/φ2)."
+                         \x20            [--wal-dir DIR [--recover]] [--follow HOST:PORT]\n\
+                         Without --csv, serves the paper's demo instance (Fig. 1 + φ1/φ2).\n\
+                         --wal-dir makes writes durable; --recover replays an existing log;\n\
+                         --follow replicates a durable leader into this server."
                     );
                     std::process::exit(0);
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
+        }
+        if args.recover && args.wal_dir.is_none() {
+            return Err("--recover needs --wal-dir".to_string());
         }
         Ok(args)
     }
@@ -149,21 +166,96 @@ fn main() {
         batch_max: args.batch,
         ..ServeConfig::default()
     };
-    let server = match Server::bind(session, config) {
-        Ok(server) => server,
-        Err(e) => {
-            eprintln!("serve: {e}");
-            std::process::exit(1);
+    let sync_timeout = config.sync_timeout;
+    let server = match &args.wal_dir {
+        Some(dir) => {
+            let dir = Path::new(dir);
+            if !args.recover && wal_has_records(dir) {
+                eprintln!(
+                    "serve: {} already holds a WAL with records; pass --recover to \
+                     replay it (or point --wal-dir at an empty directory)",
+                    dir.display()
+                );
+                std::process::exit(2);
+            }
+            match Server::bind_durable(session, config, dir) {
+                Ok((server, recovery)) => {
+                    println!(
+                        "recovered {} delta(s) to ticket {} ({} checkpoint(s) verified, \
+                         {} apply error(s), {} torn byte(s) dropped)",
+                        recovery.deltas_applied,
+                        recovery.last_ticket,
+                        recovery.checkpoints_verified,
+                        recovery.apply_errors,
+                        recovery.truncated_bytes,
+                    );
+                    server
+                }
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
+        None => match Server::bind(session, config) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                std::process::exit(1);
+            }
+        },
     };
     let addr = server.local_addr().expect("bound listener has an address");
     println!("serving on {addr}");
-    println!("protocol: PING | EPOCH | DETECT [FRESH] | CHECK | EXPLAIN | APPLY +f,… -f,… | SYNC | REPAIR-PLAN | QUIT");
+    println!("protocol: PING | EPOCH | DETECT [FRESH] | CHECK | EXPLAIN | APPLY +f,… -f,… | SYNC | REPLAY c [n] | REPAIR-PLAN | QUIT");
+
+    if let Some(leader) = args.follow.clone() {
+        let hub = server.handle().hub().clone();
+        std::thread::spawn(move || {
+            let client = match Client::connect(&leader) {
+                Ok(client) => client,
+                Err(e) => {
+                    eprintln!("serve: connecting to leader {leader}: {e}");
+                    return;
+                }
+            };
+            println!("following {leader}");
+            let mut follower = Follower::new(client, hub);
+            loop {
+                match follower.catch_up(sync_timeout) {
+                    Ok(progress) => {
+                        if progress.records > 0 {
+                            println!(
+                                "replayed {} record(s) from {leader}; epoch {}",
+                                progress.records, progress.epoch
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("serve: replication from {leader} stopped: {e}");
+                        return;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        });
+    }
+
     match server.run() {
         Ok(_session) => println!("shut down cleanly"),
         Err(e) => {
             eprintln!("serve: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// True when `dir` already holds a WAL file with at least one record (a
+/// bare magic header counts as empty, as does a missing file).
+fn wal_has_records(dir: &Path) -> bool {
+    let path = dir.join(ecfd_wal::WAL_FILE_NAME);
+    match ecfd_wal::read_records(&path) {
+        Ok(records) => !records.is_empty(),
+        Err(_) => false,
     }
 }

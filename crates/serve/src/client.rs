@@ -1,6 +1,6 @@
 //! A small blocking client for the serving protocol.
 
-use crate::protocol::{Request, Response, TupleOp};
+use crate::protocol::{ReplayRecord, Request, Response, TupleOp};
 use crate::{Result, ServeError};
 use std::io::{BufRead, BufReader, BufWriter, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -94,6 +94,15 @@ impl Client {
     /// `REPAIR-PLAN` → the plan response.
     pub fn repair_plan(&mut self) -> Result<Response> {
         self.request(&Request::RepairPlan)
+    }
+
+    /// `REPLAY` → one page of the leader's WAL plus the next cursor.
+    pub fn replay(&mut self, cursor: u64, max: usize) -> Result<(Vec<ReplayRecord>, u64)> {
+        match self.request(&Request::Replay { cursor, max })? {
+            Response::Replayed { records, next } => Ok((records, next)),
+            Response::Err { message } => Err(ServeError::Protocol(message)),
+            other => Err(unexpected("REPLAYED", &other)),
+        }
     }
 
     /// `QUIT` → expects `BYE` and drops the connection.

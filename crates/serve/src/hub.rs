@@ -1,10 +1,12 @@
 //! The hub: shared state connecting producers, the writer and readers.
 
+use crate::durable::WalSink;
 use crate::ingest::{IngestQueue, PushError, Ticket};
 use crate::store::SnapshotStore;
 use crate::{Result, ServeError};
 use ecfd_relation::Delta;
 use ecfd_session::Snapshot;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -28,13 +30,30 @@ pub struct ServeStats {
 /// directly.
 ///
 /// [`Server`]: crate::Server
-#[derive(Debug)]
 pub struct Hub {
     store: SnapshotStore,
     queue: IngestQueue,
     shutdown: AtomicBool,
     write_errors: AtomicU64,
     last_error: Mutex<Option<String>>,
+    /// Present in durable mode: the ticket-ordered WAL sink plus the log
+    /// path the `REPLAY` verb reads from.
+    durable: Option<DurableState>,
+}
+
+struct DurableState {
+    sink: WalSink,
+    wal_path: PathBuf,
+}
+
+impl std::fmt::Debug for Hub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hub")
+            .field("epoch", &self.epoch())
+            .field("queued", &self.queue.pending())
+            .field("durable", &self.durable.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Hub {
@@ -47,7 +66,37 @@ impl Hub {
             shutdown: AtomicBool::new(false),
             write_errors: AtomicU64::new(0),
             last_error: Mutex::new(None),
+            durable: None,
         })
+    }
+
+    /// Creates a durable hub: a custom queue (its ticket sequence continues
+    /// the recovered log) and the WAL sink every submit must go through.
+    /// Built by [`Writer::bootstrap_durable`](crate::Writer::bootstrap_durable).
+    pub(crate) fn new_durable(
+        initial: Snapshot,
+        queue: IngestQueue,
+        sink: WalSink,
+        wal_path: PathBuf,
+    ) -> Arc<Self> {
+        Arc::new(Hub {
+            store: SnapshotStore::new(initial),
+            queue,
+            shutdown: AtomicBool::new(false),
+            write_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+            durable: Some(DurableState { sink, wal_path }),
+        })
+    }
+
+    /// Whether submits are logged to a WAL before acknowledgement.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Path of the WAL file in durable mode (what `REPLAY` streams from).
+    pub fn wal_path(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.wal_path.as_path())
     }
 
     /// The snapshot store (reader side).
@@ -73,11 +122,39 @@ impl Hub {
 
     /// Submits a delta for the writer, blocking while the queue is full
     /// (backpressure). Returns the ticket to [`Hub::sync_to`] on.
+    ///
+    /// In durable mode the delta is appended to the WAL and fsynced under
+    /// its ticket **before** this returns — the ACK a client sees implies
+    /// the delta survives a crash. The capacity wait happens first and holds
+    /// no WAL lock, so backpressure and logging cannot deadlock each other.
     pub fn submit(&self, delta: Delta) -> Result<Ticket> {
+        let Some(durable) = &self.durable else {
+            return self.enqueue(delta);
+        };
+        let ticket = self.enqueue(delta.clone())?;
+        durable.sink.log_delta(ticket, &delta)?;
+        Ok(ticket)
+    }
+
+    fn enqueue(&self, delta: Delta) -> Result<Ticket> {
         self.queue.push(delta).map_err(|e| match e {
             PushError::Closed => ServeError::QueueClosed,
             PushError::Full => unreachable!("blocking push never reports Full"),
         })
+    }
+
+    /// Appends an epoch-boundary checkpoint to the WAL (no-op when not
+    /// durable). Called by the writer after publishing each snapshot.
+    pub(crate) fn log_checkpoint(
+        &self,
+        epoch: u64,
+        last_ticket: Ticket,
+        report_hash: u64,
+    ) -> Result<()> {
+        match &self.durable {
+            Some(durable) => durable.sink.log_checkpoint(epoch, last_ticket, report_hash),
+            None => Ok(()),
+        }
     }
 
     /// Blocks until every delta submitted to the hub — by *any* producer —
@@ -109,6 +186,15 @@ impl Hub {
     /// Whether shutdown was requested.
     pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Shutdown because the writer is gone: like [`Hub::shutdown`], but the
+    /// queue is closed in *aborted* mode, so blocked producers get
+    /// `PushError::Closed` immediately and `SYNC` barriers on never-applied
+    /// tickets fail fast instead of timing out.
+    pub fn abort(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close_aborted();
     }
 
     /// Records a writer-side apply failure (the batch is skipped).

@@ -29,6 +29,10 @@ struct Inner {
     /// been published.
     applied: Ticket,
     closed: bool,
+    /// Closed because the writer died (not a graceful drain): pending items
+    /// will never be applied, so barriers should give up immediately instead
+    /// of burning their full timeout.
+    aborted: bool,
 }
 
 /// A bounded multi-producer / single-consumer queue of [`Delta`] batches.
@@ -56,12 +60,21 @@ impl IngestQueue {
     /// Creates a queue holding at most `capacity` pending deltas
     /// (`capacity` is clamped to at least 1).
     pub fn new(capacity: usize) -> Self {
+        IngestQueue::starting_at(capacity, 0)
+    }
+
+    /// Creates a queue whose ticket sequence continues after `last_ticket`
+    /// (which is also the initial applied watermark). Crash recovery uses
+    /// this so tickets issued after a restart extend the WAL's numbering
+    /// instead of colliding with logged history.
+    pub fn starting_at(capacity: usize, last_ticket: Ticket) -> Self {
         IngestQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
-                next_ticket: 1,
-                applied: 0,
+                next_ticket: last_ticket + 1,
+                applied: last_ticket,
                 closed: false,
+                aborted: false,
             }),
             not_full: Condvar::new(),
             progress: Condvar::new(),
@@ -97,6 +110,11 @@ impl IngestQueue {
     /// Whether the queue has been closed.
     pub fn is_closed(&self) -> bool {
         self.lock().closed
+    }
+
+    /// Highest ticket applied and published so far (0 before the first).
+    pub fn applied_ticket(&self) -> Ticket {
+        self.lock().applied
     }
 
     /// Enqueues a delta, blocking while the queue is full (backpressure).
@@ -184,6 +202,10 @@ impl IngestQueue {
             if inner.applied >= ticket {
                 return true;
             }
+            // The writer died: whatever is pending will never be applied.
+            if inner.aborted {
+                return false;
+            }
             // Closed with nothing left to drain: the ticket will never come.
             if inner.closed && inner.items.is_empty() {
                 return false;
@@ -205,6 +227,18 @@ impl IngestQueue {
     pub fn close(&self) {
         let mut inner = self.lock();
         inner.closed = true;
+        self.not_full.notify_all();
+        self.progress.notify_all();
+    }
+
+    /// Closes the queue because the writer is gone: like [`IngestQueue::close`],
+    /// but additionally tells barrier waiters that pending deltas will never
+    /// be applied, so [`IngestQueue::wait_applied`] fails fast instead of
+    /// waiting out its timeout on tickets that cannot make progress.
+    pub fn close_aborted(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        inner.aborted = true;
         self.not_full.notify_all();
         self.progress.notify_all();
     }
@@ -273,6 +307,28 @@ mod tests {
         assert!(q.is_applied(t1));
         assert!(q.is_applied(t2));
         assert!(q.wait_applied(t2, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn starting_at_continues_ticket_sequence() {
+        let q = IngestQueue::starting_at(4, 41);
+        assert_eq!(q.applied_ticket(), 41);
+        assert!(q.is_applied(41), "recovered history counts as applied");
+        assert_eq!(q.push(delta("a")).unwrap(), 42);
+        assert_eq!(q.last_ticket(), 42);
+    }
+
+    #[test]
+    fn close_aborted_fails_waiters_fast_with_items_pending() {
+        let q = IngestQueue::new(4);
+        let t = q.push(delta("a")).unwrap();
+        q.close_aborted();
+        // The item is still pending (never popped), yet the waiter returns
+        // immediately — a plain close would burn the whole timeout here.
+        let start = Instant::now();
+        assert!(!q.wait_applied(t, Duration::from_secs(30)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(q.push(delta("b")), Err(PushError::Closed));
     }
 
     #[test]

@@ -96,17 +96,21 @@
 #![warn(missing_docs)]
 
 mod client;
+mod durable;
 mod hub;
 mod ingest;
 pub mod protocol;
+mod replica;
 mod server;
 mod store;
 mod writer;
 
 pub use client::Client;
+pub use durable::{recover_session, report_hash, RecoveryReport};
 pub use hub::{Hub, ServeStats};
 pub use ingest::{IngestQueue, PushError, Ticket};
 pub use protocol::{Request, Response};
+pub use replica::{Follower, FollowerProgress};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use store::SnapshotStore;
 pub use writer::{StepOutcome, Writer};
@@ -129,6 +133,11 @@ pub enum ServeError {
     QueueClosed,
     /// A `SYNC` wait elapsed before the enqueued deltas were applied.
     SyncTimeout,
+    /// Error from the write-ahead log (durable mode).
+    Wal(ecfd_wal::WalError),
+    /// Recovery or follower replay diverged from the logged run: an epoch or
+    /// report hash did not match what the leader recorded.
+    Replication(String),
 }
 
 impl fmt::Display for ServeError {
@@ -139,11 +148,19 @@ impl fmt::Display for ServeError {
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServeError::QueueClosed => write!(f, "ingest queue is closed"),
             ServeError::SyncTimeout => write!(f, "timed out waiting for enqueued deltas"),
+            ServeError::Wal(e) => write!(f, "wal error: {e}"),
+            ServeError::Replication(msg) => write!(f, "replication divergence: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<ecfd_wal::WalError> for ServeError {
+    fn from(e: ecfd_wal::WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
 
 impl From<ecfd_session::SessionError> for ServeError {
     fn from(e: ecfd_session::SessionError) -> Self {

@@ -20,6 +20,7 @@
 //! | `APPLY <op> [<op>…]`  | enqueue a delta; `+f1,f2,…` inserts, `-f1,f2,…` deletes |
 //! | `SYNC`                | block until every prior `APPLY` *on this connection* is applied + published |
 //! | `REPAIR-PLAN`         | plan (not apply) a repair of the current violations |
+//! | `REPLAY <cursor> [<max>]` | stream up to `max` applied WAL records starting at log position `cursor` (durable servers only) |
 //! | `QUIT`                | close the connection                               |
 //!
 //! Tuple fields in `APPLY` are percent-escaped and comma-separated; they are
@@ -38,8 +39,15 @@
 //! | `ACK`       | `ACK TICKET <t> EPOCH <e>`                                   |
 //! | `SYNCED`    | `SYNCED EPOCH <e>`                                           |
 //! | `PLAN`      | `PLAN EPOCH <e> DELETIONS <n> MODIFICATIONS <n> COST <f>`    |
+//! | `REPLAYED`  | `REPLAYED RECORDS <n> <records> NEXT <cursor>`               |
 //! | `BYE`       | `BYE`                                                        |
 //! | `ERR`       | `ERR <escaped message>`                                      |
+//!
+//! A `REPLAYED` record list is `;`-joined (`-` when empty); each record is
+//! `D@<ticket>@<op>|<op>|…` for a delta (ops rendered exactly like `APPLY`)
+//! or `C@<epoch>@<last-ticket>@<report-hash>` for a checkpoint. `NEXT` is the
+//! log position to pass as the next `REPLAY` cursor — positions count
+//! records in the leader's WAL file, so checkpoints occupy positions too.
 //!
 //! Row-id lists render as comma-joined numbers, `-` when empty. An SV
 //! evidence list is `row:constraint.pattern` items comma-joined; an MV list
@@ -184,9 +192,19 @@ pub enum Request {
     Sync,
     /// `REPAIR-PLAN`
     RepairPlan,
+    /// `REPLAY <cursor> [<max>]`: stream applied WAL records.
+    Replay {
+        /// Log position (record index in the leader's WAL) to start from.
+        cursor: u64,
+        /// Maximum records to return (the server may clamp it further).
+        max: usize,
+    },
     /// `QUIT`
     Quit,
 }
+
+/// Default `max` when a `REPLAY` request omits it.
+pub const REPLAY_DEFAULT_MAX: usize = 256;
 
 impl Request {
     /// Renders the request as one protocol line (without the newline).
@@ -208,6 +226,7 @@ impl Request {
             }
             Request::Sync => "SYNC".into(),
             Request::RepairPlan => "REPAIR-PLAN".into(),
+            Request::Replay { cursor, max } => format!("REPLAY {cursor} {max}"),
             Request::Quit => "QUIT".into(),
         }
     }
@@ -238,6 +257,16 @@ impl Request {
             }
             "SYNC" => Request::Sync,
             "REPAIR-PLAN" => Request::RepairPlan,
+            "REPLAY" => {
+                let cursor = parse_num(&mut tokens, "replay cursor")?;
+                let max = match tokens.next() {
+                    Some(token) => token
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad replay max `{token}`"))?,
+                    None => REPLAY_DEFAULT_MAX,
+                };
+                Request::Replay { cursor, max }
+            }
             "QUIT" => Request::Quit,
             other => return Err(format!("unknown verb `{other}`")),
         };
@@ -298,6 +327,103 @@ pub fn parse_typed(field: &str, ty: DataType, attribute: &str) -> Result<Value, 
                 "`{field}` is not a boolean (attribute {attribute})"
             )),
         },
+    }
+}
+
+/// Renders a typed value as an `APPLY`/`REPLAY` field string, inverse of
+/// [`parse_typed`] for values that came out of a schema-checked tuple. The
+/// one lossy corner: a `Str` whose content spells `NULL` re-parses as the
+/// null value — the checkpoint report-hash comparison catches any divergence
+/// such a value could cause downstream.
+pub fn render_value(value: &Value) -> String {
+    match value {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => s.clone(),
+    }
+}
+
+/// Renders a delta's tuples as `REPLAY`/`APPLY` tuple ops (insertions first,
+/// then deletions — the order [`Request::ops_to_delta`] reassembles).
+pub fn delta_to_ops(delta: &Delta) -> Vec<TupleOp> {
+    let render = |tuple: &Tuple| tuple.values().iter().map(render_value).collect::<Vec<_>>();
+    delta
+        .insertions
+        .iter()
+        .map(|t| TupleOp::insert(render(t)))
+        .chain(delta.deletions.iter().map(|t| TupleOp::delete(render(t))))
+        .collect()
+}
+
+/// One WAL record inside a `REPLAYED` response: the leader's log, re-encoded
+/// for the wire. Deltas carry their ticket and the same tuple-op syntax as
+/// `APPLY`; checkpoints carry the epoch/ticket/hash triple a follower
+/// verifies against its own state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayRecord {
+    /// `D@<ticket>@<op>|<op>|…` — an applied delta.
+    Delta {
+        /// The leader-side ingest ticket.
+        ticket: u64,
+        /// The delta's tuple operations, `APPLY` syntax.
+        ops: Vec<TupleOp>,
+    },
+    /// `C@<epoch>@<last-ticket>@<report-hash>` — an epoch boundary.
+    Checkpoint {
+        /// Epoch the leader published.
+        epoch: u64,
+        /// Highest ticket that snapshot covers.
+        last_ticket: u64,
+        /// Canonical hash of the leader's detection report at that epoch.
+        report_hash: u64,
+    },
+}
+
+impl ReplayRecord {
+    fn render(&self) -> String {
+        match self {
+            ReplayRecord::Delta { ticket, ops } => {
+                if ops.is_empty() {
+                    format!("D@{ticket}")
+                } else {
+                    let ops: Vec<String> = ops.iter().map(TupleOp::render).collect();
+                    format!("D@{ticket}@{}", ops.join("|"))
+                }
+            }
+            ReplayRecord::Checkpoint {
+                epoch,
+                last_ticket,
+                report_hash,
+            } => format!("C@{epoch}@{last_ticket}@{report_hash}"),
+        }
+    }
+
+    fn parse(token: &str) -> Result<ReplayRecord, String> {
+        let parts: Vec<&str> = token.split('@').collect();
+        let num = |t: &str, label: &str| {
+            t.parse::<u64>()
+                .map_err(|_| format!("bad replay {label} `{t}`"))
+        };
+        match parts.as_slice() {
+            ["D", ticket] => Ok(ReplayRecord::Delta {
+                ticket: num(ticket, "ticket")?,
+                ops: Vec::new(),
+            }),
+            ["D", ticket, ops] => Ok(ReplayRecord::Delta {
+                ticket: num(ticket, "ticket")?,
+                ops: ops
+                    .split('|')
+                    .map(TupleOp::parse)
+                    .collect::<Result<Vec<_>, String>>()?,
+            }),
+            ["C", epoch, last_ticket, report_hash] => Ok(ReplayRecord::Checkpoint {
+                epoch: num(epoch, "epoch")?,
+                last_ticket: num(last_ticket, "last ticket")?,
+                report_hash: num(report_hash, "report hash")?,
+            }),
+            _ => Err(format!("malformed replay record `{token}`")),
+        }
     }
 }
 
@@ -391,6 +517,13 @@ pub enum Response {
         modifications: usize,
         /// Total plan cost under the engine's cost model.
         cost: f64,
+    },
+    /// `REPLAYED …`: a page of the durable leader's WAL.
+    Replayed {
+        /// The records, in log order.
+        records: Vec<ReplayRecord>,
+        /// Log position to pass as the next `REPLAY` cursor.
+        next: u64,
     },
     /// `BYE`
     Bye,
@@ -519,6 +652,18 @@ impl Response {
             } => format!(
                 "PLAN EPOCH {epoch} DELETIONS {deletions} MODIFICATIONS {modifications} COST {cost}"
             ),
+            Response::Replayed { records, next } => {
+                let list = if records.is_empty() {
+                    "-".to_string()
+                } else {
+                    records
+                        .iter()
+                        .map(ReplayRecord::render)
+                        .collect::<Vec<_>>()
+                        .join(";")
+                };
+                format!("REPLAYED RECORDS {} {list} NEXT {next}", records.len())
+            }
             Response::Bye => "BYE".into(),
             Response::Err { message } => format!("ERR {}", encode_field(message)),
         }
@@ -659,6 +804,27 @@ impl Response {
                     cost,
                 }
             }
+            "REPLAYED" => {
+                expect_tag(&mut tokens, "RECORDS")?;
+                let count: usize = parse_num(&mut tokens, "record count")?;
+                let list = tokens.next().ok_or("missing replay records")?;
+                let records = if list == "-" {
+                    Vec::new()
+                } else {
+                    list.split(';')
+                        .map(ReplayRecord::parse)
+                        .collect::<Result<Vec<_>, String>>()?
+                };
+                if records.len() != count {
+                    return Err(format!(
+                        "REPLAYED claims {count} records but carries {}",
+                        records.len()
+                    ));
+                }
+                expect_tag(&mut tokens, "NEXT")?;
+                let next = parse_num(&mut tokens, "next cursor")?;
+                Response::Replayed { records, next }
+            }
             "BYE" => Response::Bye,
             "ERR" => {
                 let message = decode_field(tokens.next().unwrap_or(EMPTY_FIELD))?;
@@ -742,16 +908,34 @@ mod tests {
             },
             Request::Sync,
             Request::RepairPlan,
+            Request::Replay {
+                cursor: 0,
+                max: 256,
+            },
+            Request::Replay {
+                cursor: 917,
+                max: 16,
+            },
             Request::Quit,
         ];
         for request in requests {
             let line = request.render();
             assert_eq!(Request::parse(&line), Ok(request), "line `{line}`");
         }
+        assert_eq!(
+            Request::parse("REPLAY 5"),
+            Ok(Request::Replay {
+                cursor: 5,
+                max: REPLAY_DEFAULT_MAX
+            }),
+            "max is optional"
+        );
         assert!(Request::parse("NOPE").is_err());
         assert!(Request::parse("APPLY").is_err());
         assert!(Request::parse("DETECT SIDEWAYS").is_err());
         assert!(Request::parse("PING PONG").is_err());
+        assert!(Request::parse("REPLAY").is_err());
+        assert!(Request::parse("REPLAY x").is_err());
     }
 
     #[test]
@@ -815,6 +999,31 @@ mod tests {
                 modifications: 1,
                 cost: 3.5,
             },
+            Response::Replayed {
+                records: vec![
+                    ReplayRecord::Checkpoint {
+                        epoch: 2,
+                        last_ticket: 0,
+                        report_hash: u64::MAX,
+                    },
+                    ReplayRecord::Delta {
+                        ticket: 1,
+                        ops: vec![
+                            TupleOp::insert(["Tree Ave.", ""]),
+                            TupleOp::delete(["a@b|c;d", "518"]),
+                        ],
+                    },
+                    ReplayRecord::Delta {
+                        ticket: 2,
+                        ops: vec![],
+                    },
+                ],
+                next: 3,
+            },
+            Response::Replayed {
+                records: vec![],
+                next: 0,
+            },
             Response::Bye,
             Response::Err {
                 message: "tuple has 1 fields, schema `cust` has 2".into(),
@@ -826,6 +1035,41 @@ mod tests {
         }
         assert!(Response::parse("REPORT EPOCH x").is_err());
         assert!(Response::parse("PONG PONG").is_err());
+        assert!(
+            Response::parse("REPLAYED RECORDS 2 D@1 NEXT 2").is_err(),
+            "record count must match the list"
+        );
+    }
+
+    #[test]
+    fn replayed_deltas_reassemble_through_ops_to_delta() {
+        let schema = Schema::builder("t")
+            .attr("CT", ecfd_relation::DataType::Str)
+            .attr("N", ecfd_relation::DataType::Int)
+            .build();
+        let delta = Delta {
+            insertions: vec![Tuple::new(vec![
+                Value::str("Tree Ave., #2"),
+                Value::Int(-7),
+            ])],
+            deletions: vec![Tuple::new(vec![Value::Null, Value::Int(0)])],
+        };
+        let ops = delta_to_ops(&delta);
+        // Over the wire and back.
+        let line = Response::Replayed {
+            records: vec![ReplayRecord::Delta { ticket: 9, ops }],
+            next: 1,
+        }
+        .render();
+        let Ok(Response::Replayed { records, .. }) = Response::parse(&line) else {
+            panic!("round trip failed for `{line}`");
+        };
+        let ReplayRecord::Delta { ticket, ops } = &records[0] else {
+            panic!("wrong record kind");
+        };
+        assert_eq!(*ticket, 9);
+        let rebuilt = Request::ops_to_delta(ops, &schema).unwrap();
+        assert_eq!(rebuilt, delta, "typed delta survives the wire");
     }
 
     #[test]

@@ -1,15 +1,22 @@
 //! The TCP front end: a listener plus scoped per-connection workers.
 
+use crate::durable::RecoveryReport;
 use crate::hub::Hub;
-use crate::protocol::{MvLine, Request, Response};
+use crate::protocol::{delta_to_ops, MvLine, ReplayRecord, Request, Response};
 use crate::writer::Writer;
 use crate::Result;
 use ecfd_repair::RepairOptions;
 use ecfd_session::{Session, Snapshot};
+use ecfd_wal::WalRecord;
 use std::io::{BufRead, BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Hard upper bound on records per `REPLAY` response, whatever the client
+/// asked for — bounds response-line length.
+const REPLAY_MAX_CLAMP: usize = 1024;
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -88,6 +95,29 @@ impl Server {
             writer,
             config,
         })
+    }
+
+    /// Like [`Server::bind`], but durable: the WAL in `wal_dir` is opened
+    /// (created if missing), its records are replayed over `session` before
+    /// serving, and every accepted delta is logged + fsynced before its ACK.
+    /// See [`Writer::bootstrap_durable`] for the recovery contract.
+    pub fn bind_durable(
+        session: Session,
+        config: ServeConfig,
+        wal_dir: &Path,
+    ) -> Result<(Server, RecoveryReport)> {
+        let (writer, hub, recovery) =
+            Writer::bootstrap_durable(session, config.queue_capacity, config.batch_max, wal_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok((
+            Server {
+                listener,
+                hub,
+                writer,
+                config,
+            },
+            recovery,
+        ))
     }
 
     /// The bound address (resolves the ephemeral port of `127.0.0.1:0`).
@@ -286,6 +316,53 @@ fn respond(line: &str, hub: &Hub, config: &ServeConfig, last_ticket: &mut u64) -
                 },
             }
         }
+        Request::Replay { cursor, max } => replay_response(hub, cursor, max),
+    }
+}
+
+/// Serves one `REPLAY` page straight from the WAL file. Everything in the
+/// log's valid prefix is durable and (eventually) applied, so the whole
+/// prefix is streamable; a torn tail from an append racing this read simply
+/// ends the page early — the next poll picks it up. Cursors are record
+/// positions in the file, so checkpoint records occupy positions too and a
+/// page boundary can never silently skip one.
+fn replay_response(hub: &Hub, cursor: u64, max: usize) -> Response {
+    let Some(path) = hub.wal_path() else {
+        return Response::Err {
+            message: "REPLAY requires a durable server (start with --wal-dir)".into(),
+        };
+    };
+    let records = match ecfd_wal::read_records(path) {
+        Ok(records) => records,
+        Err(e) => {
+            return Response::Err {
+                message: e.to_string(),
+            }
+        }
+    };
+    let start = (cursor as usize).min(records.len());
+    let end = (start + max.clamp(1, REPLAY_MAX_CLAMP)).min(records.len());
+    let page = records[start..end]
+        .iter()
+        .map(|record| match record {
+            WalRecord::Delta { ticket, delta } => ReplayRecord::Delta {
+                ticket: *ticket,
+                ops: delta_to_ops(delta),
+            },
+            WalRecord::Checkpoint {
+                epoch,
+                last_ticket,
+                report_hash,
+            } => ReplayRecord::Checkpoint {
+                epoch: *epoch,
+                last_ticket: *last_ticket,
+                report_hash: *report_hash,
+            },
+        })
+        .collect();
+    Response::Replayed {
+        records: page,
+        next: end as u64,
     }
 }
 

@@ -1,8 +1,12 @@
 //! The single writer: drain the queue, apply, snapshot, publish.
 
+use crate::durable::{recover_session, report_hash, RecoveryReport, WalSink};
 use crate::hub::Hub;
-use crate::Result;
+use crate::ingest::{IngestQueue, Ticket};
+use crate::{Result, ServeError};
 use ecfd_session::Session;
+use ecfd_wal::Wal;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,6 +45,11 @@ pub struct Writer {
     session: Session,
     table: String,
     batch_max: usize,
+    /// Test-only fault injection: fail this many upcoming snapshot
+    /// extractions, to exercise the publish-error path (a genuine
+    /// `snapshot_of` failure is unreachable from a healthy session).
+    #[cfg(test)]
+    fail_next_snapshots: usize,
 }
 
 impl Writer {
@@ -61,8 +70,65 @@ impl Writer {
                 session,
                 table,
                 batch_max: batch_max.max(1),
+                #[cfg(test)]
+                fail_next_snapshots: 0,
             },
             hub,
+        ))
+    }
+
+    /// Durable bootstrap: open (or create) the WAL in `wal_dir`, replay its
+    /// records over the freshly prepared `session` — which must hold the
+    /// same base data and constraints the log was written against — and
+    /// wire the hub so every future submit is logged and fsynced before its
+    /// ACK and every published epoch stamps a checkpoint record.
+    ///
+    /// Replay goes through the normal `Session::apply_on` path and
+    /// re-verifies every logged checkpoint (epoch and report hash), so the
+    /// recovered snapshot's detect report is byte-identical to what was
+    /// published before the crash. The returned [`RecoveryReport`] says how
+    /// much history was replayed; it is all zeros for a fresh log. The
+    /// recovered queue continues the log's ticket numbering, and a fresh
+    /// checkpoint for the recovered epoch is stamped immediately, giving
+    /// followers an anchor even before the first new delta.
+    pub fn bootstrap_durable(
+        mut session: Session,
+        queue_capacity: usize,
+        batch_max: usize,
+        wal_dir: &Path,
+    ) -> Result<(Writer, Arc<Hub>, RecoveryReport)> {
+        let opened = Wal::open(wal_dir)?;
+        let table = match session.registered_tables().as_slice() {
+            [sole] => sole.to_string(),
+            _ => {
+                return Err(ServeError::Protocol(
+                    "durable bootstrap needs exactly one registered relation".into(),
+                ))
+            }
+        };
+        let mut recovery = recover_session(&mut session, &table, &opened.records)?;
+        recovery.truncated_bytes = opened.truncated_bytes;
+
+        let snapshot = session.snapshot_of(&table)?;
+        let epoch = snapshot.epoch();
+        let hash = report_hash(snapshot.report());
+        let wal_path = opened.wal.path().to_path_buf();
+        let sink = WalSink::new(opened.wal, recovery.last_ticket);
+        // Anchor the recovered (or initial) epoch in the log before serving.
+        sink.log_checkpoint(epoch, recovery.last_ticket, hash)?;
+
+        let queue = IngestQueue::starting_at(queue_capacity, recovery.last_ticket);
+        let hub = Hub::new_durable(snapshot, queue, sink, wal_path);
+        Ok((
+            Writer {
+                session,
+                table,
+                batch_max: batch_max.max(1),
+                #[cfg(test)]
+                fail_next_snapshots: 0,
+            },
+            hub,
+            recovery,
         ))
     }
 
@@ -95,18 +161,61 @@ impl Writer {
                 hub.record_write_error(format!("ticket {ticket}: {e}"));
             }
         }
-        let snapshot = self.session.snapshot_of(&self.table)?;
-        hub.store().publish(snapshot);
+        let published = self.publish_epoch(hub, max_ticket);
+        // The watermark advances no matter how publication went: a failed
+        // snapshot must not leave `SYNC` barriers waiting forever on tickets
+        // that were consumed from the queue.
         hub.queue().mark_applied(max_ticket);
-        Ok(StepOutcome::Applied(count))
+        if let Err(e) = &published {
+            hub.record_write_error(format!("publish after ticket {max_ticket}: {e}"));
+        }
+        published.map(|()| StepOutcome::Applied(count))
+    }
+
+    /// Extracts the batch's snapshot, publishes it, and (in durable mode)
+    /// stamps the epoch-boundary checkpoint into the WAL.
+    fn publish_epoch(&mut self, hub: &Hub, max_ticket: Ticket) -> Result<()> {
+        #[cfg(test)]
+        if self.fail_next_snapshots > 0 {
+            self.fail_next_snapshots -= 1;
+            return Err(
+                ecfd_session::SessionError::NotLoaded("injected snapshot failure".into()).into(),
+            );
+        }
+        let snapshot = self.session.snapshot_of(&self.table)?;
+        let epoch = snapshot.epoch();
+        let hash = report_hash(snapshot.report());
+        hub.store().publish(snapshot);
+        hub.log_checkpoint(epoch, max_ticket, hash)
     }
 
     /// The writer loop: steps until the hub shuts down and the queue drains,
     /// then returns the session to the caller.
+    ///
+    /// Exiting on an error (or a panic in a step) *aborts* the hub first:
+    /// the queue closes so producers blocked in backpressure wake with
+    /// `PushError::Closed` and barrier waiters fail fast, instead of
+    /// deadlocking against a writer that no longer exists.
     pub fn run(mut self, hub: &Hub) -> Result<Session> {
+        struct AbortOnExit<'a> {
+            hub: &'a Hub,
+            armed: bool,
+        }
+        impl Drop for AbortOnExit<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.hub.abort();
+                }
+            }
+        }
+        let mut guard = AbortOnExit { hub, armed: true };
         loop {
             match self.step(hub, Duration::from_millis(20))? {
-                StepOutcome::Drained => return Ok(self.session),
+                StepOutcome::Drained => {
+                    // Clean exit: the hub was already shut down gracefully.
+                    guard.armed = false;
+                    return Ok(self.session);
+                }
                 StepOutcome::Applied(_) | StepOutcome::Idle => {}
             }
         }
@@ -117,6 +226,7 @@ impl Writer {
 mod tests {
     use super::*;
     use ecfd_relation::{DataType, Delta, Relation, Schema, Tuple};
+    use std::path::PathBuf;
 
     fn ready_session() -> Session {
         let schema = Schema::builder("cust")
@@ -226,5 +336,177 @@ mod tests {
             "the clean Troy insert changed no flags"
         );
         assert_eq!(&after.detect_fresh().unwrap(), after.report());
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ecfd-writer-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Regression (writer hang): a failed snapshot used to return from
+    /// `step` *before* `mark_applied`, so `SYNC` barriers on that batch
+    /// waited out their full timeout for a watermark that never moved.
+    #[test]
+    fn failed_snapshot_still_marks_batch_applied() {
+        let (mut writer, hub) = Writer::bootstrap(ready_session(), 8, 4).unwrap();
+        writer.fail_next_snapshots = 1;
+        let ticket = hub
+            .submit(Delta::insert_only(vec![Tuple::from_iter(["Troy", "518"])]))
+            .unwrap();
+        assert!(
+            writer.step(&hub, Duration::from_millis(10)).is_err(),
+            "the injected snapshot failure propagates"
+        );
+        // Pre-fix this wait burned its whole deadline and returned false.
+        assert!(
+            hub.queue().wait_applied(ticket, Duration::from_millis(50)),
+            "the batch must be marked applied despite the publish failure"
+        );
+        assert_eq!(hub.stats().write_errors, 1);
+        assert!(hub.last_error().unwrap().contains("publish after ticket"));
+
+        // The writer is still usable: the next batch publishes normally.
+        let next = hub
+            .submit(Delta::insert_only(vec![Tuple::from_iter([
+                "Colonie", "518",
+            ])]))
+            .unwrap();
+        assert_eq!(
+            writer.step(&hub, Duration::from_millis(10)).unwrap(),
+            StepOutcome::Applied(1)
+        );
+        assert!(hub.queue().is_applied(next));
+        assert_eq!(hub.snapshot().num_rows(), 4, "both inserts landed");
+    }
+
+    /// Regression (producer deadlock): `run` used to propagate a step error
+    /// without closing the queue, leaving producers blocked in backpressure
+    /// forever. Now any writer exit aborts the hub, so this join completes.
+    #[test]
+    fn writer_death_releases_blocked_producers() {
+        let (mut writer, hub) = Writer::bootstrap(ready_session(), 1, 1).unwrap();
+        writer.fail_next_snapshots = 1;
+        let accepted = std::thread::scope(|s| {
+            let hub = &hub;
+            // Keep one producer pushing until the queue refuses: with
+            // capacity 1 and a dead writer it inevitably ends up blocked in
+            // `push`, and only the abort path can release it. Pre-fix, this
+            // thread never finished and the test hung.
+            let producer = s.spawn(move || {
+                let mut accepted = 0u64;
+                loop {
+                    match hub.submit(Delta::insert_only(vec![Tuple::from_iter(["Troy", "518"])])) {
+                        Ok(_) => accepted += 1,
+                        Err(e) => return (accepted, e),
+                    }
+                }
+            });
+            let result = writer.run(hub);
+            assert!(result.is_err(), "the injected failure kills the writer");
+            let (accepted, error) = producer.join().unwrap();
+            assert!(
+                matches!(error, crate::ServeError::QueueClosed),
+                "blocked producer was woken with a closed-queue error, got {error}"
+            );
+            accepted
+        });
+        // If a ticket slipped in after the writer's last batch it will never
+        // be applied — barriers on it must fail fast, not burn the timeout.
+        if accepted > hub.queue().applied_ticket() {
+            let start = std::time::Instant::now();
+            assert!(!hub.queue().wait_applied(accepted, Duration::from_secs(30)));
+            assert!(start.elapsed() < Duration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn durable_bootstrap_logs_recovers_and_verifies() {
+        let dir = temp_dir("durable");
+
+        // First run: bootstrap fresh, apply two batches, drain cleanly.
+        let (mut writer, hub, recovery) =
+            Writer::bootstrap_durable(ready_session(), 8, 4, &dir).unwrap();
+        assert_eq!(recovery, RecoveryReport::default());
+        assert!(hub.is_durable());
+        let first_epoch = hub.epoch();
+        hub.submit(Delta::insert_only(vec![Tuple::from_iter([
+            "Albany", "519",
+        ])]))
+        .unwrap();
+        writer.step(&hub, Duration::from_millis(10)).unwrap();
+        hub.submit(Delta::delete_only(vec![Tuple::from_iter(["NYC", "212"])]))
+            .unwrap();
+        writer.step(&hub, Duration::from_millis(10)).unwrap();
+        let crashed_epoch = hub.epoch();
+        let crashed_report = hub.snapshot().report().clone();
+        drop((writer, hub)); // "crash": nothing flushed beyond the per-ACK fsyncs
+
+        // Second run: same base session, recovered from the log.
+        let (writer, hub, recovery) =
+            Writer::bootstrap_durable(ready_session(), 8, 4, &dir).unwrap();
+        assert_eq!(recovery.deltas_applied, 2);
+        assert_eq!(recovery.last_ticket, 2);
+        assert!(
+            recovery.checkpoints_verified >= 3,
+            "bootstrap + two epochs, got {}",
+            recovery.checkpoints_verified
+        );
+        assert_eq!(recovery.apply_errors, 0);
+        assert_eq!(hub.epoch(), crashed_epoch, "epochs reproduce exactly");
+        assert!(hub.epoch() > first_epoch);
+        let snap = hub.snapshot();
+        assert_eq!(snap.report(), &crashed_report, "report is byte-identical");
+        assert_eq!(&snap.detect_fresh().unwrap(), snap.report());
+        // New tickets continue the logged numbering.
+        let t = hub
+            .submit(Delta::insert_only(vec![Tuple::from_iter(["Troy", "518"])]))
+            .unwrap();
+        assert_eq!(t, 3);
+        drop(writer);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A divergent base (different constraints than the log was written
+    /// against) must be refused at recovery, not served silently.
+    #[test]
+    fn durable_bootstrap_detects_divergent_base() {
+        let dir = temp_dir("diverge");
+        let (mut writer, hub, _) = Writer::bootstrap_durable(ready_session(), 8, 4, &dir).unwrap();
+        hub.submit(Delta::insert_only(vec![Tuple::from_iter([
+            "Albany", "519",
+        ])]))
+        .unwrap();
+        writer.step(&hub, Duration::from_millis(10)).unwrap();
+        drop((writer, hub));
+
+        // Same data, different constraint set → different report hashes.
+        let schema = Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build();
+        let data = Relation::with_tuples(
+            schema,
+            [
+                Tuple::from_iter(["Albany", "718"]),
+                Tuple::from_iter(["NYC", "212"]),
+            ],
+        )
+        .unwrap();
+        let mut other = Session::new();
+        other.load(data).unwrap();
+        other
+            .register_text("cust: [CT] -> [AC] | [], { {NYC} || {212} }")
+            .unwrap();
+        let err = Writer::bootstrap_durable(other, 8, 4, &dir).unwrap_err();
+        assert!(
+            matches!(err, crate::ServeError::Replication(_)),
+            "expected divergence, got {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

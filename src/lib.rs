@@ -32,6 +32,9 @@
 //!   delta batches from a bounded ingest queue, Arc-swapped snapshot
 //!   publication for lock-free readers, and a line protocol over TCP
 //!   (see `ARCHITECTURE.md` for the epoch lifecycle).
+//! * [`wal`] — an append-only write-ahead log of ticket-ordered delta
+//!   records with checksummed framing and epoch checkpoints; the serving
+//!   layer's durability and replication substrate.
 //! * [`datagen`] — synthetic workloads reproducing the paper's experimental
 //!   setting.
 //!
@@ -83,6 +86,7 @@ pub use ecfd_relation as relation;
 pub use ecfd_repair as repair;
 pub use ecfd_serve as serve;
 pub use ecfd_session as session;
+pub use ecfd_wal as wal;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -109,4 +113,5 @@ pub mod prelude {
     };
     pub use ecfd_serve::{Hub, ServeConfig, Server, SnapshotStore, Writer};
     pub use ecfd_session::{RoutingPolicy, Session, SessionError, Snapshot, Stage};
+    pub use ecfd_wal::{Wal, WalRecord};
 }
