@@ -15,9 +15,10 @@
 //!    in-memory delta is the price of crash safety.
 //!
 //! Every reader round-trip asserts byte-identical cached-vs-fresh reports,
-//! so the benchmark doubles as a stress test of snapshot isolation. Results
-//! go to a machine-readable `BENCH_serve.json` (CI uploads it as an
-//! artifact).
+//! so the benchmark doubles as a stress test of snapshot isolation. Each
+//! phase also records per-round-trip latency into an [`ecfd_obs::Histogram`]
+//! and reports p50/p95/p99. Results go to a machine-readable
+//! `BENCH_serve.json` (CI uploads it as an artifact).
 //!
 //! ```text
 //! cargo run --release -p ecfd_bench --bin bench_serve -- \
@@ -25,6 +26,7 @@
 //! ```
 
 use ecfd_bench::PreparedWorkload;
+use ecfd_obs::{Histogram, HistogramSnapshot};
 use ecfd_relation::Delta;
 use ecfd_serve::Writer;
 use ecfd_session::Session;
@@ -84,6 +86,11 @@ struct PhaseResult {
     reads_per_sec: f64,
     epochs_advanced: u64,
     deltas_applied: u64,
+    /// Per reader round-trip (snapshot → detect_fresh → verify) latency.
+    read_latency: HistogramSnapshot,
+    /// Per writer-apply latency during this phase, scoped out of the
+    /// process-wide `writer.apply.ns` histogram by diffing two readings.
+    apply_latency: HistogramSnapshot,
 }
 
 /// Runs one measurement phase: `readers` verify-loops for `duration`, with
@@ -114,6 +121,12 @@ fn run_phase(
     };
     let start_epoch = hub.epoch();
     let stop = Arc::new(AtomicBool::new(false));
+    // One lock-free histogram shared by all readers of this phase; the
+    // writer's apply latency comes from the process-wide registry instead,
+    // scoped to the phase by snapshotting before and after.
+    let read_hist = Histogram::new();
+    let apply_hist = hub.metrics().histogram("writer.apply.ns");
+    let apply_before = apply_hist.snapshot();
 
     let mut deltas_applied = 0u64;
     let reads_total: u64 = std::thread::scope(|scope| {
@@ -121,17 +134,20 @@ fn run_phase(
             .map(|_| {
                 let hub = &hub;
                 let stop = stop.clone();
+                let read_hist = read_hist.clone();
                 scope.spawn(move || {
                     let mut rounds = 0u64;
                     while !stop.load(Ordering::Relaxed) {
-                        let snap = hub.snapshot();
-                        let fresh = snap.detect_fresh().expect("frozen scan succeeds");
-                        assert_eq!(
-                            &fresh,
-                            snap.report(),
-                            "snapshot isolation violated at epoch {}",
-                            snap.epoch()
-                        );
+                        read_hist.time(|| {
+                            let snap = hub.snapshot();
+                            let fresh = snap.detect_fresh().expect("frozen scan succeeds");
+                            assert_eq!(
+                                &fresh,
+                                snap.report(),
+                                "snapshot isolation violated at epoch {}",
+                                snap.epoch()
+                            );
+                        });
                         rounds += 1;
                     }
                     rounds
@@ -172,6 +188,8 @@ fn run_phase(
         reads_per_sec: reads_total as f64 / duration.as_secs_f64(),
         epochs_advanced: hub.epoch() - start_epoch,
         deltas_applied,
+        read_latency: read_hist.snapshot(),
+        apply_latency: apply_hist.snapshot().since(&apply_before),
     }
 }
 
@@ -188,14 +206,23 @@ fn main() {
 
     let idle = run_phase(&workload, &args, duration, false, None);
     println!(
-        "no write load:  {} readers, {:.0} verified detect round-trips/s ({} total)",
-        args.readers, idle.reads_per_sec, idle.reads_total
+        "no write load:  {} readers, {:.0} verified detect round-trips/s ({} total), \
+         read {}",
+        args.readers,
+        idle.reads_per_sec,
+        idle.reads_total,
+        quantile_line(&idle.read_latency)
     );
     let loaded = run_phase(&workload, &args, duration, true, None);
     println!(
         "write load:     {} readers, {:.0} verified detect round-trips/s ({} total), \
-         {} epochs published",
-        args.readers, loaded.reads_per_sec, loaded.reads_total, loaded.epochs_advanced
+         {} epochs published, read {}, apply {}",
+        args.readers,
+        loaded.reads_per_sec,
+        loaded.reads_total,
+        loaded.epochs_advanced,
+        quantile_line(&loaded.read_latency),
+        quantile_line(&loaded.apply_latency)
     );
     let wal_dir = std::env::temp_dir().join(format!("ecfd-bench-wal-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&wal_dir);
@@ -203,17 +230,45 @@ fn main() {
     let _ = std::fs::remove_dir_all(&wal_dir);
     println!(
         "durable load:   {} readers, {:.0} verified detect round-trips/s ({} total), \
-         {} epochs published, {} deltas fsynced",
+         {} epochs published, {} deltas fsynced, read {}, apply {}",
         args.readers,
         durable.reads_per_sec,
         durable.reads_total,
         durable.epochs_advanced,
-        durable.deltas_applied
+        durable.deltas_applied,
+        quantile_line(&durable.read_latency),
+        quantile_line(&durable.apply_latency)
     );
 
     let json = render_json(&args, &idle, &loaded, &durable);
     std::fs::write(&args.out, &json).expect("write benchmark output");
     println!("wrote {}", args.out);
+}
+
+/// `p50/p95/p99 µs (n samples)` for a phase-scoped latency histogram.
+fn quantile_line(snapshot: &HistogramSnapshot) -> String {
+    if snapshot.count() == 0 {
+        return "-".to_string();
+    }
+    let us = |q: f64| snapshot.quantile(q) as f64 / 1000.0;
+    format!(
+        "p50/p95/p99 {:.1}/{:.1}/{:.1} µs",
+        us(0.50),
+        us(0.95),
+        us(0.99)
+    )
+}
+
+/// One latency histogram as a JSON object (nanosecond quantiles).
+fn latency_json(snapshot: &HistogramSnapshot) -> String {
+    format!(
+        "{{ \"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {} }}",
+        snapshot.count(),
+        snapshot.quantile(0.50),
+        snapshot.quantile(0.95),
+        snapshot.quantile(0.99),
+        snapshot.max()
+    )
 }
 
 /// Renders the result as JSON by hand — the vendored serde shim has no
@@ -227,8 +282,14 @@ fn render_json(
     let phase = |r: &PhaseResult| {
         format!(
             "{{ \"reads_total\": {}, \"reads_per_sec\": {:.1}, \
-             \"epochs_advanced\": {}, \"deltas_applied\": {} }}",
-            r.reads_total, r.reads_per_sec, r.epochs_advanced, r.deltas_applied
+             \"epochs_advanced\": {}, \"deltas_applied\": {}, \
+             \"read_latency\": {}, \"apply_latency\": {} }}",
+            r.reads_total,
+            r.reads_per_sec,
+            r.epochs_advanced,
+            r.deltas_applied,
+            latency_json(&r.read_latency),
+            latency_json(&r.apply_latency)
         )
     };
     format!(

@@ -54,15 +54,21 @@ impl BackendKind {
         BackendKind::Sql,
         BackendKind::Incremental,
     ];
+
+    /// The lowercase name, as used in `detect.pass.ns{backend=…}` metric
+    /// labels and by [`fmt::Display`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendKind::Semantic => "semantic",
+            BackendKind::Sql => "sql",
+            BackendKind::Incremental => "incremental",
+        }
+    }
 }
 
 impl fmt::Display for BackendKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BackendKind::Semantic => write!(f, "semantic"),
-            BackendKind::Sql => write!(f, "sql"),
-            BackendKind::Incremental => write!(f, "incremental"),
-        }
+        f.write_str(self.as_str())
     }
 }
 

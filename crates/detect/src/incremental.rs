@@ -242,6 +242,7 @@ impl IncrementalDetector {
     /// the columnar view and the auxiliary state. Deletions are processed
     /// before insertions, as in the paper's presentation.
     pub fn apply(&mut self, catalog: &mut Catalog, delta: &Delta) -> Result<IncrementalStats> {
+        let pass_started = std::time::Instant::now();
         let mut stats = IncrementalStats::default();
         let mut changed_groups: HashSet<GroupKey> = HashSet::new();
 
@@ -253,6 +254,13 @@ impl IncrementalDetector {
             stats.groups_changed = changed_groups.len();
             stats.rows_reflagged = self.reflag_members(catalog, &changed_groups)?;
         }
+        crate::obs::record_pass(
+            "incremental",
+            (stats.inserted + stats.deleted + stats.rows_reflagged) as u64,
+            stats.groups_changed as u64,
+            0,
+            pass_started.elapsed(),
+        );
         Ok(stats)
     }
 

@@ -72,6 +72,7 @@ pub mod batch;
 pub mod encode;
 pub mod evidence;
 pub mod incremental;
+mod obs;
 pub mod parallel;
 pub mod report;
 pub mod semantic;

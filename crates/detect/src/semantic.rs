@@ -325,6 +325,7 @@ impl SemanticDetector {
         bounds: &[BoundECfd<'_>],
         total_rows: usize,
     ) -> (DetectionReport, EvidenceReport, GroupMap) {
+        let pass_started = std::time::Instant::now();
         let cells: &[CodedSingle] = &self.cells;
         let n_rows = view.num_rows();
         let threads = effective_threads(self.parallelism, n_rows, self.singles.len());
@@ -414,6 +415,13 @@ impl SemanticDetector {
             }
         }
         evidence.normalize();
+        crate::obs::record_pass(
+            "semantic",
+            n_rows as u64,
+            groups.len() as u64,
+            report.num_violations() as u64,
+            pass_started.elapsed(),
+        );
         (report, evidence, groups)
     }
 

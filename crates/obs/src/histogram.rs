@@ -1,0 +1,288 @@
+//! Lock-free fixed-bucket histograms with log-spaced buckets.
+//!
+//! The bucket layout is log-linear (HDR-style with two significant bits):
+//! values below [`LINEAR_MAX`] get one exact bucket each, and every octave
+//! `[2^o, 2^(o+1))` above that is split into [`SUB_BUCKETS`] equal sub-ranges.
+//! That bounds the relative quantile error at 25% while keeping the whole
+//! histogram a fixed array of [`BUCKETS`] atomic counters — recording is a
+//! handful of relaxed atomic increments, never a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Total number of buckets in every histogram.
+pub const BUCKETS: usize = 256;
+
+/// Values below this get one exact bucket each (`bucket == value`).
+const LINEAR_MAX: u64 = 16;
+
+/// Sub-buckets per octave above the linear range.
+const SUB_BUCKETS: usize = 4;
+
+/// First octave covered by the log-linear range (`log2(LINEAR_MAX)`).
+const FIRST_OCTAVE: u32 = 4;
+
+/// Maps a value to its bucket index. Total function: every `u64` lands in
+/// exactly one of the [`BUCKETS`] buckets.
+pub fn bucket_of(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros(); // >= FIRST_OCTAVE
+    let sub = ((value >> (octave - 2)) & 0b11) as usize;
+    LINEAR_MAX as usize + (octave - FIRST_OCTAVE) as usize * SUB_BUCKETS + sub
+}
+
+/// Inclusive upper bound of a bucket: the largest value that maps to it.
+/// Quantiles report this bound, so they never under-estimate.
+pub fn bucket_upper(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        return index as u64;
+    }
+    let rel = index - LINEAR_MAX as usize;
+    let octave = FIRST_OCTAVE + (rel / SUB_BUCKETS) as u32;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    let upper = ((sub + SUB_BUCKETS as u64 + 1) as u128) << (octave - 2);
+    u64::try_from(upper - 1).unwrap_or(u64::MAX)
+}
+
+struct Inner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free, mergeable latency/value histogram. Cloning is cheap and all
+/// clones share the same buckets, so a handle can be captured per thread.
+///
+/// Units are whatever the caller records — by convention, histograms whose
+/// registered name ends in `.ns` hold nanoseconds.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty, unregistered histogram (registries hand out shared
+    /// ones; standalone histograms are useful for scoped measurements).
+    pub fn new() -> Self {
+        Histogram {
+            inner: Arc::new(Inner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one value. Lock-free: three relaxed atomic RMWs plus one
+    /// `fetch_max`.
+    pub fn record(&self, value: u64) {
+        let inner = &self.inner;
+        inner.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Times `f` and records the elapsed nanoseconds.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record_duration(start.elapsed());
+        out
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time copy of the buckets for merging, diffing and
+    /// quantile extraction. Concurrent recording may be mid-flight; the copy
+    /// is still internally monotone (each bucket is read once).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.inner;
+        let buckets: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: inner.sum.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// An immutable copy of a histogram's buckets; the unit of merging, diffing
+/// and quantile extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot — the identity element of [`merge`](Self::merge).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Number of values in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact, not bucket-rounded).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds another snapshot in (bucket-wise addition). Commutative and
+    /// associative, so per-thread histograms can be combined in any order.
+    /// `sum` wraps on overflow, matching the atomic accumulation in
+    /// [`Histogram::record`].
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The values recorded *since* `earlier` was taken (bucket-wise saturating
+    /// subtraction) — how a monotone shared histogram is scoped to a phase.
+    /// `max` is the overall max, as bucket counts cannot recover the interval
+    /// max exactly.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets,
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the inclusive upper bound of the
+    /// bucket holding the rank-`ceil(q·count)` value — deterministic, never an
+    /// under-estimate, and within 25% relative error of the true value.
+    /// Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(index);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Raw bucket counts (length [`BUCKETS`]), for tests and custom renderers.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_value_lands_in_a_valid_bucket_below_its_upper_bound() {
+        for value in (0..64u32).map(|shift| 1u64 << shift).chain(0..2000) {
+            for v in [value, value.saturating_sub(1), value.saturating_add(1)] {
+                let bucket = bucket_of(v);
+                assert!(bucket < BUCKETS);
+                assert!(bucket_upper(bucket) >= v, "upper({bucket}) < {v}");
+                if bucket > 0 {
+                    assert!(
+                        bucket_upper(bucket - 1) < v,
+                        "bucket {bucket} too high for {v}"
+                    );
+                }
+            }
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for v in 0..16usize {
+            assert_eq!(snap.buckets()[v], 1);
+        }
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn since_scopes_a_phase() {
+        let h = Histogram::new();
+        h.record(100);
+        let mark = h.snapshot();
+        h.record(1_000_000);
+        let phase = h.snapshot().since(&mark);
+        assert_eq!(phase.count(), 1);
+        assert!(phase.quantile(0.5) >= 1_000_000);
+    }
+}

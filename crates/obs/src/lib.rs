@@ -1,0 +1,41 @@
+//! # `ecfd_obs` — the observability core of the eCFD workspace
+//!
+//! Dependency-free metrics primitives shared by every layer of the serving
+//! stack: atomic [`Counter`]s and [`Gauge`]s, lock-free log-bucket
+//! [`Histogram`]s with p50/p95/p99 extraction, a process-wide [`Registry`],
+//! the [`timed`] span helper, and a deterministic, sorted, Prometheus-
+//! flavoured text exposition ([`Registry::render`]) that the `STATS` protocol
+//! verb serves over the wire.
+//!
+//! ## Design
+//!
+//! - **Process-wide by default.** Instrumented components (ingest queue,
+//!   writer, WAL sink, detectors, protocol handlers) report into
+//!   [`registry()`] without any plumbing; embedders read the same registry
+//!   back through `Hub::metrics()` or `STATS`. Counters are monotone, so
+//!   consumers scope measurements by diffing two readings.
+//! - **Lock-free hot path.** Recording into a counter, gauge or histogram is
+//!   a few relaxed atomic operations on shared `Arc` state; the registry's
+//!   name table is only locked when a handle is first fetched.
+//! - **Deterministic exposition.** Rendering sorts lines bytewise and never
+//!   depends on iteration order, so the same state always serializes to the
+//!   same text — tests and CI can assert on it directly.
+//!
+//! ```
+//! use ecfd_obs::{registry, timed};
+//!
+//! registry().counter("doc.widgets").add(3);
+//! timed("doc.step.ns", || { /* measured work */ });
+//! let text = registry().render_prefix("doc.");
+//! assert!(text.starts_with("doc.step.ns.count 1\n"));
+//! assert!(text.contains("doc.widgets 3\n"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod histogram;
+mod registry;
+
+pub use histogram::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{parse_exposition, registry, timed, Counter, Gauge, Registry};

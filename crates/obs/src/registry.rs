@@ -1,0 +1,368 @@
+//! The metric registry: named counters, gauges and histograms, plus the
+//! deterministic text exposition.
+//!
+//! # Naming convention
+//!
+//! Metric names are lower-case dotted paths, `component.thing[.unit]` —
+//! `ingest.accepted`, `writer.apply.ns`, `wal.fsync.count`. Time histograms
+//! end in `.ns` (they hold nanoseconds). Labels are `key="value"` pairs,
+//! rendered sorted by key, Prometheus-style: `serve.requests{verb="APPLY"} 3`.
+//!
+//! # Exposition
+//!
+//! [`Registry::render`] emits one `name[{labels}] value` line per scalar,
+//! sorted bytewise, with a trailing newline. Counters and gauges are one line
+//! each; a histogram named `h` expands to `h.count`, `h.max`, `h.sum` and
+//! quantile lines `h{q="0.50"}`, `h{q="0.95"}`, `h{q="0.99"}` (bucket upper
+//! bounds, never under-estimates). Rendering the same state twice yields
+//! byte-identical text.
+
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A monotonically increasing counter. Cloning is cheap; clones share state.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways. Clones share state.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics. Most code uses the process-wide
+/// [`registry()`](crate::registry); standalone registries exist for tests.
+///
+/// Looking a metric up takes a read lock on the name table — cheap, but hot
+/// paths should fetch their handles once (handles are lock-free thereafter).
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Entry>>,
+}
+
+/// What the registry stores per canonical key: the metric, its sorted
+/// labels, and the bare metric name (prefix filtering matches on the name).
+type Entry = (Metric, Vec<(String, String)>, String);
+
+/// Canonical map key: `name` alone, or `name{k="v",…}` with labels sorted.
+fn canonical_key(name: &str, labels: &[(&str, &str)]) -> (String, Vec<(String, String)>) {
+    let mut sorted: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    sorted.sort();
+    (render_key(name, &sorted, &[]), sorted)
+}
+
+/// Renders `name{labels, extra} `-style keys; `extra` is spliced in sorted
+/// with the rest (used for histogram quantile labels).
+fn render_key(name: &str, labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return name.to_string();
+    }
+    let mut all: Vec<(&str, &str)> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+        .collect();
+    all.sort();
+    let body: Vec<String> = all.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let (key, sorted) = canonical_key(name, labels);
+        if let Some((metric, _, _)) = self.metrics.read().expect("obs registry lock").get(&key) {
+            return metric.clone();
+        }
+        let mut table = self.metrics.write().expect("obs registry lock");
+        table
+            .entry(key)
+            .or_insert_with(|| (make(), sorted, name.to_string()))
+            .0
+            .clone()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Labelled variant of [`Registry::counter`].
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Labelled variant of [`Registry::gauge`].
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Labelled variant of [`Registry::histogram`].
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_insert(name, labels, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Renders every metric as sorted `name[{labels}] value` lines with a
+    /// trailing newline (empty string when no metric matches). See the module
+    /// docs for the exact format.
+    pub fn render(&self) -> String {
+        self.render_prefix("")
+    }
+
+    /// Like [`Registry::render`], restricted to metrics whose *name* starts
+    /// with `prefix` (labels are not matched).
+    pub fn render_prefix(&self, prefix: &str) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        let table = self.metrics.read().expect("obs registry lock");
+        for (metric, labels, name) in table.values() {
+            if !name.starts_with(prefix) {
+                continue;
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    lines.push(format!("{} {}", render_key(name, labels, &[]), c.get()));
+                }
+                Metric::Gauge(g) => {
+                    lines.push(format!("{} {}", render_key(name, labels, &[]), g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    for (suffix, value) in [
+                        (".count", snap.count()),
+                        (".max", snap.max()),
+                        (".sum", snap.sum()),
+                    ] {
+                        let full = format!("{name}{suffix}");
+                        lines.push(format!("{} {}", render_key(&full, labels, &[]), value));
+                    }
+                    for (q, tag) in [(0.50, "0.50"), (0.95, "0.95"), (0.99, "0.99")] {
+                        lines.push(format!(
+                            "{} {}",
+                            render_key(name, labels, &[("q", tag)]),
+                            snap.quantile(q)
+                        ));
+                    }
+                }
+            }
+        }
+        drop(table);
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let table = self.metrics.read().expect("obs registry lock");
+        f.debug_struct("Registry")
+            .field("metrics", &table.len())
+            .finish()
+    }
+}
+
+/// The process-wide registry every instrumented component reports to.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Times `f` and records the elapsed nanoseconds into the process-wide
+/// histogram `name` — the one-line span API:
+///
+/// ```
+/// let sum = ecfd_obs::timed("demo.sum.ns", || (0..100u64).sum::<u64>());
+/// assert_eq!(sum, 4950);
+/// ```
+///
+/// Each call looks the histogram up by name; hot loops should hold a
+/// [`Histogram`] handle and use [`Histogram::time`] instead.
+pub fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let histogram = registry().histogram(name);
+    let start = Instant::now();
+    let out = f();
+    histogram.record_duration(start.elapsed());
+    out
+}
+
+/// Parses exposition text back into sorted `(key, value)` pairs — the inverse
+/// of [`Registry::render`], used by tests and the CI metrics smoke check.
+/// Lines that do not match the format are reported as errors.
+pub fn parse_exposition(text: &str) -> Result<Vec<(String, i64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("exposition line without value: `{line}`"))?;
+        let value: i64 = value
+            .parse()
+            .map_err(|_| format!("non-numeric exposition value: `{line}`"))?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_render_sorted() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(2);
+        reg.counter("b.count").inc();
+        reg.gauge("a.depth").set(-3);
+        reg.counter_with("c.requests", &[("verb", "PING")]).inc();
+        assert_eq!(
+            reg.render(),
+            "a.depth -3\nb.count 3\nc.requests{verb=\"PING\"} 1\n"
+        );
+        assert_eq!(reg.render_prefix("b."), "b.count 3\n");
+        assert_eq!(reg.render_prefix("zzz"), "");
+    }
+
+    #[test]
+    fn histogram_renders_count_max_sum_and_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("t.ns");
+        h.record(10);
+        h.record(12);
+        let text = reg.render();
+        assert!(text.contains("t.ns.count 2\n"));
+        assert!(text.contains("t.ns.max 12\n"));
+        assert!(text.contains("t.ns.sum 22\n"));
+        assert!(text.contains("t.ns{q=\"0.50\"} 10\n"));
+        assert!(text.contains("t.ns{q=\"0.99\"} 12\n"));
+    }
+
+    #[test]
+    fn parse_inverts_render() {
+        let reg = Registry::new();
+        reg.counter("x").add(7);
+        reg.gauge("y").set(-1);
+        let parsed = parse_exposition(&reg.render()).unwrap();
+        assert_eq!(parsed, vec![("x".into(), 7), ("y".into(), -1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("same.name");
+        reg.gauge("same.name");
+    }
+
+    #[test]
+    fn timed_records_into_the_global_registry() {
+        let value = timed("obs.test.timed.ns", || 41 + 1);
+        assert_eq!(value, 42);
+        assert!(registry().histogram("obs.test.timed.ns").count() >= 1);
+    }
+}

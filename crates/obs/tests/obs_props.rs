@@ -1,0 +1,190 @@
+//! Property and concurrency tests for `ecfd_obs`: histogram bucket/merge
+//! invariants, multi-threaded counter accuracy, and exposition stability.
+
+use ecfd_obs::{
+    bucket_of, bucket_upper, parse_exposition, Histogram, HistogramSnapshot, Registry, BUCKETS,
+};
+use proptest::prelude::*;
+
+/// Value pool spanning every interesting regime: the exact linear range,
+/// octave boundaries, mid-octave values, and the u64 extremes.
+fn arb_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..32,
+        (0u32..64).prop_map(|shift| 1u64 << shift),
+        (0u32..64).prop_map(|shift| (1u64 << shift).wrapping_sub(1)),
+        any::<u64>(),
+    ]
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(arb_value(), 0..64)
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Splitting a stream across two histograms and merging equals recording
+    /// everything into one — in either merge order.
+    #[test]
+    fn record_merge_commutes(values in arb_values(), split in 0usize..64) {
+        let split = split.min(values.len());
+        let (left, right) = values.split_at(split);
+        let whole = record_all(&values);
+        let (a, b) = (record_all(left), record_all(right));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        prop_assert_eq!(ab.buckets(), ba.buckets());
+        prop_assert_eq!(ab.buckets(), whole.buckets());
+        prop_assert_eq!(ab.count(), whole.count());
+        prop_assert_eq!(ab.max(), whole.max());
+        // Sum may wrap only if the values sum past u64::MAX; keep inputs that
+        // cannot, by checking against the same wrapping fold.
+        let expect: u64 = values.iter().fold(0u64, |acc, v| acc.wrapping_add(*v));
+        prop_assert_eq!(ab.sum(), expect);
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max buckets.
+    #[test]
+    fn quantiles_are_monotone(values in arb_values(), qa in 0u32..=100, qb in 0u32..=100) {
+        let snap = record_all(&values);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(snap.quantile(lo as f64 / 100.0) <= snap.quantile(hi as f64 / 100.0));
+        if !values.is_empty() {
+            let max = *values.iter().max().unwrap();
+            // The top quantile is the max's bucket bound: >= max, <= 1.25*max.
+            let p100 = snap.quantile(1.0);
+            prop_assert!(p100 >= max);
+            prop_assert_eq!(p100, bucket_upper(bucket_of(max)));
+        }
+    }
+
+    /// Every value maps into a bucket whose bounds actually contain it, with
+    /// at most 25% relative slack on the upper bound.
+    #[test]
+    fn bucket_bounds_contain_their_values(value in arb_value()) {
+        let bucket = bucket_of(value);
+        prop_assert!(bucket < BUCKETS);
+        let upper = bucket_upper(bucket);
+        prop_assert!(upper >= value);
+        if bucket > 0 {
+            prop_assert!(bucket_upper(bucket - 1) < value);
+        }
+        // Log-linear guarantee: bound over-estimates by at most 25%.
+        if value >= 16 {
+            prop_assert!((upper - value) <= value / 4 + 1, "upper {upper} vs {value}");
+        }
+    }
+
+    /// `since` scopes exactly the values recorded between two snapshots.
+    #[test]
+    fn since_recovers_the_delta(before in arb_values(), after in arb_values()) {
+        let h = Histogram::new();
+        for &v in &before {
+            h.record(v);
+        }
+        let mark = h.snapshot();
+        for &v in &after {
+            h.record(v);
+        }
+        let phase = h.snapshot().since(&mark);
+        prop_assert_eq!(phase.count(), after.len() as u64);
+        prop_assert_eq!(phase.buckets(), record_all(&after).buckets());
+    }
+}
+
+/// N threads hammering shared counter/gauge/histogram handles lose nothing.
+#[test]
+fn concurrent_updates_are_exact() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let registry = Registry::new();
+    let counter = registry.counter("mt.counter");
+    let gauge = registry.gauge("mt.gauge");
+    let histogram = registry.histogram("mt.ns");
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(1);
+                    gauge.sub(1);
+                    histogram.record(t as u64 * PER_THREAD + i);
+                }
+            });
+        }
+    });
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), total);
+    assert_eq!(gauge.get(), 0);
+    let snap = histogram.snapshot();
+    assert_eq!(snap.count(), total);
+    assert_eq!(snap.max(), total - 1);
+    assert_eq!(snap.buckets().iter().sum::<u64>(), total);
+}
+
+/// Rendering is stable (same state → byte-identical text), sorted, and
+/// parseable back into exactly the values that were recorded.
+#[test]
+fn exposition_round_trips_and_is_stable() {
+    let registry = Registry::new();
+    registry.counter("ingest.accepted").add(41);
+    registry.gauge("ingest.queue.depth").set(-2);
+    registry
+        .counter_with("serve.requests", &[("verb", "APPLY")])
+        .add(3);
+    registry
+        .counter_with("serve.requests", &[("verb", "DETECT")])
+        .add(5);
+    let h = registry.histogram("writer.apply.ns");
+    for v in [10, 11, 12, 13, 2000] {
+        h.record(v);
+    }
+
+    let text = registry.render();
+    assert_eq!(text, registry.render(), "render must be deterministic");
+
+    let mut lines: Vec<&str> = text.lines().collect();
+    let rendered = lines.clone();
+    lines.sort();
+    assert_eq!(lines, rendered, "exposition must be sorted");
+
+    let parsed = parse_exposition(&text).unwrap();
+    let get = |key: &str| -> i64 {
+        parsed
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("missing `{key}` in:\n{text}"))
+            .1
+    };
+    assert_eq!(get("ingest.accepted"), 41);
+    assert_eq!(get("ingest.queue.depth"), -2);
+    assert_eq!(get("serve.requests{verb=\"APPLY\"}"), 3);
+    assert_eq!(get("serve.requests{verb=\"DETECT\"}"), 5);
+    assert_eq!(get("writer.apply.ns.count"), 5);
+    assert_eq!(get("writer.apply.ns.sum"), 2046);
+    assert_eq!(get("writer.apply.ns.max"), 2000);
+    assert_eq!(get("writer.apply.ns{q=\"0.50\"}"), 12);
+    assert!(get("writer.apply.ns{q=\"0.99\"}") >= 2000);
+
+    // Prefix filtering keeps only matching names, still sorted.
+    let ingest_only = registry.render_prefix("ingest.");
+    assert_eq!(ingest_only, "ingest.accepted 41\ningest.queue.depth -2\n");
+}

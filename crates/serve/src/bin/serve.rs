@@ -207,7 +207,7 @@ fn main() {
     };
     let addr = server.local_addr().expect("bound listener has an address");
     println!("serving on {addr}");
-    println!("protocol: PING | EPOCH | DETECT [FRESH] | CHECK | EXPLAIN | APPLY +f,… -f,… | SYNC | REPLAY c [n] | REPAIR-PLAN | QUIT");
+    println!("protocol: PING | EPOCH | DETECT [FRESH] | CHECK | EXPLAIN | APPLY +f,… -f,… | SYNC | REPLAY c [n] | REPAIR-PLAN | STATS [prefix] | INFO | QUIT");
 
     if let Some(leader) = args.follow.clone() {
         let hub = server.handle().hub().clone();
@@ -241,8 +241,12 @@ fn main() {
         });
     }
 
+    let hub = server.handle().hub().clone();
     match server.run() {
-        Ok(_session) => println!("shut down cleanly"),
+        Ok(_session) => {
+            println!("shut down cleanly; final metrics:");
+            print!("{}", hub.metrics().render());
+        }
         Err(e) => {
             eprintln!("serve: {e}");
             std::process::exit(1);

@@ -105,6 +105,29 @@ impl Client {
         }
     }
 
+    /// `STATS [<prefix>]` → the metrics exposition text (sorted `name value`
+    /// lines with a trailing newline; empty when `prefix` matched nothing).
+    /// Parse it back into pairs with [`ecfd_obs::parse_exposition`].
+    pub fn stats(&mut self, prefix: Option<&str>) -> Result<String> {
+        let request = Request::Stats {
+            prefix: prefix.map(str::to_string),
+        };
+        match self.request(&request)? {
+            Response::Metrics { text } => Ok(text),
+            Response::Err { message } => Err(ServeError::Protocol(message)),
+            other => Err(unexpected("METRICS", &other)),
+        }
+    }
+
+    /// `INFO` → the liveness-probe response ([`Response::Info`]).
+    pub fn info(&mut self) -> Result<Response> {
+        match self.request(&Request::Info)? {
+            info @ Response::Info { .. } => Ok(info),
+            Response::Err { message } => Err(ServeError::Protocol(message)),
+            other => Err(unexpected("INFO", &other)),
+        }
+    }
+
     /// `QUIT` → expects `BYE` and drops the connection.
     pub fn quit(mut self) -> Result<()> {
         match self.request(&Request::Quit)? {

@@ -12,11 +12,42 @@
 use crate::ingest::Ticket;
 use crate::{Result, ServeError};
 use ecfd_detect::DetectionReport;
+use ecfd_obs::{Counter, Histogram};
 use ecfd_relation::Delta;
 use ecfd_session::Session;
 use ecfd_wal::{Wal, WalRecord};
 use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex};
+
+/// Handles into the process-wide registry for the WAL sink's metrics.
+struct SinkMetrics {
+    /// `wal.append.count` — records appended (deltas and checkpoints).
+    appends: Counter,
+    /// `wal.bytes` — frame bytes written to the log.
+    bytes: Counter,
+    /// `wal.fsync.count` — `fdatasync` calls issued.
+    fsyncs: Counter,
+    /// `wal.fsync.ns` — `fdatasync` latency.
+    fsync_latency: Histogram,
+}
+
+impl SinkMetrics {
+    fn fetch() -> Self {
+        let registry = ecfd_obs::registry();
+        SinkMetrics {
+            appends: registry.counter("wal.append.count"),
+            bytes: registry.counter("wal.bytes"),
+            fsyncs: registry.counter("wal.fsync.count"),
+            fsync_latency: registry.histogram("wal.fsync.ns"),
+        }
+    }
+
+    /// One timed, counted fsync.
+    fn sync(&self, wal: &mut Wal) -> ecfd_wal::Result<()> {
+        self.fsyncs.inc();
+        self.fsync_latency.time(|| wal.sync())
+    }
+}
 
 /// Canonical 64-bit hash (FNV-1a) of a detection report: total rows, then
 /// the SV row ids, then the MV row ids, all as little-endian `u64`s with
@@ -47,6 +78,7 @@ pub fn report_hash(report: &DetectionReport) -> u64 {
 
 struct SinkState {
     wal: Wal,
+    metrics: SinkMetrics,
     /// Records that arrived ahead of their turn, keyed by ticket.
     pending: BTreeMap<Ticket, Delta>,
     /// Highest ticket whose record is on disk and fsynced.
@@ -77,6 +109,7 @@ impl WalSink {
         WalSink {
             state: Mutex::new(SinkState {
                 wal,
+                metrics: SinkMetrics::fetch(),
                 pending: BTreeMap::new(),
                 durable,
                 failed: None,
@@ -137,10 +170,15 @@ impl WalSink {
             last_ticket,
             report_hash,
         };
+        let state = &mut *state;
         let result = state
             .wal
             .append(&record)
-            .and_then(|()| state.wal.sync())
+            .and_then(|bytes| {
+                state.metrics.appends.inc();
+                state.metrics.bytes.add(bytes as u64);
+                state.metrics.sync(&mut state.wal)
+            })
             .map_err(ServeError::from);
         if let Err(e) = &result {
             state.failed = Some(e.to_string());
@@ -157,16 +195,23 @@ fn drain(state: &mut SinkState) -> Result<()> {
     let mut appended = false;
     while let Some(delta) = state.pending.remove(&(state.durable + 1)) {
         let ticket = state.durable + 1;
-        if let Err(e) = state.wal.append(&WalRecord::Delta { ticket, delta }) {
-            let e = ServeError::from(e);
-            state.failed = Some(e.to_string());
-            return Err(e);
+        match state.wal.append(&WalRecord::Delta { ticket, delta }) {
+            Ok(bytes) => {
+                state.metrics.appends.inc();
+                state.metrics.bytes.add(bytes as u64);
+            }
+            Err(e) => {
+                let e = ServeError::from(e);
+                state.failed = Some(e.to_string());
+                return Err(e);
+            }
         }
         state.durable = ticket;
         appended = true;
     }
     if appended {
-        if let Err(e) = state.wal.sync() {
+        let state = &mut *state;
+        if let Err(e) = state.metrics.sync(&mut state.wal) {
             let e = ServeError::from(e);
             state.failed = Some(e.to_string());
             return Err(e);
@@ -201,6 +246,30 @@ pub struct RecoveryReport {
     pub checkpoints_verified: usize,
     /// Torn-tail bytes dropped when the log was opened.
     pub truncated_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Publishes the replay stats as `wal.recovery.*` gauges in the
+    /// process-wide registry, so `STATS` (and the crash-recovery CI job) can
+    /// see what a `--recover` boot actually replayed.
+    pub(crate) fn export_metrics(&self) {
+        let registry = ecfd_obs::registry();
+        registry
+            .gauge("wal.recovery.deltas")
+            .set(self.deltas_applied as i64);
+        registry
+            .gauge("wal.recovery.apply.errors")
+            .set(self.apply_errors as i64);
+        registry
+            .gauge("wal.recovery.checkpoints.verified")
+            .set(self.checkpoints_verified as i64);
+        registry
+            .gauge("wal.recovery.truncated.bytes")
+            .set(self.truncated_bytes as i64);
+        registry
+            .gauge("wal.recovery.last.ticket")
+            .set(self.last_ticket as i64);
+    }
 }
 
 /// Replays a WAL over a freshly prepared base session (same data loaded,

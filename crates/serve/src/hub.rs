@@ -39,11 +39,17 @@ pub struct Hub {
     /// Present in durable mode: the ticket-ordered WAL sink plus the log
     /// path the `REPLAY` verb reads from.
     durable: Option<DurableState>,
+    /// Set when this hub is fed by a [`Follower`](crate::Follower) replaying
+    /// a leader's WAL, as reported by `INFO`.
+    follower: AtomicBool,
 }
 
 struct DurableState {
     sink: WalSink,
     wal_path: PathBuf,
+    /// Whether the log held records at bootstrap (i.e. this run recovered
+    /// history rather than starting fresh) — `INFO` reports `recovered`.
+    recovered: bool,
 }
 
 impl std::fmt::Debug for Hub {
@@ -67,6 +73,7 @@ impl Hub {
             write_errors: AtomicU64::new(0),
             last_error: Mutex::new(None),
             durable: None,
+            follower: AtomicBool::new(false),
         })
     }
 
@@ -78,6 +85,7 @@ impl Hub {
         queue: IngestQueue,
         sink: WalSink,
         wal_path: PathBuf,
+        recovered: bool,
     ) -> Arc<Self> {
         Arc::new(Hub {
             store: SnapshotStore::new(initial),
@@ -85,13 +93,48 @@ impl Hub {
             shutdown: AtomicBool::new(false),
             write_errors: AtomicU64::new(0),
             last_error: Mutex::new(None),
-            durable: Some(DurableState { sink, wal_path }),
+            durable: Some(DurableState {
+                sink,
+                wal_path,
+                recovered,
+            }),
+            follower: AtomicBool::new(false),
         })
     }
 
     /// Whether submits are logged to a WAL before acknowledgement.
     pub fn is_durable(&self) -> bool {
         self.durable.is_some()
+    }
+
+    /// The WAL mode string `INFO` reports: `off` (in-memory), `durable`
+    /// (fresh log), or `recovered` (the log held history at bootstrap).
+    pub fn wal_mode(&self) -> &'static str {
+        match &self.durable {
+            None => "off",
+            Some(state) if state.recovered => "recovered",
+            Some(_) => "durable",
+        }
+    }
+
+    /// Marks this hub as follower-fed (set by [`Follower`](crate::Follower));
+    /// reported by `INFO`.
+    pub(crate) fn mark_follower(&self) {
+        self.follower.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a [`Follower`](crate::Follower) replays a leader's WAL into
+    /// this hub.
+    pub fn is_follower(&self) -> bool {
+        self.follower.load(Ordering::SeqCst)
+    }
+
+    /// The process-wide metrics registry every serving component reports
+    /// into — the in-process equivalent of the `STATS` verb. Render it with
+    /// [`Registry::render`](ecfd_obs::Registry::render); counters are
+    /// monotone, so embedders scope a measurement by diffing two readings.
+    pub fn metrics(&self) -> &'static ecfd_obs::Registry {
+        ecfd_obs::registry()
     }
 
     /// Path of the WAL file in durable mode (what `REPLAY` streams from).
@@ -200,6 +243,7 @@ impl Hub {
     /// Records a writer-side apply failure (the batch is skipped).
     pub(crate) fn record_write_error(&self, message: String) {
         self.write_errors.fetch_add(1, Ordering::SeqCst);
+        ecfd_obs::registry().counter("serve.write.errors").inc();
         *self.last_error.lock().unwrap_or_else(|e| e.into_inner()) = Some(message);
     }
 

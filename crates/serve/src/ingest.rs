@@ -1,9 +1,40 @@
 //! The bounded ingest queue: how deltas reach the writer, with backpressure.
 
+use ecfd_obs::{Counter, Gauge, Histogram};
 use ecfd_relation::Delta;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Handles into the process-wide registry for the queue's metrics; fetched
+/// once at construction so the hot path never touches the registry lock.
+#[derive(Debug)]
+struct QueueMetrics {
+    /// `ingest.queue.depth` — deltas currently waiting for the writer.
+    depth: Gauge,
+    /// `ingest.accepted` — deltas that received a ticket.
+    accepted: Counter,
+    /// `ingest.rejected` — pushes refused (queue full or closed).
+    rejected: Counter,
+    /// `ingest.backpressure.wait.ns` — time producers spent blocked on a
+    /// full queue (recorded only when a push actually waited).
+    backpressure: Histogram,
+    /// `writer.epoch.lag` — accepted minus applied-and-published tickets.
+    lag: Gauge,
+}
+
+impl QueueMetrics {
+    fn fetch() -> Self {
+        let registry = ecfd_obs::registry();
+        QueueMetrics {
+            depth: registry.gauge("ingest.queue.depth"),
+            accepted: registry.counter("ingest.accepted"),
+            rejected: registry.counter("ingest.rejected"),
+            backpressure: registry.histogram("ingest.backpressure.wait.ns"),
+            lag: registry.gauge("writer.epoch.lag"),
+        }
+    }
+}
 
 /// Sequence number assigned to a submitted delta. Tickets are issued in
 /// submission order starting at 1; [`IngestQueue::is_applied`] /
@@ -54,6 +85,7 @@ pub struct IngestQueue {
     not_full: Condvar,
     progress: Condvar,
     capacity: usize,
+    metrics: QueueMetrics,
 }
 
 impl IngestQueue {
@@ -79,6 +111,7 @@ impl IngestQueue {
             not_full: Condvar::new(),
             progress: Condvar::new(),
             capacity: capacity.max(1),
+            metrics: QueueMetrics::fetch(),
         }
     }
 
@@ -122,10 +155,15 @@ impl IngestQueue {
     /// queue is shut down.
     pub fn push(&self, delta: Delta) -> Result<Ticket, PushError> {
         let mut inner = self.lock();
-        while inner.items.len() >= self.capacity && !inner.closed {
-            inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+        if inner.items.len() >= self.capacity && !inner.closed {
+            let blocked = Instant::now();
+            while inner.items.len() >= self.capacity && !inner.closed {
+                inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+            self.metrics.backpressure.record_duration(blocked.elapsed());
         }
         if inner.closed {
+            self.metrics.rejected.inc();
             return Err(PushError::Closed);
         }
         Ok(self.enqueue(&mut inner, delta))
@@ -136,9 +174,11 @@ impl IngestQueue {
     pub fn try_push(&self, delta: Delta) -> Result<Ticket, PushError> {
         let mut inner = self.lock();
         if inner.closed {
+            self.metrics.rejected.inc();
             return Err(PushError::Closed);
         }
         if inner.items.len() >= self.capacity {
+            self.metrics.rejected.inc();
             return Err(PushError::Full);
         }
         Ok(self.enqueue(&mut inner, delta))
@@ -148,6 +188,9 @@ impl IngestQueue {
         let ticket = inner.next_ticket;
         inner.next_ticket += 1;
         inner.items.push_back((ticket, delta));
+        self.metrics.accepted.inc();
+        self.metrics.depth.set(inner.items.len() as i64);
+        self.metrics.lag.set((ticket - inner.applied) as i64);
         self.progress.notify_all();
         ticket
     }
@@ -178,6 +221,7 @@ impl IngestQueue {
         }
         let take = max.max(1).min(inner.items.len());
         let batch: Vec<(Ticket, Delta)> = inner.items.drain(..take).collect();
+        self.metrics.depth.set(inner.items.len() as i64);
         self.not_full.notify_all();
         Some(batch)
     }
@@ -188,6 +232,9 @@ impl IngestQueue {
         let mut inner = self.lock();
         if ticket > inner.applied {
             inner.applied = ticket;
+            self.metrics
+                .lag
+                .set((inner.next_ticket - 1 - inner.applied) as i64);
             self.progress.notify_all();
         }
     }

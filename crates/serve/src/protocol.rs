@@ -21,6 +21,8 @@
 //! | `SYNC`                | block until every prior `APPLY` *on this connection* is applied + published |
 //! | `REPAIR-PLAN`         | plan (not apply) a repair of the current violations |
 //! | `REPLAY <cursor> [<max>]` | stream up to `max` applied WAL records starting at log position `cursor` (durable servers only) |
+//! | `STATS [<prefix>]`    | metrics exposition text (optionally filtered to names starting with `prefix`) |
+//! | `INFO`                | cheap liveness probe: version, epoch, tickets, WAL mode, follower status |
 //! | `QUIT`                | close the connection                               |
 //!
 //! Tuple fields in `APPLY` are percent-escaped and comma-separated; they are
@@ -40,8 +42,15 @@
 //! | `SYNCED`    | `SYNCED EPOCH <e>`                                           |
 //! | `PLAN`      | `PLAN EPOCH <e> DELETIONS <n> MODIFICATIONS <n> COST <f>`    |
 //! | `REPLAYED`  | `REPLAYED RECORDS <n> <records> NEXT <cursor>`               |
+//! | `METRICS`   | `METRICS LINES <n> <escaped exposition text>`                |
+//! | `INFO`      | `INFO VERSION <v> EPOCH <e> ACCEPTED <t> APPLIED <t> WAL <mode> FOLLOWER <bool>` |
 //! | `BYE`       | `BYE`                                                        |
 //! | `ERR`       | `ERR <escaped message>`                                      |
+//!
+//! A `METRICS` payload is the whole multi-line exposition of
+//! `ecfd_obs::Registry::render` percent-escaped into one token; `LINES` is
+//! its line count (0 with the `%e` empty payload when nothing matched the
+//! prefix). An `INFO` `WAL` mode is `off`, `durable`, or `recovered`.
 //!
 //! A `REPLAYED` record list is `;`-joined (`-` when empty); each record is
 //! `D@<ticket>@<op>|<op>|…` for a delta (ops rendered exactly like `APPLY`)
@@ -199,6 +208,14 @@ pub enum Request {
         /// Maximum records to return (the server may clamp it further).
         max: usize,
     },
+    /// `STATS [<prefix>]`: the metrics exposition, optionally filtered to
+    /// metric names starting with `prefix`.
+    Stats {
+        /// Metric-name prefix filter (`None` = everything).
+        prefix: Option<String>,
+    },
+    /// `INFO`: the cheap liveness probe.
+    Info,
     /// `QUIT`
     Quit,
 }
@@ -227,7 +244,31 @@ impl Request {
             Request::Sync => "SYNC".into(),
             Request::RepairPlan => "REPAIR-PLAN".into(),
             Request::Replay { cursor, max } => format!("REPLAY {cursor} {max}"),
+            Request::Stats { prefix: None } => "STATS".into(),
+            Request::Stats {
+                prefix: Some(prefix),
+            } => format!("STATS {}", encode_field(prefix)),
+            Request::Info => "INFO".into(),
             Request::Quit => "QUIT".into(),
+        }
+    }
+
+    /// The wire verb of this request — the label value of the server's
+    /// `serve.requests{verb=…}` / `serve.request.ns{verb=…}` metrics.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "PING",
+            Request::Epoch => "EPOCH",
+            Request::Detect { .. } => "DETECT",
+            Request::Check => "CHECK",
+            Request::Explain => "EXPLAIN",
+            Request::Apply { .. } => "APPLY",
+            Request::Sync => "SYNC",
+            Request::RepairPlan => "REPAIR-PLAN",
+            Request::Replay { .. } => "REPLAY",
+            Request::Stats { .. } => "STATS",
+            Request::Info => "INFO",
+            Request::Quit => "QUIT",
         }
     }
 
@@ -267,6 +308,10 @@ impl Request {
                 };
                 Request::Replay { cursor, max }
             }
+            "STATS" => Request::Stats {
+                prefix: tokens.next().map(decode_field).transpose()?,
+            },
+            "INFO" => Request::Info,
             "QUIT" => Request::Quit,
             other => return Err(format!("unknown verb `{other}`")),
         };
@@ -525,6 +570,28 @@ pub enum Response {
         /// Log position to pass as the next `REPLAY` cursor.
         next: u64,
     },
+    /// `METRICS …`: the metrics exposition a `STATS` request asked for.
+    Metrics {
+        /// The exposition text (`name value` lines, sorted, trailing
+        /// newline; empty when a prefix matched nothing). Carried on the
+        /// wire as one percent-escaped token.
+        text: String,
+    },
+    /// `INFO …`: the liveness probe.
+    Info {
+        /// Server crate version.
+        version: String,
+        /// Epoch of the published snapshot.
+        epoch: u64,
+        /// Highest ticket accepted into the ingest queue.
+        accepted: u64,
+        /// Highest ticket applied and published by the writer.
+        applied: u64,
+        /// WAL mode: `off`, `durable`, or `recovered`.
+        wal: String,
+        /// Whether a follower replays a leader's WAL into this server.
+        follower: bool,
+    },
     /// `BYE`
     Bye,
     /// `ERR …`: the request failed; the connection stays usable.
@@ -664,6 +731,26 @@ impl Response {
                 };
                 format!("REPLAYED RECORDS {} {list} NEXT {next}", records.len())
             }
+            Response::Metrics { text } => {
+                format!(
+                    "METRICS LINES {} {}",
+                    text.lines().count(),
+                    encode_field(text)
+                )
+            }
+            Response::Info {
+                version,
+                epoch,
+                accepted,
+                applied,
+                wal,
+                follower,
+            } => format!(
+                "INFO VERSION {} EPOCH {epoch} ACCEPTED {accepted} APPLIED {applied} \
+                 WAL {} FOLLOWER {follower}",
+                encode_field(version),
+                encode_field(wal)
+            ),
             Response::Bye => "BYE".into(),
             Response::Err { message } => format!("ERR {}", encode_field(message)),
         }
@@ -825,6 +912,44 @@ impl Response {
                 let next = parse_num(&mut tokens, "next cursor")?;
                 Response::Replayed { records, next }
             }
+            "METRICS" => {
+                expect_tag(&mut tokens, "LINES")?;
+                let count: usize = parse_num(&mut tokens, "line count")?;
+                let text = decode_field(tokens.next().ok_or("missing metrics payload")?)?;
+                if text.lines().count() != count {
+                    return Err(format!(
+                        "METRICS claims {count} lines but carries {}",
+                        text.lines().count()
+                    ));
+                }
+                Response::Metrics { text }
+            }
+            "INFO" => {
+                expect_tag(&mut tokens, "VERSION")?;
+                let version = decode_field(tokens.next().ok_or("missing version")?)?;
+                expect_tag(&mut tokens, "EPOCH")?;
+                let epoch = parse_num(&mut tokens, "epoch")?;
+                expect_tag(&mut tokens, "ACCEPTED")?;
+                let accepted = parse_num(&mut tokens, "accepted ticket")?;
+                expect_tag(&mut tokens, "APPLIED")?;
+                let applied = parse_num(&mut tokens, "applied ticket")?;
+                expect_tag(&mut tokens, "WAL")?;
+                let wal = decode_field(tokens.next().ok_or("missing wal mode")?)?;
+                expect_tag(&mut tokens, "FOLLOWER")?;
+                let follower = match tokens.next() {
+                    Some("true") => true,
+                    Some("false") => false,
+                    other => return Err(format!("bad follower flag {other:?}")),
+                };
+                Response::Info {
+                    version,
+                    epoch,
+                    accepted,
+                    applied,
+                    wal,
+                    follower,
+                }
+            }
             "BYE" => Response::Bye,
             "ERR" => {
                 let message = decode_field(tokens.next().unwrap_or(EMPTY_FIELD))?;
@@ -916,6 +1041,11 @@ mod tests {
                 cursor: 917,
                 max: 16,
             },
+            Request::Stats { prefix: None },
+            Request::Stats {
+                prefix: Some("wal.".into()),
+            },
+            Request::Info,
             Request::Quit,
         ];
         for request in requests {
@@ -936,6 +1066,8 @@ mod tests {
         assert!(Request::parse("PING PONG").is_err());
         assert!(Request::parse("REPLAY").is_err());
         assert!(Request::parse("REPLAY x").is_err());
+        assert!(Request::parse("STATS wal. extra").is_err());
+        assert!(Request::parse("INFO extra").is_err());
     }
 
     #[test]
@@ -1024,6 +1156,20 @@ mod tests {
                 records: vec![],
                 next: 0,
             },
+            Response::Metrics {
+                text: "ingest.accepted 3\nserve.requests{verb=\"APPLY\"} 3\n".into(),
+            },
+            Response::Metrics {
+                text: String::new(),
+            },
+            Response::Info {
+                version: "0.1.0".into(),
+                epoch: 9,
+                accepted: 12,
+                applied: 12,
+                wal: "recovered".into(),
+                follower: false,
+            },
             Response::Bye,
             Response::Err {
                 message: "tuple has 1 fields, schema `cust` has 2".into(),
@@ -1038,6 +1184,10 @@ mod tests {
         assert!(
             Response::parse("REPLAYED RECORDS 2 D@1 NEXT 2").is_err(),
             "record count must match the list"
+        );
+        assert!(
+            Response::parse("METRICS LINES 2 a%201").is_err(),
+            "line count must match the payload"
         );
     }
 

@@ -71,6 +71,7 @@ impl Follower {
     /// constraints as the leader's; a mismatch surfaces as a divergence
     /// error at the first checkpoint, not as silent drift.
     pub fn new(client: Client, hub: Arc<Hub>) -> Follower {
+        hub.mark_follower();
         let last_ticket = hub.queue().applied_ticket();
         Follower {
             client,
@@ -154,6 +155,15 @@ impl Follower {
         }
         self.cursor = next;
         progress.epoch = self.hub.epoch();
+        if progress.deltas_applied > 0 || progress.checkpoints_verified > 0 {
+            let registry = ecfd_obs::registry();
+            registry
+                .counter("replica.deltas.applied")
+                .add(progress.deltas_applied as u64);
+            registry
+                .counter("replica.checkpoints.verified")
+                .add(progress.checkpoints_verified as u64);
+        }
         Ok(progress)
     }
 

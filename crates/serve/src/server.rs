@@ -217,11 +217,32 @@ fn handle_connection(stream: TcpStream, hub: &Hub, config: &ServeConfig) -> std:
 /// Executes one request line against the hub. Never panics on client input —
 /// malformed lines come back as `ERR`. `last_ticket` is the connection's
 /// APPLY high-water mark (0 before the first APPLY), updated here on ACK.
+///
+/// Every parsed request is counted and timed under its wire verb
+/// (`serve.requests{verb=…}` / `serve.request.ns{verb=…}`); unparseable
+/// lines are counted under the pseudo-verb `INVALID`.
 fn respond(line: &str, hub: &Hub, config: &ServeConfig, last_ticket: &mut u64) -> Response {
+    let registry = ecfd_obs::registry();
     let request = match Request::parse(line) {
         Ok(request) => request,
-        Err(message) => return Response::Err { message },
+        Err(message) => {
+            registry
+                .counter_with("serve.requests", &[("verb", "INVALID")])
+                .inc();
+            return Response::Err { message };
+        }
     };
+    let verb = request.verb();
+    registry
+        .counter_with("serve.requests", &[("verb", verb)])
+        .inc();
+    registry
+        .histogram_with("serve.request.ns", &[("verb", verb)])
+        .time(|| dispatch(request, hub, config, last_ticket))
+}
+
+/// The verb dispatch behind [`respond`], separated so the caller can time it.
+fn dispatch(request: Request, hub: &Hub, config: &ServeConfig, last_ticket: &mut u64) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::Quit => Response::Bye,
@@ -317,6 +338,23 @@ fn respond(line: &str, hub: &Hub, config: &ServeConfig, last_ticket: &mut u64) -
             }
         }
         Request::Replay { cursor, max } => replay_response(hub, cursor, max),
+        Request::Stats { prefix } => Response::Metrics {
+            text: match prefix {
+                Some(prefix) => hub.metrics().render_prefix(&prefix),
+                None => hub.metrics().render(),
+            },
+        },
+        Request::Info => {
+            let queue = hub.queue();
+            Response::Info {
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                epoch: hub.epoch(),
+                accepted: queue.last_ticket(),
+                applied: queue.applied_ticket(),
+                wal: hub.wal_mode().to_string(),
+                follower: hub.is_follower(),
+            }
+        }
     }
 }
 

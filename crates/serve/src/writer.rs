@@ -4,11 +4,40 @@ use crate::durable::{recover_session, report_hash, RecoveryReport, WalSink};
 use crate::hub::Hub;
 use crate::ingest::{IngestQueue, Ticket};
 use crate::{Result, ServeError};
+use ecfd_obs::{Counter, Histogram};
 use ecfd_session::Session;
 use ecfd_wal::Wal;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Handles into the process-wide registry for the writer's metrics.
+#[derive(Debug)]
+struct WriterMetrics {
+    /// `writer.apply.ns` — per-ticket apply latency.
+    apply: Histogram,
+    /// `writer.apply.failed` — deltas that failed to apply and were skipped.
+    apply_failed: Counter,
+    /// `writer.batch.size` — deltas per writer cycle.
+    batch_size: Histogram,
+    /// `writer.publish.ns` — snapshot extraction + publish (+ checkpoint).
+    publish: Histogram,
+    /// `writer.epochs` — snapshots published.
+    epochs: Counter,
+}
+
+impl WriterMetrics {
+    fn fetch() -> Self {
+        let registry = ecfd_obs::registry();
+        WriterMetrics {
+            apply: registry.histogram("writer.apply.ns"),
+            apply_failed: registry.counter("writer.apply.failed"),
+            batch_size: registry.histogram("writer.batch.size"),
+            publish: registry.histogram("writer.publish.ns"),
+            epochs: registry.counter("writer.epochs"),
+        }
+    }
+}
 
 /// What one [`Writer::step`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +74,7 @@ pub struct Writer {
     session: Session,
     table: String,
     batch_max: usize,
+    metrics: WriterMetrics,
     /// Test-only fault injection: fail this many upcoming snapshot
     /// extractions, to exercise the publish-error path (a genuine
     /// `snapshot_of` failure is unreachable from a healthy session).
@@ -70,6 +100,7 @@ impl Writer {
                 session,
                 table,
                 batch_max: batch_max.max(1),
+                metrics: WriterMetrics::fetch(),
                 #[cfg(test)]
                 fail_next_snapshots: 0,
             },
@@ -106,8 +137,10 @@ impl Writer {
                 ))
             }
         };
+        let recovered = !opened.records.is_empty();
         let mut recovery = recover_session(&mut session, &table, &opened.records)?;
         recovery.truncated_bytes = opened.truncated_bytes;
+        recovery.export_metrics();
 
         let snapshot = session.snapshot_of(&table)?;
         let epoch = snapshot.epoch();
@@ -118,12 +151,13 @@ impl Writer {
         sink.log_checkpoint(epoch, recovery.last_ticket, hash)?;
 
         let queue = IngestQueue::starting_at(queue_capacity, recovery.last_ticket);
-        let hub = Hub::new_durable(snapshot, queue, sink, wal_path);
+        let hub = Hub::new_durable(snapshot, queue, sink, wal_path, recovered);
         Ok((
             Writer {
                 session,
                 table,
                 batch_max: batch_max.max(1),
+                metrics: WriterMetrics::fetch(),
                 #[cfg(test)]
                 fail_next_snapshots: 0,
             },
@@ -153,15 +187,24 @@ impl Writer {
         }
         let max_ticket = batch.iter().map(|(t, _)| *t).max().expect("non-empty");
         let count = batch.len();
+        self.metrics.batch_size.record(count as u64);
         for (ticket, delta) in batch {
             // One failing ticket is skipped (and recorded) on its own; a
             // failed apply drops the session's caches, so the snapshot below
             // still describes the actual table contents.
+            let applied_at = Instant::now();
             if let Err(e) = self.session.apply_on(&self.table, &delta) {
+                self.metrics.apply_failed.inc();
                 hub.record_write_error(format!("ticket {ticket}: {e}"));
             }
+            self.metrics.apply.record_duration(applied_at.elapsed());
         }
+        let published_at = Instant::now();
         let published = self.publish_epoch(hub, max_ticket);
+        self.metrics.publish.record_duration(published_at.elapsed());
+        if published.is_ok() {
+            self.metrics.epochs.inc();
+        }
         // The watermark advances no matter how publication went: a failed
         // snapshot must not leave `SYNC` barriers waiting forever on tickets
         // that were consumed from the queue.

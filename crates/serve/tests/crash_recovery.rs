@@ -134,6 +134,17 @@ fn kill_nine_then_recover_matches_fresh_oracle() {
     for round in PHASE_ONE..PHASE_ONE + PHASE_TWO {
         client.apply(vec![op(round)]).unwrap();
     }
+    // Every ACK above implies an fsync already happened — scrape the proof
+    // before the kill.
+    let pre_kill = client.stats(Some("wal.")).unwrap();
+    let pre_kill: std::collections::BTreeMap<String, i64> = ecfd_obs::parse_exposition(&pre_kill)
+        .unwrap()
+        .into_iter()
+        .collect();
+    assert!(
+        pre_kill.get("wal.fsync.count").copied().unwrap_or(0) > 0,
+        "ACKed deltas imply fsyncs before the crash"
+    );
     drop(leader); // Drop kills the child (SIGKILL), mid-everything.
     drop(client);
 
@@ -152,6 +163,22 @@ fn kill_nine_then_recover_matches_fresh_oracle() {
     let mut client = Client::connect(&recovered.addr).unwrap();
     let (_, consistent) = client.check().unwrap();
     assert!(consistent, "the recovered report must match a fresh detect");
+    // The restarted process exposes what recovery replayed.
+    let replay = client.stats(Some("wal.recovery.")).unwrap();
+    let replay: std::collections::BTreeMap<String, i64> = ecfd_obs::parse_exposition(&replay)
+        .unwrap()
+        .into_iter()
+        .collect();
+    assert_eq!(
+        replay.get("wal.recovery.deltas"),
+        Some(&((PHASE_ONE + PHASE_TWO) as i64)),
+        "every ACKed delta is replayed"
+    );
+    assert_eq!(replay.get("wal.recovery.apply.errors"), Some(&0));
+    assert_eq!(
+        replay.get("wal.recovery.last.ticket"),
+        Some(&((PHASE_ONE + PHASE_TWO) as i64))
+    );
     let recovered_line = detect_fresh_line(&mut client);
 
     let oracle = spawn_serve(&[]);

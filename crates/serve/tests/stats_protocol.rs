@@ -1,0 +1,269 @@
+//! End-to-end tests of the observability surface: the `STATS` / `INFO`
+//! protocol verbs against the real `serve` binary (each spawn gets its own
+//! process, so its metrics registry starts from zero), plus the in-process
+//! [`Hub::metrics`] handle.
+//!
+//! [`Hub::metrics`]: ecfd_serve::Hub
+
+use ecfd_obs::parse_exposition;
+use ecfd_serve::protocol::TupleOp;
+use ecfd_serve::{Client, Request, Response, ServeConfig, Server};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::{Child, Command, Stdio};
+
+fn op(round: usize) -> TupleOp {
+    let tag = format!("{:07}", 8000000 + round);
+    TupleOp::insert(["519", &tag, "Gen", "Any St.", "Albany", "12239"])
+}
+
+struct Served {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Served {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_serve(extra: &[&str]) -> Served {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("serve binary spawns");
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve prints its address before EOF")
+            .expect("serve stdout is readable");
+        if let Some(addr) = line.strip_prefix("serving on ") {
+            break addr.to_string();
+        }
+    };
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    Served { child, addr }
+}
+
+/// Scrapes `STATS` into a key → value map.
+fn scrape(client: &mut Client, prefix: Option<&str>) -> BTreeMap<String, i64> {
+    let text = client.stats(prefix).unwrap();
+    parse_exposition(&text).unwrap().into_iter().collect()
+}
+
+/// `STATS` counters move as APPLY / SYNC / DETECT traffic flows, the
+/// exposition is sorted and prefix-filterable, and `INFO` reports the
+/// in-memory mode.
+#[test]
+fn stats_counters_move_with_traffic() {
+    let server = spawn_serve(&[]);
+    let mut client = Client::connect(&server.addr).unwrap();
+
+    // Baseline scrape (this STATS itself is counted from now on).
+    let before = scrape(&mut client, None);
+
+    client.apply(vec![op(0)]).unwrap();
+    client.apply(vec![op(1)]).unwrap();
+    client.sync().unwrap();
+    let detect = client.detect(true).unwrap();
+    assert!(matches!(detect, Response::Report { .. }));
+
+    let text = client.stats(None).unwrap();
+    // Deterministic: sorted lines, trailing newline, parseable, stable
+    // across back-to-back scrapes of a quiesced server.
+    assert!(text.ends_with('\n'));
+    let mut sorted: Vec<&str> = text.lines().collect();
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted,
+        text.lines().collect::<Vec<_>>(),
+        "sorted exposition"
+    );
+    let after = scrape(&mut client, None);
+
+    let delta =
+        |key: &str| after.get(key).copied().unwrap_or(0) - before.get(key).copied().unwrap_or(0);
+    // Ingest + writer pipeline.
+    assert_eq!(delta("ingest.accepted"), 2);
+    assert_eq!(delta("writer.apply.ns.count"), 2);
+    assert!(delta("writer.epochs") >= 1);
+    assert_eq!(after.get("writer.epoch.lag"), Some(&0), "synced ⇒ no lag");
+    // Per-verb serving metrics.
+    assert_eq!(delta(r#"serve.requests{verb="APPLY"}"#), 2);
+    assert_eq!(delta(r#"serve.requests{verb="SYNC"}"#), 1);
+    assert_eq!(delta(r#"serve.requests{verb="DETECT"}"#), 1);
+    assert!(delta(r#"serve.request.ns.count{verb="APPLY"}"#) >= 2);
+    assert!(after.contains_key(r#"serve.requests{verb="STATS"}"#));
+    // DETECT FRESH ran a frozen semantic pass.
+    assert!(delta(r#"detect.pass.ns.count{backend="semantic"}"#) >= 1);
+    assert!(delta("detect.rows.scanned") > 0);
+    // No WAL attached: the wal.* family never appears.
+    assert!(!after.keys().any(|k| k.starts_with("wal.")));
+
+    // Prefix filtering returns exactly the matching subset.
+    let ingest_only = scrape(&mut client, Some("ingest."));
+    assert!(!ingest_only.is_empty());
+    assert!(ingest_only.keys().all(|k| k.starts_with("ingest.")));
+    let full = scrape(&mut client, None);
+    for (key, value) in &ingest_only {
+        assert_eq!(full.get(key), Some(value), "prefix scrape is a subset");
+    }
+    let none = client.stats(Some("no.such.prefix.")).unwrap();
+    assert_eq!(none, "", "unmatched prefix renders empty");
+
+    // INFO on the in-memory server.
+    let Response::Info {
+        version,
+        epoch,
+        accepted,
+        applied,
+        wal,
+        follower,
+    } = client.info().unwrap()
+    else {
+        panic!("INFO response expected");
+    };
+    assert!(!version.is_empty());
+    assert!(epoch >= 1);
+    assert_eq!(accepted, 2);
+    assert_eq!(applied, 2, "SYNC barriered on both tickets");
+    assert_eq!(wal, "off");
+    assert!(!follower);
+
+    // A malformed line is answered with ERR and counted as INVALID.
+    let mut raw = std::net::TcpStream::connect(&server.addr).unwrap();
+    raw.write_all(b"BOGUS LINE\n").unwrap();
+    let mut answer = String::new();
+    BufReader::new(raw.try_clone().unwrap())
+        .read_line(&mut answer)
+        .unwrap();
+    assert!(answer.starts_with("ERR "), "got `{answer}`");
+    let after_invalid = scrape(&mut client, Some("serve.requests"));
+    assert_eq!(
+        after_invalid.get(r#"serve.requests{verb="INVALID"}"#),
+        Some(&1)
+    );
+
+    client.quit().unwrap();
+}
+
+/// Durable serving reports WAL metrics, and a `--recover` restart exposes
+/// the recovery-replay gauges and the `recovered` WAL mode over `INFO`.
+#[test]
+fn wal_metrics_survive_recover() {
+    const DELTAS: usize = 5;
+    let dir = std::env::temp_dir().join(format!("ecfd-it-stats-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_flag = dir.to_str().unwrap().to_string();
+
+    let leader = spawn_serve(&["--wal-dir", &dir_flag]);
+    let mut client = Client::connect(&leader.addr).unwrap();
+    for round in 0..DELTAS {
+        client.apply(vec![op(round)]).unwrap();
+    }
+    client.sync().unwrap();
+
+    let stats = scrape(&mut client, Some("wal."));
+    // Appends count deltas *and* epoch checkpoints.
+    assert!(stats.get("wal.append.count").copied().unwrap_or(0) >= DELTAS as i64);
+    assert!(stats.get("wal.fsync.count").copied().unwrap_or(0) > 0);
+    assert!(stats.get("wal.bytes").copied().unwrap_or(0) > 0);
+    assert!(
+        stats.get("wal.fsync.ns.count").copied().unwrap_or(0) > 0,
+        "fsync latency histogram populated"
+    );
+    let Response::Info { wal, .. } = client.info().unwrap() else {
+        panic!("INFO response expected");
+    };
+    assert_eq!(wal, "durable", "fresh log");
+    drop(leader); // SIGKILL mid-everything.
+    drop(client);
+
+    let recovered = spawn_serve(&["--wal-dir", &dir_flag, "--recover"]);
+    let mut client = Client::connect(&recovered.addr).unwrap();
+    let stats = scrape(&mut client, Some("wal.recovery."));
+    assert_eq!(stats.get("wal.recovery.deltas"), Some(&(DELTAS as i64)));
+    assert_eq!(stats.get("wal.recovery.apply.errors"), Some(&0));
+    assert_eq!(
+        stats.get("wal.recovery.last.ticket"),
+        Some(&(DELTAS as i64))
+    );
+    let Response::Info {
+        wal,
+        accepted,
+        applied,
+        ..
+    } = client.info().unwrap()
+    else {
+        panic!("INFO response expected");
+    };
+    assert_eq!(wal, "recovered");
+    assert_eq!(accepted, DELTAS as u64, "ticket sequence continues the log");
+    assert_eq!(applied, DELTAS as u64, "recovery replays everything");
+
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The in-process handle: `Hub::metrics()` reads the same registry `STATS`
+/// renders. Delta-based assertions only — the registry is process-wide and
+/// other tests in this binary may be running concurrently.
+#[test]
+fn hub_metrics_is_the_stats_registry() {
+    let mut session = ecfd_session::Session::new();
+    session
+        .load(
+            ecfd_relation::Relation::with_tuples(
+                ecfd_relation::Schema::builder("cust")
+                    .attr("CT", ecfd_relation::DataType::Str)
+                    .attr("AC", ecfd_relation::DataType::Str)
+                    .build(),
+                [ecfd_relation::Tuple::from_iter(["Albany", "518"])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    session
+        .register_text("cust: [CT] -> [AC] | [], { {Albany} || {518} }")
+        .unwrap();
+
+    let server = Server::bind(session, ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let hub = handle.hub().clone();
+    let thread = std::thread::spawn(move || server.run().unwrap());
+
+    let accepted_before = hub.metrics().counter("ingest.accepted").get();
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .apply(vec![TupleOp::insert(["Troy", "518"])])
+        .unwrap();
+    client.sync().unwrap();
+    assert!(
+        hub.metrics().counter("ingest.accepted").get() > accepted_before,
+        "the hub handle observes protocol traffic"
+    );
+
+    // The exposition the wire returns parses and contains the same counter.
+    let text = client.stats(Some("ingest.accepted")).unwrap();
+    let parsed: BTreeMap<String, i64> = parse_exposition(&text).unwrap().into_iter().collect();
+    assert!(parsed.contains_key("ingest.accepted"));
+
+    // The raw wire line carries the payload as one escaped token.
+    let rendered = Request::Stats {
+        prefix: Some("ingest.".into()),
+    }
+    .render();
+    assert_eq!(rendered, "STATS ingest.");
+
+    client.quit().unwrap();
+    handle.shutdown();
+    thread.join().unwrap();
+}

@@ -301,10 +301,16 @@ impl Session {
         let entry = self.tables.get_mut(&name).expect("resolved");
         if kind.is_none() {
             if let Some(cached) = &entry.cache {
+                ecfd_obs::registry()
+                    .counter("session.detect.cache.hits")
+                    .inc();
                 return Ok(cached.report.clone());
             }
         }
         let kind = kind.unwrap_or(self.policy.detect_backend);
+        ecfd_obs::registry()
+            .counter_with("session.detect.passes", &[("backend", kind.as_str())])
+            .inc();
         let (report, evidence) = entry.backend_mut(kind)?.detect(&mut self.catalog)?;
         entry.cache = Some(Cached {
             kind,
@@ -384,6 +390,9 @@ impl Session {
         let table_len = self.catalog.get(&name)?.len();
         let entry = self.tables.get_mut(&name).expect("resolved");
         let kind = kind.unwrap_or_else(|| self.policy.route_delta(delta.len(), table_len));
+        ecfd_obs::registry()
+            .counter_with("session.apply.routed", &[("backend", kind.as_str())])
+            .inc();
         let (report, evidence) = match entry.backend_mut(kind)?.apply(&mut self.catalog, delta) {
             Ok(out) => out,
             Err(e) => {

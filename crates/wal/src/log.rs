@@ -89,17 +89,18 @@ impl Wal {
         &self.path
     }
 
-    /// Appends one record (length-prefixed, checksummed). The bytes are
+    /// Appends one record (length-prefixed, checksummed) and returns the
+    /// number of bytes written (frame header + payload). The bytes are
     /// buffered by the OS until [`Wal::sync`] — callers must sync before
     /// acknowledging anything that depends on this record.
-    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+    pub fn append(&mut self, record: &WalRecord) -> Result<usize> {
         let payload = record.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         self.file.write_all(&frame)?;
-        Ok(())
+        Ok(frame.len())
     }
 
     /// Makes every appended record crash-durable (`fdatasync`).

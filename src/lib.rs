@@ -35,6 +35,9 @@
 //! * [`wal`] — an append-only write-ahead log of ticket-ordered delta
 //!   records with checksummed framing and epoch checkpoints; the serving
 //!   layer's durability and replication substrate.
+//! * [`obs`] — the observability core: atomic counters/gauges, lock-free
+//!   latency histograms with p50/p95/p99 extraction, and the sorted text
+//!   exposition served by the `STATS` protocol verb.
 //! * [`datagen`] — synthetic workloads reproducing the paper's experimental
 //!   setting.
 //!
@@ -82,6 +85,7 @@ pub use ecfd_datagen as datagen;
 pub use ecfd_detect as detect;
 pub use ecfd_engine as engine;
 pub use ecfd_logic as logic;
+pub use ecfd_obs as obs;
 pub use ecfd_relation as relation;
 pub use ecfd_repair as repair;
 pub use ecfd_serve as serve;
@@ -103,6 +107,7 @@ pub mod prelude {
     };
     pub use ecfd_engine::{Engine, ResultSet};
     pub use ecfd_logic::{BoolExpr, HardSoftInstance, MaxGSatInstance, MaxGSatSolver};
+    pub use ecfd_obs::{Histogram, Registry};
     pub use ecfd_relation::{
         Catalog, Code, CodeVec, ColumnarView, DataType, Delta, Dictionary, Domain, Relation, RowId,
         Schema, Tuple, Value,
