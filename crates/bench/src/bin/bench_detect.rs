@@ -2,9 +2,11 @@
 //!
 //! Runs the scaled-tableau detection workload (the `|Tp|` knob of the
 //! paper's Fig. 5(c) / the `session_reuse` criterion group) through the
-//! dictionary-encoded semantic detector at one or more worker counts, and
-//! writes a machine-readable `BENCH_detect.json` so the perf trajectory of
-//! the hot path is recorded run over run (CI uploads it as an artifact).
+//! dictionary-encoded semantic detector *and* the plan-executing backend
+//! (shared-scan fused vs unfused) at one or more worker counts, and writes
+//! a machine-readable `BENCH_detect.json` so the perf trajectory of the hot
+//! path — including the shared-scan fusion win — is recorded run over run
+//! (CI uploads it as an artifact).
 //!
 //! ```text
 //! cargo run --release -p ecfd_bench --bin bench_detect -- \
@@ -13,7 +15,9 @@
 
 use ecfd_bench::PreparedWorkload;
 use ecfd_core::ConstraintSet;
-use ecfd_detect::{Parallelism, SemanticDetector};
+use ecfd_detect::{DetectorBackend, Parallelism, SemanticDetector};
+use ecfd_plan::PlanBackend;
+use ecfd_relation::Catalog;
 use std::time::Instant;
 
 struct Args {
@@ -89,6 +93,7 @@ fn main() {
 
     let mut results = Vec::new();
     for &threads in &args.threads {
+        // The semantic baseline.
         let detector =
             SemanticDetector::from_set(&set).with_parallelism(Parallelism::Fixed(threads));
         // Warm-up pass: interns the data into the detector's dictionary and
@@ -103,15 +108,55 @@ fn main() {
         }
         let ns_per_pass = (start.elapsed().as_nanos() / args.passes as u128) as u64;
         println!(
-            "threads={threads:<3} rows={} patterns={} ns/pass={ns_per_pass} ({:.2} ms) \
-             sv={} mv={}",
+            "backend=semantic      threads={threads:<3} rows={} patterns={} \
+             ns/pass={ns_per_pass} ({:.2} ms) sv={} mv={}",
             args.rows,
             args.patterns,
             ns_per_pass as f64 / 1e6,
             report.num_sv(),
             report.num_mv(),
         );
-        results.push((threads, ns_per_pass));
+        results.push(("semantic", threads, ns_per_pass));
+
+        // The plan backend, fused (shared scans) vs unfused (one scan per
+        // constraint) — the same workload, so the gap is the fusion win.
+        for (label, mut backend) in [
+            (
+                "plan-fused",
+                PlanBackend::from_set(&set).expect("plan compiles"),
+            ),
+            (
+                "plan-unfused",
+                PlanBackend::from_set_unfused(&set).expect("plan compiles"),
+            ),
+        ] {
+            backend.set_parallelism(Parallelism::Fixed(threads));
+            let mut catalog = Catalog::new();
+            catalog
+                .create(workload.data.clone())
+                .expect("workload table registers");
+            let (plan_report, _) = backend
+                .detect(&mut catalog)
+                .expect("plan detection succeeds");
+            assert_eq!(plan_report, report, "plan backend must agree byte-for-byte");
+            let start = Instant::now();
+            for _ in 0..args.passes {
+                let (again, _) = backend
+                    .detect(&mut catalog)
+                    .expect("plan detection succeeds");
+                assert_eq!(again, report, "detection must be deterministic");
+            }
+            let ns_per_pass = (start.elapsed().as_nanos() / args.passes as u128) as u64;
+            println!(
+                "backend={label:<13} threads={threads:<3} rows={} patterns={} \
+                 ns/pass={ns_per_pass} ({:.2} ms) scans={}",
+                args.rows,
+                args.patterns,
+                ns_per_pass as f64 / 1e6,
+                backend.plan().num_scans(),
+            );
+            results.push((label, threads, ns_per_pass));
+        }
     }
 
     let json = render_json(&args, &results);
@@ -121,7 +166,7 @@ fn main() {
 
 /// Renders the result table as JSON by hand — the vendored serde shim has no
 /// serializer, and the schema here is flat and fixed.
-fn render_json(args: &Args, results: &[(usize, u64)]) -> String {
+fn render_json(args: &Args, results: &[(&str, usize, u64)]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"detect\",\n");
     out.push_str("  \"workload\": \"cust_scaled_tableau\",\n");
@@ -129,10 +174,10 @@ fn render_json(args: &Args, results: &[(usize, u64)]) -> String {
     out.push_str(&format!("  \"patterns\": {},\n", args.patterns));
     out.push_str(&format!("  \"passes\": {},\n", args.passes));
     out.push_str("  \"results\": [\n");
-    for (i, (threads, ns)) in results.iter().enumerate() {
+    for (i, (backend, threads, ns)) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{ \"threads\": {threads}, \"ns_per_pass\": {ns} }}{comma}\n"
+            "    {{ \"backend\": \"{backend}\", \"threads\": {threads}, \"ns_per_pass\": {ns} }}{comma}\n"
         ));
     }
     out.push_str("  ]\n}\n");

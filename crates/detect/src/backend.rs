@@ -45,14 +45,19 @@ pub enum BackendKind {
     /// The incremental maintainer (`IncrementalDetector`, the paper's
     /// `INCDETECT`).
     Incremental,
+    /// The compiled-plan executor (`ecfd_plan::PlanBackend`): constraints are
+    /// lowered once into an explicit scan/group/flag plan and executed
+    /// against a pluggable storage driver.
+    Plan,
 }
 
 impl BackendKind {
     /// All kinds, in a stable order (useful for differential sweeps).
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Semantic,
         BackendKind::Sql,
         BackendKind::Incremental,
+        BackendKind::Plan,
     ];
 
     /// The lowercase name, as used in `detect.pass.ns{backend=…}` metric
@@ -62,6 +67,7 @@ impl BackendKind {
             BackendKind::Semantic => "semantic",
             BackendKind::Sql => "sql",
             BackendKind::Incremental => "incremental",
+            BackendKind::Plan => "plan",
         }
     }
 }

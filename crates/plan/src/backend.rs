@@ -1,0 +1,251 @@
+//! [`PlanBackend`]: a compiled plan plus a storage driver behind the
+//! ordinary [`DetectorBackend`] trait, routable by sessions and the serving
+//! layer like any other backend (`BackendKind::Plan`).
+
+use crate::columnar::ColumnarDriver;
+use crate::driver::Driver;
+use crate::mir::Plan;
+use crate::sql::SqlDriver;
+use crate::Result;
+use ecfd_core::ConstraintSet;
+use ecfd_detect::backend::apply_base_delta;
+use ecfd_detect::{BackendKind, DetectionReport, DetectorBackend, EvidenceReport, Parallelism};
+use ecfd_relation::{Catalog, Delta};
+use std::fmt;
+use std::sync::Arc;
+
+/// The plan-executing detector backend: compiles a constraint set once into
+/// a [`Plan`] and answers every detect/apply call by running the plan
+/// through its [`Driver`].
+///
+/// Stateless between calls (like the semantic and SQL backends): every
+/// `detect` is a fresh plan execution, every `apply` mutates the table and
+/// re-executes. Each pass is recorded as `detect.pass.ns{backend="plan"}`.
+pub struct PlanBackend {
+    plan: Arc<Plan>,
+    driver: Box<dyn Driver>,
+    table: String,
+    base_arity: usize,
+}
+
+impl PlanBackend {
+    /// Builds the default backend: the optimized (shared-scan) plan executed
+    /// by the columnar driver.
+    pub fn from_set(set: &ConstraintSet) -> Result<Self> {
+        Ok(Self::from_plan(Plan::compile(set)?))
+    }
+
+    /// Builds the backend on the *unfused* baseline plan (one scan per
+    /// constraint), columnar driver — the contrast arm of the shared-scan
+    /// benchmark.
+    pub fn from_set_unfused(set: &ConstraintSet) -> Result<Self> {
+        Ok(Self::from_plan(Plan::compile_unfused(set)?))
+    }
+
+    /// Builds the backend on the optimized plan with the SQL pushdown
+    /// driver. Fails when the set is outside the SQL encoding's envelope.
+    pub fn from_set_sql(set: &ConstraintSet) -> Result<Self> {
+        let plan = Arc::new(Plan::compile(set)?);
+        let driver = Box::new(SqlDriver::new(&plan)?);
+        Ok(Self::assemble(plan, driver))
+    }
+
+    /// Wraps an already-compiled plan with the columnar driver.
+    pub fn from_plan(plan: Plan) -> Self {
+        let plan = Arc::new(plan);
+        let driver = Box::new(ColumnarDriver::new(Arc::clone(&plan)));
+        Self::assemble(plan, driver)
+    }
+
+    /// Wraps an already-compiled plan with an explicit driver — the
+    /// extension point for out-of-tree storage.
+    pub fn with_driver(plan: Plan, driver: Box<dyn Driver>) -> Self {
+        Self::assemble(Arc::new(plan), driver)
+    }
+
+    fn assemble(plan: Arc<Plan>, driver: Box<dyn Driver>) -> Self {
+        let table = plan.set().schema().name().to_string();
+        let base_arity = plan.set().schema().arity();
+        PlanBackend {
+            plan,
+            driver,
+            table,
+            base_arity,
+        }
+    }
+
+    /// The compiled plan this backend executes (render with
+    /// [`Plan::render`] for `EXPLAIN PLAN`).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The driver executing the plan.
+    pub fn driver(&self) -> &dyn Driver {
+        self.driver.as_ref()
+    }
+
+    /// Sets the worker fan-out of subsequent executions (forwarded to the
+    /// driver; pushdown drivers ignore it).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.driver.set_parallelism(parallelism);
+    }
+}
+
+impl fmt::Debug for PlanBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanBackend")
+            .field("table", &self.table)
+            .field("driver", &self.driver.name())
+            .field("capability", &self.driver.capability())
+            .field("fused", &self.plan.is_fused())
+            .field("scans", &self.plan.num_scans())
+            .finish()
+    }
+}
+
+impl DetectorBackend for PlanBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Plan
+    }
+
+    fn table(&self) -> &str {
+        &self.table
+    }
+
+    fn detect(&mut self, catalog: &mut Catalog) -> Result<(DetectionReport, EvidenceReport)> {
+        let started = std::time::Instant::now();
+        let out = self.driver.execute(catalog)?;
+        let registry = ecfd_obs::registry();
+        registry
+            .histogram_with("detect.pass.ns", &[("backend", "plan")])
+            .record_duration(started.elapsed());
+        registry
+            .counter("detect.rows.scanned")
+            .add(out.rows_scanned);
+        registry.counter("detect.groups.merged").add(out.groups);
+        registry
+            .counter("detect.violations")
+            .add(out.report.num_violations() as u64);
+        Ok((out.report, out.evidence))
+    }
+
+    fn apply(
+        &mut self,
+        catalog: &mut Catalog,
+        delta: &Delta,
+    ) -> Result<(DetectionReport, EvidenceReport)> {
+        apply_base_delta(catalog, &self.table, self.base_arity, delta)?;
+        self.detect(catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfd_relation::{DataType, Relation, Schema, Tuple};
+
+    fn schema() -> Schema {
+        Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build()
+    }
+
+    fn set() -> ConstraintSet {
+        ConstraintSet::parse(
+            &schema(),
+            "cust: [CT] -> [AC] | [], { {Albany} || {518} ; {Troy} || {518} }\n\
+             cust: [AC] -> [] | [CT], { {212} || {NYC} }",
+        )
+        .unwrap()
+    }
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog
+            .create(
+                Relation::with_tuples(
+                    schema(),
+                    [
+                        Tuple::from_iter(["Albany", "718"]), // SV of c0.p0
+                        Tuple::from_iter(["Troy", "518"]),
+                        Tuple::from_iter(["NYC", "212"]),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        catalog
+    }
+
+    #[test]
+    fn every_driver_agrees_with_the_semantic_backend() {
+        let set = set();
+        let mut reference = ecfd_detect::SemanticBackend::from_set(&set);
+        let mut reference_catalog = catalog();
+        let (want_report, want_evidence) = reference.detect(&mut reference_catalog).unwrap();
+
+        let backends: Vec<PlanBackend> = vec![
+            PlanBackend::from_set(&set).unwrap(),
+            PlanBackend::from_set_unfused(&set).unwrap(),
+            PlanBackend::from_set_sql(&set).unwrap(),
+        ];
+        for mut backend in backends {
+            assert_eq!(backend.kind(), BackendKind::Plan);
+            assert_eq!(backend.table(), "cust");
+            let mut cat = catalog();
+            let (report, evidence) = backend.detect(&mut cat).unwrap();
+            assert_eq!(report, want_report, "driver {}", backend.driver().name());
+            assert_eq!(
+                evidence,
+                want_evidence,
+                "driver {}",
+                backend.driver().name()
+            );
+            // Flags land in the table exactly like the reference's.
+            assert_eq!(
+                DetectionReport::from_catalog(&cat, "cust").unwrap(),
+                DetectionReport::from_catalog(&reference_catalog, "cust").unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn apply_routes_base_deltas_and_redetects() {
+        let set = set();
+        let mut backend = PlanBackend::from_set(&set).unwrap();
+        let mut cat = catalog();
+        backend.detect(&mut cat).unwrap();
+        let delta = Delta {
+            insertions: vec![Tuple::from_iter(["Albany", "999"])],
+            deletions: vec![Tuple::from_iter(["NYC", "212"])],
+        };
+        let (report, _) = backend.apply(&mut cat, &delta).unwrap();
+        // Two Albany rows now disagree on AC: a multi-tuple violation, on
+        // top of the original single-tuple one.
+        assert_eq!(report.num_mv(), 2);
+        assert_eq!(cat.get("cust").unwrap().len(), 3);
+
+        let mut reference = ecfd_detect::SemanticBackend::from_set(&set);
+        let mut reference_catalog = catalog();
+        reference.detect(&mut reference_catalog).unwrap();
+        let (want, _) = reference.apply(&mut reference_catalog, &delta).unwrap();
+        assert_eq!(report, want);
+    }
+
+    #[test]
+    fn parallelism_does_not_change_the_answer() {
+        let set = set();
+        let mut one = PlanBackend::from_set(&set).unwrap();
+        one.set_parallelism(Parallelism::Fixed(1));
+        let mut four = PlanBackend::from_set(&set).unwrap();
+        four.set_parallelism(Parallelism::Fixed(4));
+        let mut cat1 = catalog();
+        let mut cat4 = catalog();
+        assert_eq!(
+            one.detect(&mut cat1).unwrap(),
+            four.detect(&mut cat4).unwrap()
+        );
+    }
+}

@@ -207,7 +207,7 @@ fn main() {
     };
     let addr = server.local_addr().expect("bound listener has an address");
     println!("serving on {addr}");
-    println!("protocol: PING | EPOCH | DETECT [FRESH] | CHECK | EXPLAIN | APPLY +f,… -f,… | SYNC | REPLAY c [n] | REPAIR-PLAN | STATS [prefix] | INFO | QUIT");
+    println!("protocol: PING | EPOCH | DETECT [FRESH] | CHECK | EXPLAIN [PLAN] | APPLY +f,… -f,… | SYNC | REPLAY c [n] | REPAIR-PLAN | STATS [prefix] | INFO | QUIT");
 
     if let Some(leader) = args.follow.clone() {
         let hub = server.handle().hub().clone();

@@ -73,6 +73,16 @@ impl Client {
         self.request(&Request::Explain)
     }
 
+    /// `EXPLAIN PLAN` → the rendered detection plan for the served
+    /// constraint set (deterministic `ecfd_plan::Plan::render` text).
+    pub fn explain_plan(&mut self) -> Result<String> {
+        match self.request(&Request::ExplainPlan)? {
+            Response::PlanText { text } => Ok(text),
+            Response::Err { message } => Err(ServeError::Protocol(message)),
+            other => Err(unexpected("PLANTEXT", &other)),
+        }
+    }
+
     /// `APPLY` → the acknowledged ticket.
     pub fn apply(&mut self, ops: Vec<TupleOp>) -> Result<u64> {
         match self.request(&Request::Apply { ops })? {

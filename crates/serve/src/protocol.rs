@@ -17,6 +17,7 @@
 //! | `DETECT FRESH`        | re-detect from scratch over the current snapshot   |
 //! | `CHECK`               | run both on *one* snapshot, report equality        |
 //! | `EXPLAIN`             | the evidence behind the published report           |
+//! | `EXPLAIN PLAN`        | the compiled detection plan for the served constraints |
 //! | `APPLY <op> [<op>…]`  | enqueue a delta; `+f1,f2,…` inserts, `-f1,f2,…` deletes |
 //! | `SYNC`                | block until every prior `APPLY` *on this connection* is applied + published |
 //! | `REPAIR-PLAN`         | plan (not apply) a repair of the current violations |
@@ -43,6 +44,7 @@
 //! | `PLAN`      | `PLAN EPOCH <e> DELETIONS <n> MODIFICATIONS <n> COST <f>`    |
 //! | `REPLAYED`  | `REPLAYED RECORDS <n> <records> NEXT <cursor>`               |
 //! | `METRICS`   | `METRICS LINES <n> <escaped exposition text>`                |
+//! | `PLANTEXT`  | `PLANTEXT LINES <n> <escaped plan text>`                     |
 //! | `INFO`      | `INFO VERSION <v> EPOCH <e> ACCEPTED <t> APPLIED <t> WAL <mode> FOLLOWER <bool>` |
 //! | `BYE`       | `BYE`                                                        |
 //! | `ERR`       | `ERR <escaped message>`                                      |
@@ -50,7 +52,10 @@
 //! A `METRICS` payload is the whole multi-line exposition of
 //! `ecfd_obs::Registry::render` percent-escaped into one token; `LINES` is
 //! its line count (0 with the `%e` empty payload when nothing matched the
-//! prefix). An `INFO` `WAL` mode is `off`, `durable`, or `recovered`.
+//! prefix). An `INFO` `WAL` mode is `off`, `durable`, or `recovered`. A
+//! `PLANTEXT` payload is [`ecfd_plan`]'s deterministic `Plan::render` text,
+//! carried exactly like `METRICS`: the whole multi-line rendering
+//! percent-escaped into one token, with `LINES` as its line count.
 //!
 //! A `REPLAYED` record list is `;`-joined (`-` when empty); each record is
 //! `D@<ticket>@<op>|<op>|…` for a delta (ops rendered exactly like `APPLY`)
@@ -192,6 +197,9 @@ pub enum Request {
     Check,
     /// `EXPLAIN`
     Explain,
+    /// `EXPLAIN PLAN`: the compiled detection plan for the served
+    /// constraint set, rendered.
+    ExplainPlan,
     /// `APPLY <op>…`
     Apply {
         /// The insertions and deletions to enqueue, in order.
@@ -233,6 +241,7 @@ impl Request {
             Request::Detect { fresh: true } => "DETECT FRESH".into(),
             Request::Check => "CHECK".into(),
             Request::Explain => "EXPLAIN".into(),
+            Request::ExplainPlan => "EXPLAIN PLAN".into(),
             Request::Apply { ops } => {
                 let mut out = String::from("APPLY");
                 for op in ops {
@@ -262,6 +271,7 @@ impl Request {
             Request::Detect { .. } => "DETECT",
             Request::Check => "CHECK",
             Request::Explain => "EXPLAIN",
+            Request::ExplainPlan => "EXPLAIN-PLAN",
             Request::Apply { .. } => "APPLY",
             Request::Sync => "SYNC",
             Request::RepairPlan => "REPAIR-PLAN",
@@ -285,7 +295,11 @@ impl Request {
                 Some(other) => return Err(format!("unknown DETECT mode `{other}`")),
             },
             "CHECK" => Request::Check,
-            "EXPLAIN" => Request::Explain,
+            "EXPLAIN" => match tokens.next() {
+                None => Request::Explain,
+                Some("PLAN") => Request::ExplainPlan,
+                Some(other) => return Err(format!("unknown EXPLAIN mode `{other}`")),
+            },
             "APPLY" => {
                 let ops = tokens
                     .by_ref()
@@ -577,6 +591,14 @@ pub enum Response {
         /// wire as one percent-escaped token.
         text: String,
     },
+    /// `PLANTEXT …`: the rendered detection plan an `EXPLAIN PLAN` request
+    /// asked for.
+    PlanText {
+        /// The deterministic `Plan::render` text (one header line plus one
+        /// line per scan and flag operator, trailing newline). Carried on
+        /// the wire as one percent-escaped token.
+        text: String,
+    },
     /// `INFO …`: the liveness probe.
     Info {
         /// Server crate version.
@@ -734,6 +756,13 @@ impl Response {
             Response::Metrics { text } => {
                 format!(
                     "METRICS LINES {} {}",
+                    text.lines().count(),
+                    encode_field(text)
+                )
+            }
+            Response::PlanText { text } => {
+                format!(
+                    "PLANTEXT LINES {} {}",
                     text.lines().count(),
                     encode_field(text)
                 )
@@ -924,6 +953,18 @@ impl Response {
                 }
                 Response::Metrics { text }
             }
+            "PLANTEXT" => {
+                expect_tag(&mut tokens, "LINES")?;
+                let count: usize = parse_num(&mut tokens, "line count")?;
+                let text = decode_field(tokens.next().ok_or("missing plan payload")?)?;
+                if text.lines().count() != count {
+                    return Err(format!(
+                        "PLANTEXT claims {count} lines but carries {}",
+                        text.lines().count()
+                    ));
+                }
+                Response::PlanText { text }
+            }
             "INFO" => {
                 expect_tag(&mut tokens, "VERSION")?;
                 let version = decode_field(tokens.next().ok_or("missing version")?)?;
@@ -1025,6 +1066,7 @@ mod tests {
             Request::Detect { fresh: true },
             Request::Check,
             Request::Explain,
+            Request::ExplainPlan,
             Request::Apply {
                 ops: vec![
                     TupleOp::insert(["Albany", "518"]),
@@ -1063,6 +1105,8 @@ mod tests {
         assert!(Request::parse("NOPE").is_err());
         assert!(Request::parse("APPLY").is_err());
         assert!(Request::parse("DETECT SIDEWAYS").is_err());
+        assert!(Request::parse("EXPLAIN SIDEWAYS").is_err());
+        assert!(Request::parse("EXPLAIN PLAN EXTRA").is_err());
         assert!(Request::parse("PING PONG").is_err());
         assert!(Request::parse("REPLAY").is_err());
         assert!(Request::parse("REPLAY x").is_err());
@@ -1162,6 +1206,12 @@ mod tests {
             Response::Metrics {
                 text: String::new(),
             },
+            Response::PlanText {
+                text: "plan table=cust mode=fused singles=3 scans=1\nscan[0] x=[CT]\n  flag c0.p0 check=[AC] group=[AC]\n".into(),
+            },
+            Response::PlanText {
+                text: String::new(),
+            },
             Response::Info {
                 version: "0.1.0".into(),
                 epoch: 9,
@@ -1188,6 +1238,10 @@ mod tests {
         assert!(
             Response::parse("METRICS LINES 2 a%201").is_err(),
             "line count must match the payload"
+        );
+        assert!(
+            Response::parse("PLANTEXT LINES 3 one%0Aline%0A").is_err(),
+            "plan line count must match the payload"
         );
     }
 

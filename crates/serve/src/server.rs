@@ -298,6 +298,17 @@ fn dispatch(request: Request, hub: &Hub, config: &ServeConfig, last_ticket: &mut
             let snap = hub.snapshot();
             evidence_response(&snap)
         }
+        Request::ExplainPlan => {
+            let snap = hub.snapshot();
+            match ecfd_plan::Plan::compile(snap.constraints()) {
+                Ok(plan) => Response::PlanText {
+                    text: plan.render(),
+                },
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            }
+        }
         Request::Apply { ops } => {
             let snap = hub.snapshot();
             let delta = match Request::ops_to_delta(&ops, snap.schema()) {

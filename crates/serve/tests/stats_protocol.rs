@@ -154,6 +154,70 @@ fn stats_counters_move_with_traffic() {
     client.quit().unwrap();
 }
 
+/// `EXPLAIN PLAN` against the real binary: the rendered plan survives the
+/// wire (percent-escaped multi-line payload, `parse(render(x)) == x`), the
+/// demo instance's φ1/φ2 fuse into one shared scan, and a malformed
+/// `EXPLAIN` mode is answered with `ERR` and counted under `INVALID`.
+#[test]
+fn explain_plan_round_trips_over_the_wire() {
+    let server = spawn_serve(&[]);
+    let mut client = Client::connect(&server.addr).unwrap();
+
+    // The typed client path.
+    let text = client.explain_plan().unwrap();
+    assert!(text.ends_with('\n'), "rendered plan ends with a newline");
+    let lines: Vec<&str> = text.lines().collect();
+    // φ1 and φ2 both scan on X = [CT], so the fused plan has one shared
+    // scan feeding three flag operators (φ1's two patterns + φ2's one).
+    assert!(
+        lines[0].starts_with("plan table=cust mode=fused"),
+        "header line, got `{}`",
+        lines[0]
+    );
+    assert!(lines[0].ends_with("scans=1"), "φ1/φ2 share one scan");
+    assert_eq!(lines[1], "scan[0] x=[CT]");
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.trim_start().starts_with("flag"))
+            .count(),
+        3,
+        "three pattern tuples become three flag operators"
+    );
+
+    // The raw wire line is one PLANTEXT token that round-trips.
+    let response = client.request(&Request::ExplainPlan).unwrap();
+    let Response::PlanText { text: wire_text } = &response else {
+        panic!("PLANTEXT response expected");
+    };
+    assert_eq!(*wire_text, text, "stable across requests");
+    let line = response.render();
+    assert!(line.starts_with("PLANTEXT LINES "), "got `{line}`");
+    assert_eq!(Response::parse(&line), Ok(response), "wire round trip");
+
+    // A bad EXPLAIN mode is rejected before dispatch and counted INVALID.
+    let mut raw = std::net::TcpStream::connect(&server.addr).unwrap();
+    raw.write_all(b"EXPLAIN SIDEWAYS\n").unwrap();
+    let mut answer = String::new();
+    BufReader::new(raw.try_clone().unwrap())
+        .read_line(&mut answer)
+        .unwrap();
+    assert!(answer.starts_with("ERR "), "got `{answer}`");
+    let counters = scrape(&mut client, Some("serve.requests"));
+    assert_eq!(
+        counters.get(r#"serve.requests{verb="INVALID"}"#),
+        Some(&1),
+        "EXPLAIN SIDEWAYS is counted under the INVALID pseudo-verb"
+    );
+    assert_eq!(
+        counters.get(r#"serve.requests{verb="EXPLAIN-PLAN"}"#),
+        Some(&2),
+        "both EXPLAIN PLAN requests counted under their own verb"
+    );
+
+    client.quit().unwrap();
+}
+
 /// Durable serving reports WAL metrics, and a `--recover` restart exposes
 /// the recovery-replay gauges and the `recovered` WAL mode over `INFO`.
 #[test]

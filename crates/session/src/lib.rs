@@ -5,12 +5,12 @@
 //! database: constraints are encoded once, and the per-query work is
 //! independent of how many eCFDs are checked. [`Session`] is that service as
 //! an API — it owns the [`Catalog`](ecfd_relation::Catalog), a registry of
-//! compiled [`ConstraintSet`](ecfd_core::ConstraintSet)s, and the three
+//! compiled [`ConstraintSet`](ecfd_core::ConstraintSet)s, and the four
 //! detector backends per set, so callers stop hand-wiring
 //! `SemanticDetector` / `BatchDetector` / `IncrementalDetector` /
-//! `RepairEngine` object graphs and re-compiling the same constraints per
-//! detector. (Those types remain exported from their crates as the low-level
-//! layer.)
+//! `PlanBackend` / `RepairEngine` object graphs and re-compiling the same
+//! constraints per detector. (Those types remain exported from their crates
+//! as the low-level layer.)
 //!
 //! ## Lifecycle state machine
 //!
@@ -30,8 +30,9 @@
 //!   constraints yet.
 //! * **Registered** — [`Session::register`] compiled constraints for it
 //!   (validate → optional implication-based minimization → normalize →
-//!   dedupe → split, see [`ecfd_core::ConstraintSet`]); all three backends
-//!   are built from the one compiled set.
+//!   dedupe → split, see [`ecfd_core::ConstraintSet`]); all four backends
+//!   are built from the one compiled set (the plan backend additionally
+//!   lowers it to an `ecfd_plan::Plan` here, once).
 //! * **Detected** — a detection result (flags + evidence) is cached and
 //!   describes the current table contents. [`Session::detect`],
 //!   [`Session::explain`] and [`Session::apply`] land here.
@@ -47,16 +48,25 @@
 //! | `detect` (cache present)   | served, nothing runs   | kept                  |
 //! | `detect_with(kind)`        | replaced               | kept (see below)      |
 //! | `apply` via incremental    | replaced               | maintained            |
-//! | `apply` via semantic / SQL | replaced               | dropped               |
+//! | `apply` via semantic / SQL / plan | replaced        | dropped               |
 //! | `apply` that errors        | dropped (table may be partially mutated) | dropped |
 //! | `repair`                   | replaced (clean)       | maintained            |
 //! | `catalog_mut` / `invalidate` | dropped              | dropped               |
 //! | `with_policy` (new [`Parallelism`]) | kept          | kept (fan-out retrofitted) |
+//! | `with_cost_model` / `set_compile_options` | retired (version bump) | kept / dropped |
 //!
 //! A full detection pass rewrites the `SV` / `MV` flag columns but does not
 //! move rows, so the incremental backend's group state stays valid across
 //! `detect_with` regardless of which backend ran. Updates applied through a
 //! non-incremental backend *do* move rows, which is why they drop it.
+//!
+//! Beyond the explicit drops in the table, every cached result carries the
+//! session version it was produced at, and is served (by `detect`,
+//! [`Session::report`], [`Session::last_backend`], snapshots) only while
+//! that stamp equals the current version. Any operation that bumps the
+//! version — including ones that deliberately *keep* cache fields, like a
+//! cost-model swap — therefore retires stale results by construction rather
+//! than by each code path remembering to clear them.
 //!
 //! ## Backend routing and parallelism
 //!
@@ -67,7 +77,10 @@
 //! and routes update batches by the delta-size threshold of the paper's
 //! Fig. 7(a): small batches go to incremental maintenance, large ones to a
 //! fresh full pass. The SQL batch detector remains the paper-faithful
-//! reference, selectable per call or via [`RoutingPolicy::fixed`].
+//! reference, selectable per call or via [`RoutingPolicy::fixed`]; the
+//! compiled-plan executor (`BackendKind::Plan`, backed by
+//! `ecfd_plan::PlanBackend`) is routable the same way and reports
+//! byte-identically to the other three.
 //!
 //! The policy also carries the [`Parallelism`] of the detection scans:
 //! `Auto` (every available core, the default) or `Fixed(n)`. It is applied
@@ -608,6 +621,7 @@ mod tests {
             Box::new(ecfd_detect::SemanticBackend::from_set(&set)),
             Box::new(ecfd_detect::SqlBackend::from_set(&set).unwrap()),
             Box::new(ecfd_detect::IncrementalBackend::from_set(&set)),
+            Box::new(ecfd_plan::PlanBackend::from_set(&set).unwrap()),
         ];
         let mut catalog = ecfd_relation::Catalog::new();
         catalog.create(dirty()).unwrap();
@@ -617,5 +631,73 @@ mod tests {
         }
         assert_eq!(reports[0], reports[1]);
         assert_eq!(reports[1], reports[2]);
+        assert_eq!(reports[2], reports[3]);
+    }
+
+    #[test]
+    fn plan_policy_routes_everything_to_the_plan_backend() {
+        let mut session = Session::new().with_policy(RoutingPolicy::fixed(BackendKind::Plan));
+        session.load(dirty()).unwrap();
+        session.register_text(PHI).unwrap();
+        let report = session.detect().unwrap();
+        assert_eq!(session.last_backend(), Some(BackendKind::Plan));
+        assert_eq!(report.num_violations(), 2);
+        let delta = Delta::insert_only(vec![Tuple::from_iter(["Troy", "518"])]);
+        session.apply(&delta).unwrap();
+        assert_eq!(session.last_backend(), Some(BackendKind::Plan));
+        assert_eq!(
+            session.detect_with(BackendKind::Plan).unwrap(),
+            session.detect_with(BackendKind::Semantic).unwrap(),
+        );
+    }
+
+    #[test]
+    fn version_stamped_caches_go_stale_after_a_cost_model_swap() {
+        // `with_cost_model` keeps every entry's cache field but bumps the
+        // session version; the stamp must retire the cached result anyway,
+        // so nothing (report accessor, detect, snapshots) reuses a result
+        // produced under pre-swap state.
+        let mut session = ready_session();
+        session.detect().unwrap();
+        assert!(session.report().is_some());
+        let mut session = session.with_cost_model(ecfd_repair::ConstantCost::default());
+        assert!(
+            session.report().is_none(),
+            "cache predates the version bump"
+        );
+        assert!(session.last_backend().is_none());
+        // A plain detect() refreshes rather than serving the stale entry,
+        // and the fresh result is immediately servable again.
+        let report = session.detect().unwrap();
+        assert_eq!(session.report(), Some(&report));
+        assert_eq!(session.last_backend(), Some(BackendKind::Semantic));
+        let snap = session.snapshot().unwrap();
+        assert_eq!(snap.epoch(), session.version());
+        assert_eq!(snap.report(), &report);
+    }
+
+    #[test]
+    fn reports_survive_backend_switches_only_while_current() {
+        // Regression: a result cached by one backend must not be revived
+        // after a mutation routed through another backend, and the
+        // post-mutation cache must be stamped with the *post*-mutation
+        // version so it stays servable.
+        let mut session = ready_session();
+        let first = session.detect_with(BackendKind::Plan).unwrap();
+        assert_eq!(session.last_backend(), Some(BackendKind::Plan));
+        assert_eq!(session.report(), Some(&first));
+
+        let delta = Delta::insert_only(vec![Tuple::from_iter(["Albany", "999"])]);
+        let after = session.apply_with(BackendKind::Semantic, &delta).unwrap();
+        assert_ne!(first, after);
+        assert_eq!(
+            session.report(),
+            Some(&after),
+            "post-apply cache is current"
+        );
+        assert_eq!(session.last_backend(), Some(BackendKind::Semantic));
+        // detect() serves the post-apply result — neither a rescan nor the
+        // pre-apply plan-backend report.
+        assert_eq!(session.detect().unwrap(), after);
     }
 }

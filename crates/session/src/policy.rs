@@ -101,6 +101,14 @@ mod tests {
     }
 
     #[test]
+    fn plan_backend_is_routable_like_any_other() {
+        let policy = RoutingPolicy::fixed(BackendKind::Plan);
+        assert_eq!(policy.detect_backend, BackendKind::Plan);
+        assert_eq!(policy.route_delta(1, 1000), BackendKind::Plan);
+        assert_eq!(policy.route_delta(999, 1000), BackendKind::Plan);
+    }
+
+    #[test]
     fn parallelism_is_part_of_the_policy() {
         let policy = RoutingPolicy::default().with_parallelism(Parallelism::Fixed(2));
         assert_eq!(policy.parallelism, Parallelism::Fixed(2));

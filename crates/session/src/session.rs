@@ -10,6 +10,7 @@ use ecfd_detect::backend::{
     BackendKind, DetectorBackend, IncrementalBackend, SemanticBackend, SqlBackend,
 };
 use ecfd_detect::{DetectionReport, EvidenceReport};
+use ecfd_plan::PlanBackend;
 use ecfd_relation::{Catalog, Delta, Relation, Schema};
 use ecfd_repair::{
     base_relation, repair_verified_with, ConflictGraph, CostModel, RepairEngine, RepairOptions,
@@ -32,12 +33,21 @@ pub enum Stage {
 }
 
 /// A cached detection outcome: which backend produced it, the flag-level
-/// report and the attributing evidence.
+/// report, the attributing evidence, and the session version it describes.
+///
+/// The stamp is what makes cache-serving safe by construction: a cached
+/// result is served only while `at_version` equals the session's mutation
+/// counter, so *any* operation that bumps the version — including ones that
+/// do not touch this entry's cache field, like a cost-model swap or a
+/// mutation routed through a different entry's backend — automatically
+/// retires it instead of relying on every such code path to remember to
+/// clear it.
 #[derive(Debug, Clone)]
 struct Cached {
     kind: BackendKind,
     report: DetectionReport,
     evidence: EvidenceReport,
+    at_version: u64,
 }
 
 /// Everything the session holds for one registered relation.
@@ -48,6 +58,7 @@ struct Entry {
     /// constrained attributes are outside the SQL encoding's envelope).
     sql: std::result::Result<SqlBackend, String>,
     incremental: IncrementalBackend,
+    plan: PlanBackend,
     repair: RepairEngine,
     cache: Option<Cached>,
     stage: Stage,
@@ -58,6 +69,7 @@ impl Entry {
         match kind {
             BackendKind::Semantic => Ok(&mut self.semantic),
             BackendKind::Incremental => Ok(&mut self.incremental),
+            BackendKind::Plan => Ok(&mut self.plan),
             BackendKind::Sql => match &mut self.sql {
                 Ok(backend) => Ok(backend),
                 Err(reason) => Err(SessionError::BackendUnavailable {
@@ -123,6 +135,7 @@ impl Session {
         for entry in self.tables.values_mut() {
             entry.semantic.set_parallelism(policy.parallelism);
             entry.incremental.set_parallelism(policy.parallelism);
+            entry.plan.set_parallelism(policy.parallelism);
         }
         self
     }
@@ -256,9 +269,12 @@ impl Session {
         semantic.set_parallelism(self.policy.parallelism);
         let mut incremental = IncrementalBackend::from_set(&set);
         incremental.set_parallelism(self.policy.parallelism);
+        let mut plan = PlanBackend::from_set(&set)?;
+        plan.set_parallelism(self.policy.parallelism);
         Ok(Entry {
             semantic,
             incremental,
+            plan,
             repair: RepairEngine::from_set(&set).with_cost_model_arc(self.cost.clone()),
             sql,
             set,
@@ -298,9 +314,14 @@ impl Session {
         kind: Option<BackendKind>,
     ) -> Result<DetectionReport> {
         let name = self.resolve(table)?;
+        let version = self.version;
         let entry = self.tables.get_mut(&name).expect("resolved");
         if kind.is_none() {
-            if let Some(cached) = &entry.cache {
+            // Serve the cache only when it was produced at the current
+            // version: a stamp mismatch means some later mutation (possibly
+            // through another entry or a policy/cost change) could have
+            // changed what a fresh pass would report.
+            if let Some(cached) = entry.cache.as_ref().filter(|c| c.at_version == version) {
                 ecfd_obs::registry()
                     .counter("session.detect.cache.hits")
                     .inc();
@@ -316,6 +337,7 @@ impl Session {
             kind,
             report: report.clone(),
             evidence,
+            at_version: version,
         });
         entry.stage = Stage::Detected;
         Ok(report)
@@ -414,13 +436,16 @@ impl Session {
             // auxiliary group state no longer describes the table.
             entry.incremental.invalidate();
         }
+        // Bump *before* stamping: the fresh result describes the post-apply
+        // contents, so it must carry the post-apply version to stay servable.
+        self.version += 1;
         entry.cache = Some(Cached {
             kind,
             report: report.clone(),
             evidence,
+            at_version: self.version,
         });
         entry.stage = Stage::Detected;
-        self.version += 1;
         Ok(report)
     }
 
@@ -465,6 +490,9 @@ impl Session {
         };
         let outcome = repair_verified_with(&entry.repair, &mut self.catalog, &mut inc, seed)?;
         entry.incremental.put_state(inc);
+        // Bump *before* stamping, as in `apply_impl`: the clean report
+        // describes the repaired contents.
+        self.version += 1;
         entry.cache = Some(Cached {
             kind: BackendKind::Semantic,
             report: outcome.final_report.clone(),
@@ -472,9 +500,9 @@ impl Session {
                 total_rows: outcome.final_report.total_rows,
                 ..Default::default()
             },
+            at_version: self.version,
         });
         entry.stage = Stage::Repaired;
-        self.version += 1;
         Ok(outcome)
     }
 
@@ -501,16 +529,27 @@ impl Session {
         None
     }
 
-    /// The backend that produced the current cached detection result.
+    /// The backend that produced the current cached detection result, or
+    /// `None` when the cache is stale (produced at an earlier session
+    /// version) or absent.
     pub fn last_backend(&self) -> Option<BackendKind> {
-        let name = self.resolve(None).ok()?;
-        Some(self.tables.get(&name)?.cache.as_ref()?.kind)
+        self.current_cache().map(|c| c.kind)
     }
 
-    /// The cached detection report, if current.
+    /// The cached detection report, if current — `None` when the cache is
+    /// stale (produced at an earlier session version) or absent.
     pub fn report(&self) -> Option<&DetectionReport> {
+        self.current_cache().map(|c| &c.report)
+    }
+
+    /// The sole relation's cache, only if stamped at the current version.
+    fn current_cache(&self) -> Option<&Cached> {
         let name = self.resolve(None).ok()?;
-        Some(&self.tables.get(&name)?.cache.as_ref()?.report)
+        self.tables
+            .get(&name)?
+            .cache
+            .as_ref()
+            .filter(|c| c.at_version == self.version)
     }
 
     // ── snapshots ──────────────────────────────────────────────────────────

@@ -1,0 +1,215 @@
+//! Differential safety net of the plan-executing backend.
+//!
+//! A compiled detection plan is only an *execution strategy*: whatever the
+//! driver (fused columnar scan, unfused columnar scan, SQL pushdown) and
+//! whatever the worker fan-out, its output must be byte-identical to the
+//! three existing backends:
+//!
+//! * proptest-generated relations and constraint sets: every plan driver
+//!   matches the semantic detector's report and normalized evidence at 1
+//!   and 4 workers;
+//! * the datagen workloads, including after mixed insert/delete deltas
+//!   routed through sessions: a plan-routed session agrees record-for-record
+//!   with semantic-, SQL- and incremental-routed sessions.
+
+use ecfd::datagen::constraints::workload_constraints;
+use ecfd::datagen::{generate, generate_delta, CustConfig, UpdateConfig};
+use ecfd::prelude::*;
+use proptest::prelude::*;
+
+const CITIES: [&str; 5] = ["Albany", "Troy", "NYC", "LI", "Utica"];
+const CODES: [&str; 4] = ["518", "212", "315", "716"];
+
+fn schema() -> Schema {
+    Schema::builder("cust")
+        .attr("CT", DataType::Str)
+        .attr("AC", DataType::Str)
+        .attr("ZIP", DataType::Str)
+        .build()
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (0..CITIES.len(), 0..CODES.len(), 0..3usize)
+        .prop_map(|(c, a, z)| Tuple::from_iter([CITIES[c], CODES[a], &format!("zip{z}")]))
+}
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(arb_tuple(), 0..30)
+        .prop_map(|tuples| Relation::with_tuples(schema(), tuples).expect("tuples fit the schema"))
+}
+
+fn arb_pattern_value(values: &'static [&'static str]) -> impl Strategy<Value = PatternValue> {
+    prop_oneof![
+        Just(PatternValue::Wildcard),
+        proptest::collection::btree_set(0..values.len(), 1..=2)
+            .prop_map(move |idx| PatternValue::in_set(idx.into_iter().map(|i| values[i]))),
+        proptest::collection::btree_set(0..values.len(), 1..=2)
+            .prop_map(move |idx| PatternValue::not_in_set(idx.into_iter().map(|i| values[i]))),
+    ]
+}
+
+/// Constraints over two different X attribute sets ([CT] and [AC]), so the
+/// generated sets exercise both sides of shared-scan fusion: constraints
+/// that fuse into one scan and constraints that stay on scans of their own.
+fn arb_ecfd() -> impl Strategy<Value = ECfd> {
+    (
+        any::<bool>(),
+        arb_pattern_value(&CITIES),
+        arb_pattern_value(&CODES),
+        proptest::option::of(arb_pattern_value(&CODES)),
+    )
+        .prop_map(|(on_ct, city, code, second)| {
+            let (x, y, lhs, rhs): (&str, &str, PatternValue, PatternValue) = if on_ct {
+                ("CT", "AC", city, code)
+            } else {
+                ("AC", "CT", code, city)
+            };
+            let mut tableau = vec![PatternTuple::new(vec![lhs.clone()], vec![rhs])];
+            if let Some(extra) = second {
+                let extra = if on_ct {
+                    extra
+                } else {
+                    // Keep RHS pattern values inside the Y attribute's domain.
+                    PatternValue::Wildcard
+                };
+                tableau.push(PatternTuple::new(vec![lhs], vec![extra]));
+            }
+            ECfd::new("cust", vec![x.into()], vec![y.into()], vec![], tableau)
+                .expect("generated constraints are well-formed")
+        })
+}
+
+fn detect_all_drivers(
+    set: &ConstraintSet,
+    data: &Relation,
+    threads: usize,
+) -> Vec<(&'static str, DetectionReport, EvidenceReport)> {
+    let drivers: Vec<(&'static str, PlanBackend)> = vec![
+        ("columnar-fused", PlanBackend::from_set(set).unwrap()),
+        (
+            "columnar-unfused",
+            PlanBackend::from_set_unfused(set).unwrap(),
+        ),
+        ("sql-pushdown", PlanBackend::from_set_sql(set).unwrap()),
+    ];
+    drivers
+        .into_iter()
+        .map(|(label, mut backend)| {
+            backend.set_parallelism(Parallelism::Fixed(threads));
+            let mut catalog = Catalog::new();
+            catalog.create(data.clone()).unwrap();
+            let (report, mut evidence) = backend.detect(&mut catalog).unwrap();
+            evidence.normalize();
+            (label, report, evidence)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every plan driver reproduces the semantic detector's report and
+    /// normalized evidence byte-for-byte, at 1 and 4 workers, on arbitrary
+    /// relations and constraint sets (fusing and non-fusing alike).
+    #[test]
+    fn plan_drivers_match_the_semantic_detector_at_any_parallelism(
+        data in arb_relation(),
+        constraints in proptest::collection::vec(arb_ecfd(), 1..4),
+    ) {
+        let set = ConstraintSet::compile(&schema(), &constraints).unwrap();
+        let reference = SemanticDetector::from_set(&set)
+            .with_parallelism(Parallelism::Fixed(1));
+        let (want_report, mut want_evidence) =
+            reference.detect_with_evidence(&data).unwrap();
+        want_evidence.normalize();
+
+        for threads in [1usize, 4] {
+            for (label, report, evidence) in detect_all_drivers(&set, &data, threads) {
+                prop_assert_eq!(&report, &want_report, "driver {}@{}", label, threads);
+                prop_assert_eq!(&evidence, &want_evidence, "driver {}@{}", label, threads);
+            }
+        }
+    }
+}
+
+/// The plan-routed session against all three existing backends on the
+/// datagen workloads: identical reports and evidence initially and after a
+/// mixed insert/delete delta, at 1 and 4 workers.
+#[test]
+fn plan_sessions_agree_with_every_backend_on_datagen_workloads() {
+    for (size, noise, seed) in [(200usize, 5.0f64, 11u64), (300, 8.0, 23)] {
+        let (data, _) = generate(&CustConfig {
+            size,
+            noise_percent: noise,
+            seed,
+            ..CustConfig::default()
+        });
+        let constraints = workload_constraints();
+        let delta = generate_delta(
+            &data,
+            &UpdateConfig {
+                insertions: 35,
+                deletions: 20,
+                noise_percent: 10.0,
+                seed: seed + 50,
+                ..UpdateConfig::default()
+            },
+        );
+        assert!(!delta.insertions.is_empty() && !delta.deletions.is_empty());
+
+        let run = |kind: BackendKind, threads: usize| {
+            let policy = RoutingPolicy::fixed(kind).with_parallelism(Parallelism::Fixed(threads));
+            let mut session = Session::new().with_policy(policy);
+            session.load(data.clone()).unwrap();
+            session.register(&constraints).unwrap();
+            let report = session.detect().unwrap();
+            let evidence = session.explain().unwrap().normalized();
+            let after = session.apply(&delta).unwrap();
+            let after_evidence = session.explain().unwrap().normalized();
+            (report, evidence, after, after_evidence)
+        };
+
+        let reference = run(BackendKind::Plan, 1);
+        assert!(
+            !reference.0.is_clean(),
+            "noisy workloads must produce violations"
+        );
+        for kind in BackendKind::ALL {
+            for threads in [1usize, 4] {
+                let got = run(kind, threads);
+                assert_eq!(
+                    got, reference,
+                    "{kind}@{threads} diverges from plan@1 (size {size})"
+                );
+            }
+        }
+    }
+}
+
+/// The fused and unfused plans are different shapes of the same semantics:
+/// on a fusing workload the optimized plan has strictly fewer scans, yet
+/// both execute to identical output.
+#[test]
+fn fusion_changes_the_plan_shape_but_not_the_answer() {
+    let (data, _) = generate(&CustConfig {
+        size: 150,
+        noise_percent: 6.0,
+        seed: 7,
+        ..CustConfig::default()
+    });
+    let constraints = workload_constraints();
+    let set = ConstraintSet::compile(data.schema(), &constraints).unwrap();
+
+    let fused = Plan::compile(&set).unwrap();
+    let unfused = Plan::compile_unfused(&set).unwrap();
+    assert!(fused.is_fused() && !unfused.is_fused());
+    assert!(
+        fused.num_scans() < unfused.num_scans(),
+        "the workload constraints share X attribute sets"
+    );
+    assert_eq!(fused.num_flags(), unfused.num_flags());
+
+    let outputs = detect_all_drivers(&set, &data, 2);
+    assert_eq!(outputs[0].1, outputs[1].1);
+    assert_eq!(outputs[0].2, outputs[1].2);
+}
