@@ -12,13 +12,20 @@
 //! 3. **durable write load** — phase 2 again with a WAL attached
 //!    (`Writer::bootstrap_durable`), so every accepted delta is fsynced
 //!    before its ACK and every epoch logs a checkpoint: the durable-vs-
-//!    in-memory delta is the price of crash safety.
+//!    in-memory delta is the price of crash safety;
+//! 4. **sharded write load** — phase 2 over a [`ShardedHub`] at 1, 2 and 4
+//!    shards (rows hashed by `CT`): one writer thread per shard races the
+//!    router while readers take merged cross-shard views, and each shard's
+//!    apply latency is scoped out of its `writer.apply.ns{shard=N}`
+//!    histogram, so the per-shard p50/p95/p99 and the merge-layer read cost
+//!    are both on record per commit.
 //!
-//! Every reader round-trip asserts byte-identical cached-vs-fresh reports,
-//! so the benchmark doubles as a stress test of snapshot isolation. Each
-//! phase also records per-round-trip latency into an [`ecfd_obs::Histogram`]
-//! and reports p50/p95/p99. Results go to a machine-readable
-//! `BENCH_serve.json` (CI uploads it as an artifact).
+//! Every reader round-trip asserts byte-identical cached-vs-fresh reports
+//! (monotone merged epochs plus a final fresh-merge re-verification on the
+//! sharded axis), so the benchmark doubles as a stress test of snapshot
+//! isolation. Each phase also records per-round-trip latency into an
+//! [`ecfd_obs::Histogram`] and reports p50/p95/p99. Results go to a
+//! machine-readable `BENCH_serve.json` (CI uploads it as an artifact).
 //!
 //! ```text
 //! cargo run --release -p ecfd_bench --bin bench_serve -- \
@@ -28,7 +35,7 @@
 use ecfd_bench::PreparedWorkload;
 use ecfd_obs::{Histogram, HistogramSnapshot};
 use ecfd_relation::Delta;
-use ecfd_serve::Writer;
+use ecfd_serve::{ShardedConfig, ShardedHub, Writer};
 use ecfd_session::Session;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -193,6 +200,147 @@ fn run_phase(
     }
 }
 
+struct ShardedPhaseResult {
+    shards: usize,
+    reads_total: u64,
+    reads_per_sec: f64,
+    epochs_advanced: u64,
+    deltas_routed: u64,
+    /// Per reader round-trip (merged cross-shard view) latency.
+    read_latency: HistogramSnapshot,
+    /// Per-shard apply latency, scoped out of each shard writer's
+    /// `writer.apply.ns{shard=N}` histogram by diffing two readings.
+    shard_apply: Vec<HistogramSnapshot>,
+}
+
+/// The sharded axis: phase 2's write load over a [`ShardedHub`] — one writer
+/// thread per shard racing the router while `readers` threads take merged
+/// cross-shard views. Readers assert the global epoch is monotone across
+/// cuts; after quiescing, the cached merged report is re-verified against a
+/// from-scratch fresh merge.
+fn run_sharded_phase(
+    workload: &PreparedWorkload,
+    args: &Args,
+    duration: Duration,
+    shards: usize,
+) -> ShardedPhaseResult {
+    let mut session = Session::new();
+    session
+        .load(workload.data.clone())
+        .expect("workload data loads");
+    session
+        .register(&workload.constraints)
+        .expect("workload constraints compile");
+    let config = ShardedConfig::new(shards, "CT");
+    let (writers, hub) = ShardedHub::bootstrap(session, &config).expect("sharded bootstrap");
+    let start_epoch = hub.epoch();
+    let read_hist = Histogram::new();
+    // The registry histograms are process-wide and monotone (shard labels
+    // recur across the 1/2/4-shard phases), so each phase is scoped by a
+    // before/after snapshot diff per shard.
+    let shard_hists: Vec<(Histogram, HistogramSnapshot)> = (0..shards)
+        .map(|s| {
+            let hist = ecfd_obs::registry()
+                .histogram_with("writer.apply.ns", &[("shard", &s.to_string())]);
+            let before = hist.snapshot();
+            (hist, before)
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut deltas_routed = 0u64;
+    let reads_total: u64 = std::thread::scope(|scope| {
+        let writer_handles: Vec<_> = writers
+            .into_iter()
+            .enumerate()
+            .map(|(s, writer)| {
+                let shard_hub = Arc::clone(&hub.shard_hubs()[s]);
+                scope.spawn(move || writer.run(&shard_hub))
+            })
+            .collect();
+        let reader_handles: Vec<_> = (0..args.readers)
+            .map(|_| {
+                let hub = &hub;
+                let stop = stop.clone();
+                let read_hist = read_hist.clone();
+                scope.spawn(move || {
+                    let mut rounds = 0u64;
+                    let mut last_epoch = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        read_hist.time(|| {
+                            let view = hub.merged().expect("merged view");
+                            assert!(
+                                view.epoch() >= last_epoch,
+                                "merged epoch went backwards: {} < {last_epoch}",
+                                view.epoch()
+                            );
+                            last_epoch = view.epoch();
+                        });
+                        rounds += 1;
+                    }
+                    rounds
+                })
+            })
+            .collect();
+
+        // Route deltas through the global ordering lock as fast as the
+        // slowest shard queue drains (mirrors phase 2's half-full pacing).
+        let deadline = Instant::now() + duration;
+        let mut seed = 1u64;
+        while Instant::now() < deadline {
+            let backlog = hub
+                .shard_hubs()
+                .iter()
+                .map(|shard| shard.queue().pending())
+                .max()
+                .unwrap_or(0);
+            if backlog < config.queue_capacity / 2 {
+                let delta: Delta = workload.delta(args.delta_size, args.delta_size / 2, seed);
+                hub.submit(delta).expect("router open");
+                deltas_routed += 1;
+                seed += 1;
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        hub.sync(Duration::from_secs(30)).expect("shards quiesce");
+        // One verified cut at quiescence: the cached merged report must be
+        // byte-identical to a from-scratch fresh merge.
+        let cached = hub.merged().expect("cached merged view");
+        let fresh = hub.merged_fresh().expect("fresh merged view");
+        assert_eq!(
+            cached.report, fresh.report,
+            "cached merged report diverged from a fresh merge"
+        );
+        stop.store(true, Ordering::Relaxed);
+        let reads = reader_handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread"))
+            .sum();
+        hub.shutdown();
+        for handle in writer_handles {
+            handle
+                .join()
+                .expect("writer thread")
+                .expect("shard writer run");
+        }
+        reads
+    });
+
+    ShardedPhaseResult {
+        shards,
+        reads_total,
+        reads_per_sec: reads_total as f64 / duration.as_secs_f64(),
+        epochs_advanced: hub.epoch() - start_epoch,
+        deltas_routed,
+        read_latency: read_hist.snapshot(),
+        shard_apply: shard_hists
+            .iter()
+            .map(|(hist, before)| hist.snapshot().since(before))
+            .collect(),
+    }
+}
+
 fn main() {
     let args = match Args::parse() {
         Ok(args) => args,
@@ -240,7 +388,34 @@ fn main() {
         quantile_line(&durable.apply_latency)
     );
 
-    let json = render_json(&args, &idle, &loaded, &durable);
+    let sharded: Vec<ShardedPhaseResult> = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| {
+            let result = run_sharded_phase(&workload, &args, duration, shards);
+            let per_shard = result
+                .shard_apply
+                .iter()
+                .enumerate()
+                .map(|(s, snap)| format!("shard {s} apply {}", quantile_line(snap)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "sharded x{}:    {} readers, {:.0} merged round-trips/s ({} total), \
+                 {} epochs published, {} deltas routed, read {}, {}",
+                result.shards,
+                args.readers,
+                result.reads_per_sec,
+                result.reads_total,
+                result.epochs_advanced,
+                result.deltas_routed,
+                quantile_line(&result.read_latency),
+                per_shard
+            );
+            result
+        })
+        .collect();
+
+    let json = render_json(&args, &idle, &loaded, &durable, &sharded);
     std::fs::write(&args.out, &json).expect("write benchmark output");
     println!("wrote {}", args.out);
 }
@@ -278,6 +453,7 @@ fn render_json(
     idle: &PhaseResult,
     loaded: &PhaseResult,
     durable: &PhaseResult,
+    sharded: &[ShardedPhaseResult],
 ) -> String {
     let phase = |r: &PhaseResult| {
         format!(
@@ -292,16 +468,42 @@ fn render_json(
             latency_json(&r.apply_latency)
         )
     };
+    let sharded_phase = |r: &ShardedPhaseResult| {
+        let per_shard = r
+            .shard_apply
+            .iter()
+            .map(latency_json)
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{ \"shards\": {}, \"reads_total\": {}, \"reads_per_sec\": {:.1}, \
+             \"epochs_advanced\": {}, \"deltas_routed\": {}, \
+             \"read_latency\": {}, \"shard_apply_latency\": [{per_shard}] }}",
+            r.shards,
+            r.reads_total,
+            r.reads_per_sec,
+            r.epochs_advanced,
+            r.deltas_routed,
+            latency_json(&r.read_latency)
+        )
+    };
+    let sharded_json = sharded
+        .iter()
+        .map(sharded_phase)
+        .collect::<Vec<_>>()
+        .join(",\n    ");
     format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"workload\": \"cust\",\n  \"rows\": {},\n  \
          \"readers\": {},\n  \"duration_ms\": {},\n  \"delta_size\": {},\n  \
-         \"no_write_load\": {},\n  \"write_load\": {},\n  \"write_load_durable\": {}\n}}\n",
+         \"no_write_load\": {},\n  \"write_load\": {},\n  \"write_load_durable\": {},\n  \
+         \"sharded_write_load\": [\n    {}\n  ]\n}}\n",
         args.rows,
         args.readers,
         args.millis,
         args.delta_size,
         phase(idle),
         phase(loaded),
-        phase(durable)
+        phase(durable),
+        sharded_json
     )
 }

@@ -85,7 +85,7 @@ pub use evidence::{ConstraintRef, EvidenceReport, MvEvidence, SvEvidence};
 pub use incremental::IncrementalDetector;
 pub use parallel::Parallelism;
 pub use report::DetectionReport;
-pub use semantic::SemanticDetector;
+pub use semantic::{OpenGroup, SemanticDetector, ShardPartial};
 
 use std::fmt;
 

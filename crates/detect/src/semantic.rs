@@ -446,6 +446,170 @@ impl SemanticDetector {
             .map(|e| BoundECfd::bind(e, schema).map_err(Into::into))
             .collect()
     }
+
+    // ── cross-partition detection ─────────────────────────────────────────
+
+    /// For every split constraint, whether its `X` contains `shard_attr` —
+    /// the *partition-aligned* constraints of a serving layer that routes
+    /// rows by that attribute's value. An aligned constraint's enforcement
+    /// groups are complete within one partition (equal group keys imply an
+    /// equal shard-attribute value, hence the same partition), so its
+    /// multi-tuple violations resolve locally; the rest need the merge in
+    /// [`SemanticDetector::merge_partials`]. Constraints with an empty `X`
+    /// are never aligned.
+    pub fn aligned_mask(&self, schema: &Schema, shard_attr: AttrId) -> Result<Vec<bool>> {
+        let bounds = self.bind(schema)?;
+        Ok(bounds
+            .iter()
+            .map(|b| b.lhs_ids().contains(&shard_attr))
+            .collect())
+    }
+
+    /// Runs the scan over one partition of a row-partitioned relation and
+    /// returns a mergeable partial result instead of a finished report:
+    /// single-tuple violations and the evidence of `aligned` constraints are
+    /// final (both are decided within the partition), while the group states
+    /// of cross-partition constraints are exported *decoded* — each
+    /// partition interns values in its own order, so dictionary codes are
+    /// not comparable across partitions, but the decoded values are.
+    ///
+    /// `aligned` is indexed by split-constraint id (see
+    /// [`SemanticDetector::aligned_mask`]).
+    pub fn detect_partition(
+        &self,
+        frozen: &FrozenView,
+        schema: &Schema,
+        aligned: &[bool],
+    ) -> Result<ShardPartial> {
+        let bounds = self.bind(schema)?;
+        let (_, evidence, groups) =
+            self.scan_view(frozen.view(), frozen.dict(), &bounds, frozen.num_rows());
+        let dict = frozen.dict();
+        let mut local_mv = Vec::new();
+        let mut open = Vec::new();
+        for ((ci, key), state) in groups {
+            if aligned.get(ci).copied().unwrap_or(false) {
+                if state.violates() {
+                    let (constraint, pattern) = self.provenance[ci];
+                    local_mv.push(MvEvidence {
+                        source: ConstraintRef::new(constraint, pattern),
+                        group_key: dict.decode_all(key.as_slice()),
+                        rows: state.rows.iter().copied().collect(),
+                    });
+                }
+            } else {
+                open.push(OpenGroup {
+                    ci,
+                    key: dict.decode_all(key.as_slice()),
+                    y_counts: state
+                        .y_counts
+                        .iter()
+                        .map(|(y, n)| (dict.decode_all(y.as_slice()), *n))
+                        .collect(),
+                    rows: state.rows,
+                });
+            }
+        }
+        Ok(ShardPartial {
+            total_rows: frozen.num_rows(),
+            sv: evidence.sv,
+            local_mv,
+            open,
+        })
+    }
+
+    /// Combines the partials of every partition into the global report and
+    /// evidence — the serving-layer analogue of the scan's phase-2 shard
+    /// merge. Open groups are merged by `(constraint, decoded key)`: partial
+    /// `Y`-multiplicity maps are summed and a merged group violates iff it
+    /// ends up with at least two distinct `Y` projections, exactly the
+    /// single-pass criterion. The result is byte-identical to a from-scratch
+    /// detection over the union of the partitions' rows (row ids are
+    /// partition-global and the report/evidence shapes are order-normalized
+    /// sets).
+    pub fn merge_partials(&self, partials: Vec<ShardPartial>) -> (DetectionReport, EvidenceReport) {
+        let total_rows = partials.iter().map(|p| p.total_rows).sum();
+        let mut report = DetectionReport {
+            total_rows,
+            ..Default::default()
+        };
+        let mut evidence = EvidenceReport {
+            total_rows,
+            ..Default::default()
+        };
+        let mut merged: std::collections::BTreeMap<(usize, Vec<Value>), MergedGroup> =
+            std::collections::BTreeMap::new();
+        for partial in partials {
+            for sv in partial.sv {
+                report.sv_rows.insert(sv.row);
+                evidence.sv.push(sv);
+            }
+            for mv in partial.local_mv {
+                report.mv_rows.extend(mv.rows.iter().copied());
+                evidence.mv_groups.push(mv);
+            }
+            for group in partial.open {
+                let slot = merged.entry((group.ci, group.key)).or_default();
+                for (y, n) in group.y_counts {
+                    *slot.y_counts.entry(y).or_insert(0) += n;
+                }
+                slot.rows.extend(group.rows);
+            }
+        }
+        for ((ci, key), state) in merged {
+            if state.y_counts.len() > 1 {
+                report.mv_rows.extend(state.rows.iter().copied());
+                let (constraint, pattern) = self.provenance[ci];
+                evidence.mv_groups.push(MvEvidence {
+                    source: ConstraintRef::new(constraint, pattern),
+                    group_key: key,
+                    rows: state.rows.into_iter().collect(),
+                });
+            }
+        }
+        evidence.normalize();
+        (report, evidence)
+    }
+}
+
+/// One cross-partition enforcement group as exported by
+/// [`SemanticDetector::detect_partition`]: the decoded group key, the decoded
+/// `Y`-projection multiplicities, and the member rows. Decoded (value-level)
+/// on purpose — each partition's dictionary interns in its own order, so
+/// codes do not line up across partitions but values do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenGroup {
+    /// Split-constraint id (index into [`SemanticDetector::singles`]).
+    pub ci: usize,
+    /// The group's decoded `X` projection.
+    pub key: Vec<Value>,
+    /// Count of member tuples per distinct decoded `Y` projection.
+    pub y_counts: Vec<(Vec<Value>, usize)>,
+    /// Every member row, in partition scan order.
+    pub rows: Vec<RowId>,
+}
+
+/// The mergeable result of scanning one partition of a row-partitioned
+/// relation: finished single-tuple evidence, finished multi-tuple evidence
+/// for partition-aligned constraints, and open (cross-partition) group
+/// states awaiting [`SemanticDetector::merge_partials`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPartial {
+    /// Rows scanned in this partition.
+    pub total_rows: usize,
+    /// Single-tuple violation evidence (always partition-local).
+    pub sv: Vec<SvEvidence>,
+    /// Finished evidence of partition-aligned constraints' violating groups.
+    pub local_mv: Vec<MvEvidence>,
+    /// Group states of cross-partition constraints, decoded for merging.
+    pub open: Vec<OpenGroup>,
+}
+
+/// Accumulator for one merged cross-partition group.
+#[derive(Debug, Default)]
+struct MergedGroup {
+    y_counts: std::collections::BTreeMap<Vec<Value>, usize>,
+    rows: Vec<RowId>,
 }
 
 /// What one phase-1 worker produces for its row chunk.
@@ -867,6 +1031,56 @@ mod tests {
             .unwrap();
         assert_eq!(out.0, live_report);
         assert_eq!(out.1, live_evidence);
+    }
+
+    #[test]
+    fn partition_merge_matches_single_pass_detection() {
+        use ecfd_relation::shard_of_value;
+        let mut db = d0();
+        db.insert(Tuple::from_iter([
+            "519", "7", "Zoe", "Pine St.", "Albany", "12239",
+        ]))
+        .unwrap();
+        for i in 0..40 {
+            let city = ["Albany", "Troy", "NYC", "Colonie"][i % 4];
+            let ac = ["518", "718", "212"][i % 3];
+            db.insert(Tuple::from_iter([ac, "0", "Gen", "Any St.", city, "00000"]))
+                .unwrap();
+        }
+        let constraints = [phi1(), phi2(), fd_ct_ac()];
+        let schema = cust_schema();
+        let oracle = SemanticDetector::new(&schema, &constraints).unwrap();
+        let (want_report, want_evidence) = oracle.detect_with_evidence(&db).unwrap();
+
+        // Route by AC: φ1 / fd_ct_ac group on CT, so their groups straddle
+        // partitions (cross-shard); route by CT and they stay aligned. Both
+        // routes must reproduce the single-pass result exactly.
+        for shard_key in ["AC", "CT"] {
+            let attr = schema.require_attr(shard_key).unwrap();
+            for shards in [1usize, 2, 4] {
+                let mut parts: Vec<Vec<(RowId, Tuple)>> = vec![Vec::new(); shards];
+                for (id, t) in db.iter() {
+                    parts[shard_of_value(t.value(attr), shards)].push((id, t.clone()));
+                }
+                let mut partials = Vec::new();
+                let mut mask = None;
+                for rows in parts {
+                    let rel = Relation::with_rows(schema.clone(), rows).unwrap();
+                    let det = SemanticDetector::new(&schema, &constraints).unwrap();
+                    let aligned = det.aligned_mask(&schema, attr).unwrap();
+                    let frozen = det.freeze(&rel, schema.arity());
+                    partials.push(det.detect_partition(&frozen, &schema, &aligned).unwrap());
+                    mask = Some(aligned);
+                }
+                let mask = mask.unwrap();
+                // CT-routing aligns the CT-grouping constraints; AC-routing
+                // leaves them open.
+                assert_eq!(mask.iter().any(|&a| a), shard_key == "CT");
+                let (report, evidence) = oracle.merge_partials(partials);
+                assert_eq!(report, want_report, "key={shard_key} shards={shards}");
+                assert_eq!(evidence, want_evidence, "key={shard_key} shards={shards}");
+            }
+        }
     }
 
     #[test]

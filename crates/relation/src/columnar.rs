@@ -378,6 +378,35 @@ pub fn shard_of(ci: usize, key: &CodeVec, num_shards: usize) -> usize {
     (h.finish() % num_shards as u64) as usize
 }
 
+/// Deterministically hashes one attribute *value* to a shard index — the
+/// row router of the sharded serving layer. Unlike [`shard_of`] this hashes
+/// the decoded value (type tag plus content), not a dictionary code, so the
+/// assignment is stable across processes, restarts and dictionaries: the
+/// same value always routes to the same shard, which is what recovery replay
+/// and cross-shard group completeness both depend on. The tag bytes match
+/// the WAL value encoding (0 = null, 1 = int, 2 = bool, 3 = str).
+pub fn shard_of_value(value: &crate::value::Value, num_shards: usize) -> usize {
+    use crate::value::Value;
+    debug_assert!(num_shards > 0);
+    let mut h = FxHasher::default();
+    match value {
+        Value::Null => h.write_u8(0),
+        Value::Int(i) => {
+            h.write_u8(1);
+            h.write_u64(*i as u64);
+        }
+        Value::Bool(b) => {
+            h.write_u8(2);
+            h.write_u8(u8::from(*b));
+        }
+        Value::Str(s) => {
+            h.write_u8(3);
+            h.write(s.as_bytes());
+        }
+    }
+    (h.finish() % num_shards as u64) as usize
+}
+
 /// Per-attribute code columns derived from a [`Relation`], with a row-id
 /// index so it can be kept up to date under row insertion and removal. See
 /// the module docs for the invalidation rules.

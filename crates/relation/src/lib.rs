@@ -56,7 +56,10 @@ pub mod update;
 pub mod value;
 
 pub use catalog::{Catalog, SharedCatalog};
-pub use columnar::{Code, CodeMap, CodeVec, ColumnarView, Dictionary, FrozenView, FxBuildHasher};
+pub use columnar::{
+    shard_of, shard_of_value, Code, CodeMap, CodeVec, ColumnarView, Dictionary, FrozenView,
+    FxBuildHasher, FxHasher,
+};
 pub use error::{RelationError, Result};
 pub use index::HashIndex;
 pub use relation::{Relation, RowId};

@@ -10,7 +10,7 @@ use crate::schema::{AttrId, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 /// Stable identifier of a row within a relation.
@@ -42,6 +42,12 @@ pub struct Relation {
     /// Index from row id to position in `rows`.
     #[serde(skip)]
     positions: HashMap<RowId, usize>,
+    /// Row ids pre-assigned to upcoming insertions (front = next insert).
+    /// A sharded serving layer schedules globally allocated ids here so a
+    /// partitioned relation hands out the same ids a single-owner relation
+    /// would; when empty, `insert` falls back to `next_row_id`.
+    #[serde(skip)]
+    scheduled_ids: VecDeque<RowId>,
 }
 
 impl Relation {
@@ -52,6 +58,7 @@ impl Relation {
             next_row_id: 0,
             rows: Vec::new(),
             positions: HashMap::new(),
+            scheduled_ids: VecDeque::new(),
         }
     }
 
@@ -127,14 +134,49 @@ impl Relation {
         Ok(())
     }
 
-    /// Inserts a tuple, returning the assigned row id.
+    /// Inserts a tuple, returning the assigned row id: the next scheduled id
+    /// when one is queued (see [`Relation::schedule_row_ids`]), otherwise the
+    /// next sequential id.
     pub fn insert(&mut self, tuple: Tuple) -> Result<RowId> {
         self.validate(&tuple)?;
-        let id = RowId(self.next_row_id);
-        self.next_row_id += 1;
+        let id = match self.scheduled_ids.pop_front() {
+            Some(id) => {
+                if self.positions.contains_key(&id) {
+                    return Err(RelationError::DuplicateRow(id.0));
+                }
+                self.next_row_id = self.next_row_id.max(id.0 + 1);
+                id
+            }
+            None => {
+                let id = RowId(self.next_row_id);
+                self.next_row_id += 1;
+                id
+            }
+        };
         self.positions.insert(id, self.rows.len());
         self.rows.push((id, tuple));
         Ok(id)
+    }
+
+    /// Queues row ids for upcoming insertions, in order: the next `insert`
+    /// calls consume them front-to-back instead of assigning sequential ids.
+    /// This is how a sharded serving layer makes a partitioned relation hand
+    /// out the same (globally allocated, possibly non-contiguous) ids a
+    /// single-owner relation would. Scheduled ids are transient: they are not
+    /// serialised and should be cleared once the batch they were meant for
+    /// has been applied.
+    pub fn schedule_row_ids(&mut self, ids: impl IntoIterator<Item = RowId>) {
+        self.scheduled_ids.extend(ids);
+    }
+
+    /// Drops any scheduled-but-unconsumed row ids.
+    pub fn clear_scheduled_row_ids(&mut self) {
+        self.scheduled_ids.clear();
+    }
+
+    /// The id the next unscheduled insertion would be assigned.
+    pub fn next_row_id(&self) -> u64 {
+        self.next_row_id
     }
 
     /// Inserts many tuples, returning their row ids.
@@ -242,8 +284,10 @@ impl Relation {
         names.iter().map(|n| self.schema.require_attr(n)).collect()
     }
 
-    /// Creates a new relation with the same tuples but a schema extended by the
-    /// given attributes, filling the new columns with `fill`.
+    /// Creates a new relation with the same tuples but a schema extended by
+    /// the given attributes, filling the new columns with `fill`. Row ids and
+    /// the next-id counter are preserved (ids may be non-contiguous, e.g. in
+    /// a shard of a partitioned table), as are any scheduled row ids.
     pub fn extend_schema(
         &self,
         extra: Vec<crate::schema::Attribute>,
@@ -251,10 +295,14 @@ impl Relation {
     ) -> Result<Relation> {
         let n_extra = extra.len();
         let schema = self.schema.extend(extra)?;
-        let mut rel = Relation::new(schema);
-        for (_, t) in &self.rows {
-            rel.insert(t.extended(std::iter::repeat_n(fill.clone(), n_extra)))?;
-        }
+        let mut rel = Relation::with_rows(
+            schema,
+            self.rows
+                .iter()
+                .map(|(id, t)| (*id, t.extended(std::iter::repeat_n(fill.clone(), n_extra)))),
+        )?;
+        rel.next_row_id = rel.next_row_id.max(self.next_row_id);
+        rel.scheduled_ids = self.scheduled_ids.clone();
         Ok(rel)
     }
 
@@ -405,6 +453,52 @@ mod tests {
             assert_eq!(t[AttrId(2)], Value::bool(false));
             assert_eq!(t[AttrId(3)], Value::bool(false));
         }
+    }
+
+    #[test]
+    fn scheduled_ids_override_sequential_assignment() {
+        let mut r = rel_with(&[("Albany", "518")]);
+        r.schedule_row_ids([RowId(7), RowId(3)]);
+        assert_eq!(
+            r.insert(Tuple::from_iter(["Troy", "518"])).unwrap(),
+            RowId(7)
+        );
+        assert_eq!(
+            r.insert(Tuple::from_iter(["NYC", "212"])).unwrap(),
+            RowId(3)
+        );
+        // Queue drained: back to sequential, above the largest handed out.
+        assert_eq!(r.insert(Tuple::from_iter(["LI", "516"])).unwrap(), RowId(8));
+        // Scheduling an occupied id is an error when consumed.
+        r.schedule_row_ids([RowId(3)]);
+        assert!(r.insert(Tuple::from_iter(["Rye", "914"])).is_err());
+        r.clear_scheduled_row_ids();
+        assert!(r.insert(Tuple::from_iter(["Rye", "914"])).is_ok());
+    }
+
+    #[test]
+    fn extend_schema_preserves_row_ids_and_counter() {
+        let mut r = rel_with(&[("Albany", "518"), ("Troy", "518"), ("NYC", "212")]);
+        let ids = r.row_ids();
+        r.delete(ids[0]).unwrap();
+        let extended = r
+            .extend_schema(
+                vec![crate::schema::Attribute::new("SV", DataType::Bool)],
+                Value::bool(false),
+            )
+            .unwrap();
+        assert_eq!(extended.row_ids(), vec![ids[1], ids[2]]);
+        // The counter survives the extension: fresh inserts do not reuse the
+        // deleted row's id.
+        let mut extended = extended;
+        let new = extended
+            .insert(Tuple::new(vec![
+                Value::str("LI"),
+                Value::str("516"),
+                Value::bool(false),
+            ]))
+            .unwrap();
+        assert_eq!(new, RowId(3));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! $ printf 'EPOCH\nDETECT\nAPPLY +519,7,Zoe,Pine%%20St.,Albany,12239\nSYNC\nDETECT\nQUIT\n' | nc 127.0.0.1 7878
 //! ```
 
-use ecfd_serve::{Client, Follower, ServeConfig, Server};
+use ecfd_serve::{Client, Follower, ServeConfig, Server, ShardedConfig, ShardedServer};
 use ecfd_session::Session;
 use std::path::Path;
 use std::time::Duration;
@@ -32,6 +32,8 @@ struct Args {
     wal_dir: Option<String>,
     recover: bool,
     follow: Option<String>,
+    shards: Option<usize>,
+    shard_key: Option<String>,
 }
 
 impl Args {
@@ -46,6 +48,8 @@ impl Args {
             wal_dir: None,
             recover: false,
             follow: None,
+            shards: None,
+            shard_key: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -61,14 +65,19 @@ impl Args {
                 "--wal-dir" => args.wal_dir = Some(value("--wal-dir")?),
                 "--recover" => args.recover = true,
                 "--follow" => args.follow = Some(value("--follow")?),
+                "--shards" => args.shards = Some(parse_num(&value("--shards")?)?),
+                "--shard-key" => args.shard_key = Some(value("--shard-key")?),
                 "--help" | "-h" => {
                     println!(
                         "usage: serve [--addr HOST:PORT] [--queue N] [--batch N]\n\
                          \x20            [--csv PATH --table NAME [--constraints PATH]]\n\
                          \x20            [--wal-dir DIR [--recover]] [--follow HOST:PORT]\n\
+                         \x20            [--shards N --shard-key ATTR]\n\
                          Without --csv, serves the paper's demo instance (Fig. 1 + φ1/φ2).\n\
                          --wal-dir makes writes durable; --recover replays an existing log;\n\
-                         --follow replicates a durable leader into this server."
+                         --follow replicates a durable leader into this server;\n\
+                         --shards partitions rows by the hashed --shard-key value into N\n\
+                         independent writers behind a cross-shard merge layer."
                     );
                     std::process::exit(0);
                 }
@@ -77,6 +86,17 @@ impl Args {
         }
         if args.recover && args.wal_dir.is_none() {
             return Err("--recover needs --wal-dir".to_string());
+        }
+        match (&args.shards, &args.shard_key) {
+            (Some(n), _) if *n == 0 => return Err("--shards must be at least 1".to_string()),
+            (Some(_), None) => return Err("--shards needs --shard-key ATTR".to_string()),
+            (None, Some(_)) => return Err("--shard-key needs --shards N".to_string()),
+            _ => {}
+        }
+        if args.shards.is_some() && args.follow.is_some() {
+            return Err("--follow cannot combine with --shards (follow a single \
+                        shard's log instead)"
+                .to_string());
         }
         Ok(args)
     }
@@ -161,12 +181,18 @@ fn main() {
     };
 
     let config = ServeConfig {
-        addr: args.addr,
+        addr: args.addr.clone(),
         queue_capacity: args.queue,
         batch_max: args.batch,
         ..ServeConfig::default()
     };
     let sync_timeout = config.sync_timeout;
+
+    if let Some(shards) = args.shards {
+        run_sharded(&args, shards, session, config);
+        return;
+    }
+
     let server = match &args.wal_dir {
         Some(dir) => {
             let dir = Path::new(dir);
@@ -254,6 +280,65 @@ fn main() {
     }
 }
 
+/// The sharded serving path behind `--shards N --shard-key ATTR`.
+fn run_sharded(args: &Args, shards: usize, session: Session, config: ServeConfig) {
+    let shard_key = args.shard_key.as_deref().expect("validated by Args::parse");
+    let sharding = ShardedConfig::new(shards, shard_key);
+    let server = match &args.wal_dir {
+        Some(dir) => {
+            let dir = Path::new(dir);
+            if !args.recover && sharded_wal_has_records(dir, shards) {
+                eprintln!(
+                    "serve: {} already holds shard WALs with records; pass --recover to \
+                     replay them (or point --wal-dir at an empty directory)",
+                    dir.display()
+                );
+                std::process::exit(2);
+            }
+            match ShardedServer::bind_durable(session, config, &sharding, dir) {
+                Ok((server, recoveries)) => {
+                    for (s, recovery) in recoveries.iter().enumerate() {
+                        println!(
+                            "shard {s}: recovered {} delta(s) to ticket {} ({} checkpoint(s) \
+                             verified, {} apply error(s), {} torn byte(s) dropped)",
+                            recovery.deltas_applied,
+                            recovery.last_ticket,
+                            recovery.checkpoints_verified,
+                            recovery.apply_errors,
+                            recovery.truncated_bytes,
+                        );
+                    }
+                    server
+                }
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => match ShardedServer::bind(session, config, &sharding) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("serving on {addr} ({shards} shard(s) by {shard_key})");
+    println!("protocol: PING | EPOCH | DETECT [FRESH] | CHECK | EXPLAIN [PLAN] | APPLY +f,… -f,… | SYNC | REPAIR-PLAN | STATS [prefix] | INFO | QUIT");
+    match server.run() {
+        Ok(_sessions) => {
+            println!("shut down cleanly; final metrics:");
+            print!("{}", ecfd_obs::registry().render());
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// True when `dir` already holds a WAL file with at least one record (a
 /// bare magic header counts as empty, as does a missing file).
 fn wal_has_records(dir: &Path) -> bool {
@@ -262,4 +347,9 @@ fn wal_has_records(dir: &Path) -> bool {
         Ok(records) => !records.is_empty(),
         Err(_) => false,
     }
+}
+
+/// [`wal_has_records`] over every `shard-N/` segment of a sharded WAL dir.
+fn sharded_wal_has_records(dir: &Path, shards: usize) -> bool {
+    (0..shards).any(|s| wal_has_records(&dir.join(format!("shard-{s}"))))
 }

@@ -13,7 +13,7 @@ use crate::ingest::Ticket;
 use crate::{Result, ServeError};
 use ecfd_detect::DetectionReport;
 use ecfd_obs::{Counter, Histogram};
-use ecfd_relation::Delta;
+use ecfd_relation::{Delta, RowId};
 use ecfd_session::Session;
 use ecfd_wal::{Wal, WalRecord};
 use std::collections::BTreeMap;
@@ -32,13 +32,27 @@ struct SinkMetrics {
 }
 
 impl SinkMetrics {
-    fn fetch() -> Self {
+    /// Fetches the sink's metric handles; in a sharded deployment every
+    /// series carries a `shard` label (one WAL segment per shard).
+    fn fetch(shard: Option<u32>) -> Self {
         let registry = ecfd_obs::registry();
-        SinkMetrics {
-            appends: registry.counter("wal.append.count"),
-            bytes: registry.counter("wal.bytes"),
-            fsyncs: registry.counter("wal.fsync.count"),
-            fsync_latency: registry.histogram("wal.fsync.ns"),
+        match shard {
+            None => SinkMetrics {
+                appends: registry.counter("wal.append.count"),
+                bytes: registry.counter("wal.bytes"),
+                fsyncs: registry.counter("wal.fsync.count"),
+                fsync_latency: registry.histogram("wal.fsync.ns"),
+            },
+            Some(shard) => {
+                let shard = shard.to_string();
+                let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+                SinkMetrics {
+                    appends: registry.counter_with("wal.append.count", labels),
+                    bytes: registry.counter_with("wal.bytes", labels),
+                    fsyncs: registry.counter_with("wal.fsync.count", labels),
+                    fsync_latency: registry.histogram_with("wal.fsync.ns", labels),
+                }
+            }
         }
     }
 
@@ -79,8 +93,9 @@ pub fn report_hash(report: &DetectionReport) -> u64 {
 struct SinkState {
     wal: Wal,
     metrics: SinkMetrics,
-    /// Records that arrived ahead of their turn, keyed by ticket.
-    pending: BTreeMap<Ticket, Delta>,
+    /// Records that arrived ahead of their turn, keyed by ticket: the delta
+    /// plus, in sharded mode, the globally pre-assigned insertion row ids.
+    pending: BTreeMap<Ticket, (Delta, Option<Vec<u64>>)>,
     /// Highest ticket whose record is on disk and fsynced.
     durable: Ticket,
     /// A write/sync failure poisons the sink: every current and future
@@ -104,12 +119,13 @@ pub(crate) struct WalSink {
 
 impl WalSink {
     /// Wraps an opened log whose records end at `durable` (the recovered
-    /// last ticket; 0 for a fresh log).
-    pub(crate) fn new(wal: Wal, durable: Ticket) -> Self {
+    /// last ticket; 0 for a fresh log). `shard` labels the sink's metric
+    /// series in sharded deployments.
+    pub(crate) fn new(wal: Wal, durable: Ticket, shard: Option<u32>) -> Self {
         WalSink {
             state: Mutex::new(SinkState {
                 wal,
-                metrics: SinkMetrics::fetch(),
+                metrics: SinkMetrics::fetch(shard),
                 pending: BTreeMap::new(),
                 durable,
                 failed: None,
@@ -126,13 +142,31 @@ impl WalSink {
     /// and including `ticket` is fsynced — the fsync-before-ACK half of the
     /// durability contract.
     pub(crate) fn log_delta(&self, ticket: Ticket, delta: &Delta) -> Result<()> {
+        self.log_item(ticket, delta, None)
+    }
+
+    /// [`WalSink::log_delta`] for a shard-routed delta with globally
+    /// pre-assigned insertion row ids — logged as a
+    /// [`WalRecord::ScheduledDelta`] so recovery replay hands out the same
+    /// ids.
+    pub(crate) fn log_scheduled(
+        &self,
+        ticket: Ticket,
+        delta: &Delta,
+        insert_ids: &[RowId],
+    ) -> Result<()> {
+        let ids = insert_ids.iter().map(|id| id.0).collect();
+        self.log_item(ticket, delta, Some(ids))
+    }
+
+    fn log_item(&self, ticket: Ticket, delta: &Delta, insert_ids: Option<Vec<u64>>) -> Result<()> {
         let mut state = self.lock();
         if ticket <= state.durable {
             // Already on disk (a follower replaying records it was handed
             // twice, or a retry) — nothing to add.
             return fail_or(&state, ());
         }
-        state.pending.insert(ticket, delta.clone());
+        state.pending.insert(ticket, (delta.clone(), insert_ids));
         loop {
             drain(&mut state)?;
             if state.durable >= ticket {
@@ -193,9 +227,17 @@ impl WalSink {
 fn drain(state: &mut SinkState) -> Result<()> {
     fail_or(state, ())?;
     let mut appended = false;
-    while let Some(delta) = state.pending.remove(&(state.durable + 1)) {
+    while let Some((delta, insert_ids)) = state.pending.remove(&(state.durable + 1)) {
         let ticket = state.durable + 1;
-        match state.wal.append(&WalRecord::Delta { ticket, delta }) {
+        let record = match insert_ids {
+            Some(insert_ids) => WalRecord::ScheduledDelta {
+                ticket,
+                delta,
+                insert_ids,
+            },
+            None => WalRecord::Delta { ticket, delta },
+        };
+        match state.wal.append(&record) {
             Ok(bytes) => {
                 state.metrics.appends.inc();
                 state.metrics.bytes.add(bytes as u64);
@@ -251,24 +293,20 @@ pub struct RecoveryReport {
 impl RecoveryReport {
     /// Publishes the replay stats as `wal.recovery.*` gauges in the
     /// process-wide registry, so `STATS` (and the crash-recovery CI job) can
-    /// see what a `--recover` boot actually replayed.
-    pub(crate) fn export_metrics(&self) {
+    /// see what a `--recover` boot actually replayed. When `shard` is set,
+    /// every gauge carries a `shard` label — one recovery per WAL segment.
+    pub(crate) fn export_metrics(&self, shard: Option<u32>) {
         let registry = ecfd_obs::registry();
-        registry
-            .gauge("wal.recovery.deltas")
-            .set(self.deltas_applied as i64);
-        registry
-            .gauge("wal.recovery.apply.errors")
-            .set(self.apply_errors as i64);
-        registry
-            .gauge("wal.recovery.checkpoints.verified")
-            .set(self.checkpoints_verified as i64);
-        registry
-            .gauge("wal.recovery.truncated.bytes")
-            .set(self.truncated_bytes as i64);
-        registry
-            .gauge("wal.recovery.last.ticket")
-            .set(self.last_ticket as i64);
+        let shard = shard.map(|s| s.to_string());
+        let gauge = |name: &str| match &shard {
+            None => registry.gauge(name),
+            Some(s) => registry.gauge_with(name, &[("shard", s.as_str())]),
+        };
+        gauge("wal.recovery.deltas").set(self.deltas_applied as i64);
+        gauge("wal.recovery.apply.errors").set(self.apply_errors as i64);
+        gauge("wal.recovery.checkpoints.verified").set(self.checkpoints_verified as i64);
+        gauge("wal.recovery.truncated.bytes").set(self.truncated_bytes as i64);
+        gauge("wal.recovery.last.ticket").set(self.last_ticket as i64);
     }
 }
 
@@ -306,6 +344,20 @@ pub fn recover_session(
                 // failed apply still bumps the session version (and drops its
                 // caches), so epochs line up even across poisoned tickets.
                 if session.apply_on(table, delta).is_err() {
+                    report.apply_errors += 1;
+                }
+                report.deltas_applied += 1;
+                report.last_ticket = report.last_ticket.max(*ticket);
+            }
+            WalRecord::ScheduledDelta {
+                ticket,
+                delta,
+                insert_ids,
+            } => {
+                // A shard's logged delta: replay with the same globally
+                // pre-assigned row ids the original run handed out.
+                let ids: Vec<RowId> = insert_ids.iter().copied().map(RowId).collect();
+                if session.apply_scheduled_on(table, delta, &ids).is_err() {
                     report.apply_errors += 1;
                 }
                 report.deltas_applied += 1;
@@ -392,7 +444,7 @@ mod tests {
         let dir = temp_dir("sink");
         let wal = Wal::open(&dir).unwrap().wal;
         let path = wal.path().to_path_buf();
-        let sink = Arc::new(WalSink::new(wal, 0));
+        let sink = Arc::new(WalSink::new(wal, 0, None));
         let delta =
             |tag: &str| Delta::insert_only(vec![ecfd_relation::Tuple::from_iter([tag, "518"])]);
 
@@ -412,6 +464,7 @@ mod tests {
             .iter()
             .map(|r| match r {
                 WalRecord::Delta { ticket, .. } => *ticket,
+                WalRecord::ScheduledDelta { ticket, .. } => *ticket,
                 WalRecord::Checkpoint { last_ticket, .. } => *last_ticket,
             })
             .collect();

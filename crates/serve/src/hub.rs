@@ -4,7 +4,7 @@ use crate::durable::WalSink;
 use crate::ingest::{IngestQueue, PushError, Ticket};
 use crate::store::SnapshotStore;
 use crate::{Result, ServeError};
-use ecfd_relation::Delta;
+use ecfd_relation::{Delta, RowId};
 use ecfd_session::Snapshot;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -66,9 +66,15 @@ impl Hub {
     /// Creates a hub publishing `initial` with an ingest queue of
     /// `queue_capacity` pending deltas.
     pub fn new(initial: Snapshot, queue_capacity: usize) -> Arc<Self> {
+        Hub::with_queue(initial, IngestQueue::new(queue_capacity))
+    }
+
+    /// [`Hub::new`] with a caller-built queue (e.g. one whose metric series
+    /// carry a shard label).
+    pub(crate) fn with_queue(initial: Snapshot, queue: IngestQueue) -> Arc<Self> {
         Arc::new(Hub {
             store: SnapshotStore::new(initial),
-            queue: IngestQueue::new(queue_capacity),
+            queue,
             shutdown: AtomicBool::new(false),
             write_errors: AtomicU64::new(0),
             last_error: Mutex::new(None),
@@ -184,6 +190,36 @@ impl Hub {
             PushError::Closed => ServeError::QueueClosed,
             PushError::Full => unreachable!("blocking push never reports Full"),
         })
+    }
+
+    /// Enqueues a shard-routed sub-delta with globally pre-assigned
+    /// insertion row ids, *without* logging it — the sharded router calls
+    /// this under its serialization lock and follows up with
+    /// [`Hub::log_scheduled`] after releasing it, so WAL fsyncs never run
+    /// under the router lock.
+    pub(crate) fn enqueue_scheduled(&self, delta: Delta, insert_ids: Vec<RowId>) -> Result<Ticket> {
+        self.queue
+            .push_scheduled(delta, insert_ids)
+            .map_err(|e| match e {
+                PushError::Closed => ServeError::QueueClosed,
+                PushError::Full => unreachable!("blocking push never reports Full"),
+            })
+    }
+
+    /// Logs (and fsyncs) a scheduled sub-delta under its shard-local ticket.
+    /// No-op when the hub is not durable. The WAL sink tolerates
+    /// out-of-order arrival, so callers may invoke this in any order after
+    /// [`Hub::enqueue_scheduled`].
+    pub(crate) fn log_scheduled(
+        &self,
+        ticket: Ticket,
+        delta: &Delta,
+        insert_ids: &[RowId],
+    ) -> Result<()> {
+        match &self.durable {
+            Some(durable) => durable.sink.log_scheduled(ticket, delta, insert_ids),
+            None => Ok(()),
+        }
     }
 
     /// Appends an epoch-boundary checkpoint to the WAL (no-op when not

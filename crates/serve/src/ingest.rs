@@ -1,7 +1,7 @@
 //! The bounded ingest queue: how deltas reach the writer, with backpressure.
 
 use ecfd_obs::{Counter, Gauge, Histogram};
-use ecfd_relation::Delta;
+use ecfd_relation::{Delta, RowId};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -24,16 +24,45 @@ struct QueueMetrics {
 }
 
 impl QueueMetrics {
-    fn fetch() -> Self {
+    /// Fetches the queue's metric handles; in a sharded deployment every
+    /// series carries a `shard` label so per-shard queues stay separable.
+    fn fetch(shard: Option<u32>) -> Self {
         let registry = ecfd_obs::registry();
-        QueueMetrics {
-            depth: registry.gauge("ingest.queue.depth"),
-            accepted: registry.counter("ingest.accepted"),
-            rejected: registry.counter("ingest.rejected"),
-            backpressure: registry.histogram("ingest.backpressure.wait.ns"),
-            lag: registry.gauge("writer.epoch.lag"),
+        match shard {
+            None => QueueMetrics {
+                depth: registry.gauge("ingest.queue.depth"),
+                accepted: registry.counter("ingest.accepted"),
+                rejected: registry.counter("ingest.rejected"),
+                backpressure: registry.histogram("ingest.backpressure.wait.ns"),
+                lag: registry.gauge("writer.epoch.lag"),
+            },
+            Some(shard) => {
+                let shard = shard.to_string();
+                let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+                QueueMetrics {
+                    depth: registry.gauge_with("ingest.queue.depth", labels),
+                    accepted: registry.counter_with("ingest.accepted", labels),
+                    rejected: registry.counter_with("ingest.rejected", labels),
+                    backpressure: registry.histogram_with("ingest.backpressure.wait.ns", labels),
+                    lag: registry.gauge_with("writer.epoch.lag", labels),
+                }
+            }
         }
     }
+}
+
+/// One queued unit of work: the submitted delta plus, in sharded
+/// deployments, the globally pre-assigned row ids of its insertions
+/// (`insert_ids[k]` is the id insertion `k` must receive at apply time, so
+/// every shard hands out exactly the ids a single-session run would have).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestItem {
+    /// The insertions and deletions, exactly as submitted (or as routed to
+    /// this shard).
+    pub delta: Delta,
+    /// Pre-assigned row ids parallel to `delta.insertions`, or `None` in
+    /// unsharded deployments where the relation assigns ids itself.
+    pub insert_ids: Option<Vec<RowId>>,
 }
 
 /// Sequence number assigned to a submitted delta. Tickets are issued in
@@ -54,7 +83,7 @@ pub enum PushError {
 
 #[derive(Debug)]
 struct Inner {
-    items: VecDeque<(Ticket, Delta)>,
+    items: VecDeque<(Ticket, IngestItem)>,
     next_ticket: Ticket,
     /// Highest ticket whose delta has been applied and whose snapshot has
     /// been published.
@@ -100,6 +129,13 @@ impl IngestQueue {
     /// this so tickets issued after a restart extend the WAL's numbering
     /// instead of colliding with logged history.
     pub fn starting_at(capacity: usize, last_ticket: Ticket) -> Self {
+        IngestQueue::starting_at_sharded(capacity, last_ticket, None)
+    }
+
+    /// Like [`IngestQueue::starting_at`], but tagging every metric series
+    /// with the owning shard's index — per-shard queues in a sharded
+    /// deployment report `ingest.*{shard=N}`.
+    pub fn starting_at_sharded(capacity: usize, last_ticket: Ticket, shard: Option<u32>) -> Self {
         IngestQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
@@ -111,7 +147,7 @@ impl IngestQueue {
             not_full: Condvar::new(),
             progress: Condvar::new(),
             capacity: capacity.max(1),
-            metrics: QueueMetrics::fetch(),
+            metrics: QueueMetrics::fetch(shard),
         }
     }
 
@@ -154,6 +190,26 @@ impl IngestQueue {
     /// Returns the delta's ticket, or `Err(PushError::Closed)` once the
     /// queue is shut down.
     pub fn push(&self, delta: Delta) -> Result<Ticket, PushError> {
+        self.push_item(IngestItem {
+            delta,
+            insert_ids: None,
+        })
+    }
+
+    /// [`IngestQueue::push`] with globally pre-assigned row ids for the
+    /// delta's insertions — the sharded router's entry point.
+    pub fn push_scheduled(
+        &self,
+        delta: Delta,
+        insert_ids: Vec<RowId>,
+    ) -> Result<Ticket, PushError> {
+        self.push_item(IngestItem {
+            delta,
+            insert_ids: Some(insert_ids),
+        })
+    }
+
+    fn push_item(&self, item: IngestItem) -> Result<Ticket, PushError> {
         let mut inner = self.lock();
         if inner.items.len() >= self.capacity && !inner.closed {
             let blocked = Instant::now();
@@ -166,7 +222,7 @@ impl IngestQueue {
             self.metrics.rejected.inc();
             return Err(PushError::Closed);
         }
-        Ok(self.enqueue(&mut inner, delta))
+        Ok(self.enqueue(&mut inner, item))
     }
 
     /// Enqueues a delta without blocking, failing with [`PushError::Full`]
@@ -181,13 +237,19 @@ impl IngestQueue {
             self.metrics.rejected.inc();
             return Err(PushError::Full);
         }
-        Ok(self.enqueue(&mut inner, delta))
+        Ok(self.enqueue(
+            &mut inner,
+            IngestItem {
+                delta,
+                insert_ids: None,
+            },
+        ))
     }
 
-    fn enqueue(&self, inner: &mut Inner, delta: Delta) -> Ticket {
+    fn enqueue(&self, inner: &mut Inner, item: IngestItem) -> Ticket {
         let ticket = inner.next_ticket;
         inner.next_ticket += 1;
-        inner.items.push_back((ticket, delta));
+        inner.items.push_back((ticket, item));
         self.metrics.accepted.inc();
         self.metrics.depth.set(inner.items.len() as i64);
         self.metrics.lag.set((ticket - inner.applied) as i64);
@@ -202,7 +264,7 @@ impl IngestQueue {
     /// * `Some(vec![])` when the timeout elapsed with nothing pending;
     /// * `None` when the queue is closed **and** fully drained — the writer's
     ///   signal to exit.
-    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Option<Vec<(Ticket, Delta)>> {
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Option<Vec<(Ticket, IngestItem)>> {
         let deadline = Instant::now() + timeout;
         let mut inner = self.lock();
         while inner.items.is_empty() {
@@ -220,7 +282,7 @@ impl IngestQueue {
             inner = guard;
         }
         let take = max.max(1).min(inner.items.len());
-        let batch: Vec<(Ticket, Delta)> = inner.items.drain(..take).collect();
+        let batch: Vec<(Ticket, IngestItem)> = inner.items.drain(..take).collect();
         self.metrics.depth.set(inner.items.len() as i64);
         self.not_full.notify_all();
         Some(batch)
@@ -354,6 +416,18 @@ mod tests {
         assert!(q.is_applied(t1));
         assert!(q.is_applied(t2));
         assert!(q.wait_applied(t2, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn scheduled_pushes_carry_their_row_ids() {
+        let q = IngestQueue::new(4);
+        q.push(delta("a")).unwrap();
+        q.push_scheduled(delta("b"), vec![RowId(7), RowId(9)])
+            .unwrap();
+        let batch = q.pop_batch(8, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch[0].1.insert_ids, None);
+        assert_eq!(batch[1].1.insert_ids, Some(vec![RowId(7), RowId(9)]));
+        assert_eq!(batch[1].1.delta, delta("b"));
     }
 
     #[test]

@@ -102,16 +102,18 @@ mod ingest;
 pub mod protocol;
 mod replica;
 mod server;
+mod sharded;
 mod store;
 mod writer;
 
 pub use client::Client;
 pub use durable::{recover_session, report_hash, RecoveryReport};
 pub use hub::{Hub, ServeStats};
-pub use ingest::{IngestQueue, PushError, Ticket};
+pub use ingest::{IngestItem, IngestQueue, PushError, Ticket};
 pub use protocol::{Request, Response};
 pub use replica::{Follower, FollowerProgress};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, Server, ServerHandle, ShardedHandle, ShardedServer};
+pub use sharded::{MergedView, ShardedConfig, ShardedHub, SubmitReceipt};
 pub use store::SnapshotStore;
 pub use writer::{StepOutcome, Writer};
 

@@ -3,8 +3,10 @@
 use crate::durable::RecoveryReport;
 use crate::hub::Hub;
 use crate::protocol::{delta_to_ops, MvLine, ReplayRecord, Request, Response};
+use crate::sharded::{ShardedConfig, ShardedHub};
 use crate::writer::Writer;
 use crate::Result;
+use ecfd_detect::EvidenceReport;
 use ecfd_repair::RepairOptions;
 use ecfd_session::{Session, Snapshot};
 use ecfd_wal::WalRecord;
@@ -174,24 +176,26 @@ impl Server {
     }
 }
 
-/// Serves one connection: read a line, answer a line, until `QUIT`, EOF or
-/// shutdown.
-fn handle_connection(stream: TcpStream, hub: &Hub, config: &ServeConfig) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(config.read_timeout))?;
+/// The line-per-request connection loop shared by the unsharded and sharded
+/// servers: read a line, answer a line, until `QUIT`, EOF or shutdown.
+fn serve_lines(
+    stream: TcpStream,
+    read_timeout: Duration,
+    is_shutdown: impl Fn() -> bool,
+    mut respond: impl FnMut(&str) -> Response,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
-    // The most recent ticket ACKed on *this* connection: SYNC barriers on
-    // it, so one client's barrier is never hostage to another's backlog.
-    let mut last_ticket: u64 = 0;
     loop {
-        if hub.is_shutdown() {
+        if is_shutdown() {
             return Ok(());
         }
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // client closed
             Ok(_) => {
-                let response = respond(&line, hub, config, &mut last_ticket);
+                let response = respond(&line);
                 let quit = matches!(response, Response::Bye);
                 writer.write_all(response.render().as_bytes())?;
                 writer.write_all(b"\n")?;
@@ -214,14 +218,31 @@ fn handle_connection(stream: TcpStream, hub: &Hub, config: &ServeConfig) -> std:
     }
 }
 
-/// Executes one request line against the hub. Never panics on client input —
-/// malformed lines come back as `ERR`. `last_ticket` is the connection's
-/// APPLY high-water mark (0 before the first APPLY), updated here on ACK.
+/// Serves one connection against an unsharded hub.
+fn handle_connection(stream: TcpStream, hub: &Hub, config: &ServeConfig) -> std::io::Result<()> {
+    // The most recent ticket ACKed on *this* connection: SYNC barriers on
+    // it, so one client's barrier is never hostage to another's backlog.
+    let mut last_ticket: u64 = 0;
+    serve_lines(
+        stream,
+        config.read_timeout,
+        || hub.is_shutdown(),
+        |line| {
+            respond_counted(line, |request| {
+                dispatch(request, hub, config, &mut last_ticket)
+            })
+        },
+    )
+}
+
+/// Parses one request line and runs it through `dispatch`, with the verb
+/// accounting both servers share. Never panics on client input — malformed
+/// lines come back as `ERR`.
 ///
 /// Every parsed request is counted and timed under its wire verb
 /// (`serve.requests{verb=…}` / `serve.request.ns{verb=…}`); unparseable
 /// lines are counted under the pseudo-verb `INVALID`.
-fn respond(line: &str, hub: &Hub, config: &ServeConfig, last_ticket: &mut u64) -> Response {
+fn respond_counted(line: &str, dispatch: impl FnOnce(Request) -> Response) -> Response {
     let registry = ecfd_obs::registry();
     let request = match Request::parse(line) {
         Ok(request) => request,
@@ -238,7 +259,7 @@ fn respond(line: &str, hub: &Hub, config: &ServeConfig, last_ticket: &mut u64) -
         .inc();
     registry
         .histogram_with("serve.request.ns", &[("verb", verb)])
-        .time(|| dispatch(request, hub, config, last_ticket))
+        .time(|| dispatch(request))
 }
 
 /// The verb dispatch behind [`respond`], separated so the caller can time it.
@@ -369,6 +390,325 @@ fn dispatch(request: Request, hub: &Hub, config: &ServeConfig, last_ticket: &mut
     }
 }
 
+// ── the sharded front end ────────────────────────────────────────────────
+
+/// The TCP face of a [`ShardedHub`]: the same wire protocol as [`Server`],
+/// served over `N` shards behind the router + merge layer. Reader verbs
+/// (`DETECT`, `EXPLAIN`, `EPOCH`, …) answer from the *merged* cross-shard
+/// view; `APPLY` routes through the global-ticket router; `SYNC` barriers on
+/// the connection's per-shard ACK high-water marks. `REPLAY` is the one verb
+/// a sharded server refuses — followers must tail the per-shard logs.
+#[derive(Debug)]
+pub struct ShardedServer {
+    listener: TcpListener,
+    hub: Arc<ShardedHub>,
+    writers: Vec<Writer>,
+    config: ServeConfig,
+}
+
+/// A cheap, cloneable remote control for a running [`ShardedServer`].
+#[derive(Debug, Clone)]
+pub struct ShardedHandle {
+    hub: Arc<ShardedHub>,
+}
+
+impl ShardedHandle {
+    /// Requests shutdown on every shard; [`ShardedServer::run`] returns once
+    /// all shard writers have drained.
+    pub fn shutdown(&self) {
+        self.hub.shutdown();
+    }
+
+    /// The shared sharded hub, for in-process readers.
+    pub fn hub(&self) -> &Arc<ShardedHub> {
+        &self.hub
+    }
+}
+
+impl ShardedServer {
+    /// Binds the listener and bootstraps one writer per shard from a
+    /// prepared template session — see [`ShardedHub::bootstrap`].
+    pub fn bind(
+        session: Session,
+        config: ServeConfig,
+        sharding: &ShardedConfig,
+    ) -> Result<ShardedServer> {
+        let mut sharding = sharding.clone();
+        sharding.queue_capacity = config.queue_capacity;
+        sharding.batch_max = config.batch_max;
+        let (writers, hub) = ShardedHub::bootstrap(session, &sharding)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(ShardedServer {
+            listener,
+            hub,
+            writers,
+            config,
+        })
+    }
+
+    /// Like [`ShardedServer::bind`], but durable: each shard recovers its
+    /// own `wal_dir/shard-N/` segment and the merged checkpoint is
+    /// re-verified — see [`ShardedHub::bootstrap_durable`]. Returns the
+    /// per-shard recovery reports.
+    pub fn bind_durable(
+        session: Session,
+        config: ServeConfig,
+        sharding: &ShardedConfig,
+        wal_dir: &Path,
+    ) -> Result<(ShardedServer, Vec<RecoveryReport>)> {
+        let mut sharding = sharding.clone();
+        sharding.queue_capacity = config.queue_capacity;
+        sharding.batch_max = config.batch_max;
+        let (writers, hub, recoveries) =
+            ShardedHub::bootstrap_durable(session, &sharding, wal_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok((
+            ShardedServer {
+                listener,
+                hub,
+                writers,
+                config,
+            },
+            recoveries,
+        ))
+    }
+
+    /// The bound address (resolves the ephemeral port of `127.0.0.1:0`).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ShardedHandle {
+        ShardedHandle {
+            hub: self.hub.clone(),
+        }
+    }
+
+    /// Serves until shutdown: one writer thread per shard plus one worker
+    /// per accepted connection, all scoped. A dead shard writer trips the
+    /// sharded shutdown flag, so the accept loop exits rather than serving
+    /// a deployment that can no longer apply writes. Returns the per-shard
+    /// sessions in their final states.
+    pub fn run(self) -> Result<Vec<Session>> {
+        let ShardedServer {
+            listener,
+            hub,
+            writers,
+            config,
+        } = self;
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| -> Result<Vec<Session>> {
+            let writer_threads: Vec<_> = writers
+                .into_iter()
+                .enumerate()
+                .map(|(s, writer)| {
+                    let shard_hub = Arc::clone(&hub.shard_hubs()[s]);
+                    scope.spawn(move || writer.run(&shard_hub))
+                })
+                .collect();
+            loop {
+                if hub.is_shutdown() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let hub = &hub;
+                        let config = &config;
+                        scope.spawn(move || {
+                            let _ = handle_sharded_connection(stream, hub, config);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(config.poll_interval);
+                    }
+                    Err(_) => break,
+                }
+            }
+            hub.shutdown();
+            let mut sessions = Vec::new();
+            for thread in writer_threads {
+                sessions.push(thread.join().expect("shard writer thread panicked")?);
+            }
+            Ok(sessions)
+        })
+    }
+}
+
+/// Serves one connection against a sharded hub.
+fn handle_sharded_connection(
+    stream: TcpStream,
+    hub: &ShardedHub,
+    config: &ServeConfig,
+) -> std::io::Result<()> {
+    // Per-shard ACK high-water marks of *this* connection (0 = nothing
+    // submitted to that shard yet): the SYNC barrier waits on exactly these.
+    let mut last: Vec<u64> = vec![0; hub.num_shards()];
+    serve_lines(
+        stream,
+        config.read_timeout,
+        || hub.is_shutdown(),
+        |line| {
+            respond_counted(line, |request| {
+                dispatch_sharded(request, hub, config, &mut last)
+            })
+        },
+    )
+}
+
+/// The sharded verb dispatch: reader verbs answer from the merged view,
+/// `APPLY` goes through the router, `SYNC` barriers per shard.
+fn dispatch_sharded(
+    request: Request,
+    hub: &ShardedHub,
+    config: &ServeConfig,
+    last: &mut [u64],
+) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Quit => Response::Bye,
+        Request::Epoch => match hub.merged() {
+            Ok(merged) => {
+                let stats = hub.stats();
+                Response::Epoch {
+                    epoch: merged.epoch(),
+                    rows: merged.report.total_rows,
+                    sv: merged.report.num_sv(),
+                    mv: merged.report.num_mv(),
+                    queued: stats.queued,
+                    errors: stats.write_errors,
+                }
+            }
+            Err(e) => Response::Err {
+                message: e.to_string(),
+            },
+        },
+        Request::Detect { fresh } => {
+            let merged = if fresh {
+                hub.merged_fresh().map(Arc::new)
+            } else {
+                hub.merged()
+            };
+            match merged {
+                Ok(merged) => Response::Report {
+                    epoch: merged.epoch(),
+                    total: merged.report.total_rows,
+                    sv: merged.report.sv_rows.iter().map(|r| r.as_u64()).collect(),
+                    mv: merged.report.mv_rows.iter().map(|r| r.as_u64()).collect(),
+                },
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Check => {
+            // The strong sharded consistency check: compose the shards into
+            // one single-session snapshot (the oracle path) and compare its
+            // from-scratch report against the merge layer's answer.
+            let merged = match hub.merged() {
+                Ok(merged) => merged,
+                Err(e) => {
+                    return Response::Err {
+                        message: e.to_string(),
+                    }
+                }
+            };
+            match hub.compose() {
+                Ok(composed) => Response::Checked {
+                    epoch: merged.epoch(),
+                    total: composed.report().total_rows,
+                    sv: composed.report().num_sv(),
+                    mv: composed.report().num_mv(),
+                    consistent: composed.report() == &merged.report,
+                },
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Explain => match hub.merged() {
+            Ok(merged) => evidence_parts(merged.epoch(), &merged.evidence),
+            Err(e) => Response::Err {
+                message: e.to_string(),
+            },
+        },
+        Request::ExplainPlan => {
+            // Every shard registers the same constraint set; compile the
+            // plan from shard 0's published snapshot.
+            let snap = hub.shard_hubs()[0].snapshot();
+            match ecfd_plan::Plan::compile(snap.constraints()) {
+                Ok(plan) => Response::PlanText {
+                    text: plan.render(),
+                },
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Apply { ops } => {
+            let delta = match Request::ops_to_delta(&ops, hub.schema()) {
+                Ok(delta) => delta,
+                Err(message) => return Response::Err { message },
+            };
+            match hub.submit(delta) {
+                Ok(receipt) => {
+                    for &(s, ticket) in &receipt.shard_tickets {
+                        last[s] = last[s].max(ticket);
+                    }
+                    Response::Ack {
+                        ticket: receipt.global,
+                        epoch: hub.epoch(),
+                    }
+                }
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Sync => match hub.sync_tickets(last, config.sync_timeout) {
+            Ok(epoch) => Response::Synced { epoch },
+            Err(e) => Response::Err {
+                message: e.to_string(),
+            },
+        },
+        Request::RepairPlan => match hub.compose() {
+            Ok(composed) => match composed.repair_plan(RepairOptions::default()) {
+                Ok(plan) => Response::Plan {
+                    epoch: composed.epoch(),
+                    deletions: plan.num_deletions(),
+                    modifications: plan.num_modifications(),
+                    cost: plan.total_cost(),
+                },
+                Err(e) => Response::Err {
+                    message: e.to_string(),
+                },
+            },
+            Err(e) => Response::Err {
+                message: e.to_string(),
+            },
+        },
+        Request::Replay { .. } => Response::Err {
+            message: "REPLAY is not available on a sharded server; \
+                      tail the per-shard WAL segments instead"
+                .into(),
+        },
+        Request::Stats { prefix } => Response::Metrics {
+            text: match prefix {
+                Some(prefix) => ecfd_obs::registry().render_prefix(&prefix),
+                None => ecfd_obs::registry().render(),
+            },
+        },
+        Request::Info => Response::Info {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            epoch: hub.epoch(),
+            accepted: hub.accepted_global(),
+            applied: hub.applied_global(),
+            wal: hub.wal_mode().to_string(),
+            follower: false,
+        },
+    }
+}
+
 /// Serves one `REPLAY` page straight from the WAL file. Everything in the
 /// log's valid prefix is durable and (eventually) applied, so the whole
 /// prefix is streamable; a torn tail from an append racing this read simply
@@ -398,6 +738,12 @@ fn replay_response(hub: &Hub, cursor: u64, max: usize) -> Response {
                 ticket: *ticket,
                 ops: delta_to_ops(delta),
             },
+            // Sharded logs stream the same way; the pre-assigned ids are an
+            // apply-time detail the wire replay format does not carry.
+            WalRecord::ScheduledDelta { ticket, delta, .. } => ReplayRecord::Delta {
+                ticket: *ticket,
+                ops: delta_to_ops(delta),
+            },
             WalRecord::Checkpoint {
                 epoch,
                 last_ticket,
@@ -416,9 +762,12 @@ fn replay_response(hub: &Hub, cursor: u64, max: usize) -> Response {
 }
 
 fn evidence_response(snap: &Snapshot) -> Response {
-    let evidence = snap.evidence();
+    evidence_parts(snap.epoch(), snap.evidence())
+}
+
+fn evidence_parts(epoch: u64, evidence: &EvidenceReport) -> Response {
     Response::Evidence {
-        epoch: snap.epoch(),
+        epoch,
         total: evidence.total_rows,
         sv: evidence
             .sv

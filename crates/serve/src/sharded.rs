@@ -1,0 +1,794 @@
+//! Sharded multi-writer serving: row partitioning, the global-id router,
+//! and the cross-shard merge layer.
+//!
+//! A sharded deployment partitions one relation's rows over `N` independent
+//! per-shard serving stacks — each with its own [`Session`], [`Writer`],
+//! ingest queue, WAL segment and snapshot store — by hashing the value of a
+//! configured **shard attribute** ([`shard_of_value`]). Routing hashes
+//! *values*, never dictionary codes, so placement is stable across restarts
+//! and across the shards' independently grown dictionaries.
+//!
+//! Correctness hinges on one invariant, asserted end-to-end by the sharded
+//! differential suite: **the merged report is byte-identical to what a
+//! single unsharded session fed the same deltas would publish.** Two
+//! mechanisms make that hold:
+//!
+//! * **Global row-id pre-assignment.** The router owns the global row-id
+//!   counter. Every submitted delta's insertions receive consecutive global
+//!   ids under the router lock — exactly the ids a single session's
+//!   insertion counter would hand out — and each shard's writer applies its
+//!   sub-delta with those ids scheduled
+//!   ([`Session::apply_scheduled_on`](ecfd_session::Session::apply_scheduled_on)).
+//!   Reports and evidence are keyed by row id, so id equality is what turns
+//!   "same violations" into "same bytes".
+//! * **The merge layer.** Constraints whose `X` contains the shard key are
+//!   *aligned*: every enforcement group lives entirely on one shard, and its
+//!   violations are final locally. The rest leave their groups **open**;
+//!   [`ShardedHub::merged`] decodes the per-shard group keys back to values
+//!   (per-shard dictionaries assign different codes to the same value) and
+//!   merges the open groups across shards before deciding violations — see
+//!   [`SemanticDetector::merge_partials`](ecfd_detect::SemanticDetector::merge_partials).
+//!
+//! Durability composes per shard: each shard logs its sub-deltas (with
+//! their pre-assigned ids, as [`ScheduledDelta`](ecfd_wal::WalRecord)
+//! records) into `wal_dir/shard-N/`, and recovery replays every shard then
+//! re-verifies the merged report hash against `wal_dir/merged.ckpt`.
+
+use crate::durable::{report_hash, RecoveryReport};
+use crate::hub::{Hub, ServeStats};
+use crate::ingest::Ticket;
+use crate::writer::Writer;
+use crate::{Result, ServeError};
+use ecfd_detect::{DetectionReport, EvidenceReport, ShardPartial};
+use ecfd_relation::{shard_of_value, AttrId, Delta, Relation, RowId, Schema, Tuple};
+use ecfd_session::{Session, SessionError, Snapshot};
+use ecfd_wal::WalRecord;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a sharded deployment.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of shards (clamped to at least 1).
+    pub num_shards: usize,
+    /// Name of the attribute whose value routes each row to its shard.
+    pub shard_key: String,
+    /// Per-shard ingest-queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Per-shard writer batch cap (deltas applied per published epoch).
+    pub batch_max: usize,
+    /// Worker fan-out for the merge layer's partition scans (`None` lets
+    /// each scan auto-size, the default).
+    pub detect_workers: Option<usize>,
+}
+
+impl ShardedConfig {
+    /// A config with the default queue capacity (64), batch cap (32) and
+    /// auto-sized detect workers.
+    pub fn new(num_shards: usize, shard_key: &str) -> Self {
+        ShardedConfig {
+            num_shards: num_shards.max(1),
+            shard_key: shard_key.to_string(),
+            queue_capacity: 64,
+            batch_max: 32,
+            detect_workers: None,
+        }
+    }
+}
+
+/// What one [`ShardedHub::submit`] produced: the global ticket (the delta's
+/// position in the router's serialization order) and the per-shard tickets
+/// of its non-empty sub-deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// Position in the global serialization order (starting at 1).
+    pub global: Ticket,
+    /// `(shard, shard-local ticket)` for every shard that received work.
+    pub shard_tickets: Vec<(usize, Ticket)>,
+}
+
+/// A merged cross-shard view: the global report and evidence over one cut
+/// of per-shard snapshots.
+#[derive(Debug, Clone)]
+pub struct MergedView {
+    /// The per-shard snapshot epochs this view was merged from.
+    pub epochs: Vec<u64>,
+    /// The merged detection report — byte-identical to a from-scratch
+    /// single-session detection over the union of the shards' rows.
+    pub report: DetectionReport,
+    /// The merged evidence behind [`MergedView::report`].
+    pub evidence: EvidenceReport,
+    /// The per-shard snapshots the view was computed from.
+    pub snapshots: Vec<Arc<Snapshot>>,
+}
+
+impl MergedView {
+    /// The global epoch: the sum of the shard epochs. Monotone, because
+    /// every shard's epoch is.
+    pub fn epoch(&self) -> u64 {
+        self.epochs.iter().sum()
+    }
+}
+
+struct RouterState {
+    /// Next global row id to hand to an insertion.
+    next_row_id: u64,
+    /// Next global ticket to issue.
+    next_global: Ticket,
+    /// Highest global ticket whose every shard part is applied+published.
+    applied_global: Ticket,
+    /// Per-shard tickets of global tickets not yet fully applied.
+    inflight: BTreeMap<Ticket, Vec<(usize, Ticket)>>,
+}
+
+/// The shared core of a sharded deployment: `N` per-shard [`Hub`]s behind
+/// one router (global tickets + global row-id pre-assignment) and one merge
+/// layer. The sharded analogue of [`Hub`] — the TCP front end and
+/// in-process embedders drive this type directly.
+pub struct ShardedHub {
+    table: String,
+    schema: Schema,
+    shard_key: String,
+    shard_attr: AttrId,
+    /// Per split constraint: does its `X` contain the shard key?
+    aligned: Vec<bool>,
+    hubs: Vec<Arc<Hub>>,
+    router: Mutex<RouterState>,
+    merged_cache: Mutex<Option<Arc<MergedView>>>,
+    detect_workers: Option<usize>,
+    /// Present in durable mode: where the merged checkpoint is persisted.
+    merged_ckpt: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for ShardedHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHub")
+            .field("table", &self.table)
+            .field("shards", &self.hubs.len())
+            .field("shard_key", &self.shard_key)
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedHub {
+    /// Bootstraps a sharded deployment from a prepared template session
+    /// (data loaded, constraints registered): partitions the template's rows
+    /// by the shard key's value, builds one independent session + writer +
+    /// hub per shard (rows keep their global ids), and returns the per-shard
+    /// writers alongside the hub. Run each writer against its hub
+    /// (`writers[s].run(&hub.shard_hubs()[s])`) — or step them manually in
+    /// tests.
+    pub fn bootstrap(
+        template: Session,
+        config: &ShardedConfig,
+    ) -> Result<(Vec<Writer>, Arc<Self>)> {
+        let parts = PartitionedTemplate::build(template, config)?;
+        let mut writers = Vec::with_capacity(parts.sessions.len());
+        let mut hubs = Vec::with_capacity(parts.sessions.len());
+        for (s, session) in parts.sessions.into_iter().enumerate() {
+            let (writer, hub) = Writer::bootstrap_shard(
+                session,
+                config.queue_capacity,
+                config.batch_max,
+                Some(s as u32),
+            )?;
+            writers.push(writer);
+            hubs.push(hub);
+        }
+        let hub = parts.meta.into_hub(hubs, config, None);
+        Ok((writers, hub))
+    }
+
+    /// [`ShardedHub::bootstrap`], durable: each shard opens (or recovers)
+    /// its own WAL segment in `wal_dir/shard-N/`, the global row-id counter
+    /// continues past every id any shard's log ever assigned, and the merged
+    /// report is re-verified against `wal_dir/merged.ckpt` when the
+    /// recovered epochs match the checkpointed ones (gauge
+    /// `wal.recovery.merged.verified`). Returns the per-shard recovery
+    /// reports.
+    pub fn bootstrap_durable(
+        template: Session,
+        config: &ShardedConfig,
+        wal_dir: &Path,
+    ) -> Result<(Vec<Writer>, Arc<Self>, Vec<RecoveryReport>)> {
+        let parts = PartitionedTemplate::build(template, config)?;
+        let mut writers = Vec::with_capacity(parts.sessions.len());
+        let mut hubs = Vec::with_capacity(parts.sessions.len());
+        let mut recoveries = Vec::with_capacity(parts.sessions.len());
+        let mut next_row_id = parts.meta.next_row_id;
+        for (s, session) in parts.sessions.into_iter().enumerate() {
+            let shard_dir = wal_dir.join(format!("shard-{s}"));
+            let (writer, hub, recovery) = Writer::bootstrap_durable_shard(
+                session,
+                config.queue_capacity,
+                config.batch_max,
+                &shard_dir,
+                Some(s as u32),
+            )?;
+            // The global id sequence must continue past every id this
+            // shard's log ever assigned — surviving rows alone understate it
+            // when logged insertions were later deleted.
+            if let Some(path) = hub.wal_path() {
+                for record in ecfd_wal::read_records(path)? {
+                    if let WalRecord::ScheduledDelta { insert_ids, .. } = record {
+                        for id in insert_ids {
+                            next_row_id = next_row_id.max(id + 1);
+                        }
+                    }
+                }
+            }
+            writers.push(writer);
+            hubs.push(hub);
+            recoveries.push(recovery);
+        }
+        let mut meta = parts.meta;
+        meta.next_row_id = next_row_id;
+        let hub = meta.into_hub(hubs, config, Some(wal_dir.join("merged.ckpt")));
+        hub.verify_recovered_merged()?;
+        Ok((writers, hub, recoveries))
+    }
+
+    // ── accessors ─────────────────────────────────────────────────────────
+
+    /// Name of the served relation.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The relation's base schema (shared by every shard).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Name of the routing attribute.
+    pub fn shard_key(&self) -> &str {
+        &self.shard_key
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// The per-shard hubs, indexed by shard.
+    pub fn shard_hubs(&self) -> &[Arc<Hub>] {
+        &self.hubs
+    }
+
+    /// The global epoch: sum of the shard epochs (each shard's epoch is
+    /// monotone, so the sum is too).
+    pub fn epoch(&self) -> u64 {
+        self.hubs.iter().map(|h| h.epoch()).sum()
+    }
+
+    /// Whether submits are WAL-logged before acknowledgement.
+    pub fn is_durable(&self) -> bool {
+        self.merged_ckpt.is_some()
+    }
+
+    /// The WAL mode string `INFO` reports (`off` / `durable` / `recovered`);
+    /// a deployment counts as recovered when *any* shard's log held history.
+    pub fn wal_mode(&self) -> &'static str {
+        if self.hubs.iter().any(|h| h.wal_mode() == "recovered") {
+            "recovered"
+        } else {
+            self.hubs[0].wal_mode()
+        }
+    }
+
+    /// Aggregated counters across the shards, as reported by `EPOCH`.
+    pub fn stats(&self) -> ServeStats {
+        let mut total = ServeStats {
+            epoch: self.epoch(),
+            queued: 0,
+            write_errors: 0,
+        };
+        for hub in &self.hubs {
+            let stats = hub.stats();
+            total.queued += stats.queued;
+            total.write_errors += stats.write_errors;
+        }
+        total
+    }
+
+    /// The most recent writer-side apply failure on any shard, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.hubs.iter().find_map(|h| h.last_error())
+    }
+
+    // ── the router: submit / sync / progress ──────────────────────────────
+
+    /// Which shard a tuple routes to. Tuples too short to reach the shard
+    /// attribute go to shard 0, whose writer records the apply failure.
+    pub fn shard_of_tuple(&self, tuple: &Tuple) -> usize {
+        match tuple.get(self.shard_attr) {
+            Some(value) => shard_of_value(value, self.hubs.len()),
+            None => 0,
+        }
+    }
+
+    fn lock_router(&self) -> MutexGuard<'_, RouterState> {
+        self.router.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Submits a delta: routes every tuple to its shard, pre-assigns global
+    /// row ids to the insertions **in submission order** (the router lock
+    /// defines the global serialization — concurrent submitters' id blocks
+    /// never interleave), enqueues the non-empty sub-deltas, and — in
+    /// durable mode — logs each sub-delta to its shard's WAL (fsynced
+    /// before this returns, *outside* the router lock).
+    pub fn submit(&self, delta: Delta) -> Result<SubmitReceipt> {
+        let shards = self.hubs.len();
+        let mut parts: Vec<Delta> = std::iter::repeat_with(Delta::new).take(shards).collect();
+        let mut ids: Vec<Vec<RowId>> = vec![Vec::new(); shards];
+        // Route outside the lock — hashing needs no shared state.
+        let targets: Vec<usize> = delta
+            .insertions
+            .iter()
+            .map(|t| self.shard_of_tuple(t))
+            .collect();
+        for (tuple, &s) in delta.insertions.iter().zip(&targets) {
+            parts[s].insertions.push(tuple.clone());
+        }
+        for tuple in &delta.deletions {
+            // All rows equal to this tuple share its shard-key value, hence
+            // its shard — deleting there deletes every global duplicate.
+            parts[self.shard_of_tuple(tuple)]
+                .deletions
+                .push(tuple.clone());
+        }
+
+        let mut router = self.lock_router();
+        for &s in &targets {
+            ids[s].push(RowId(router.next_row_id));
+            router.next_row_id += 1;
+        }
+        let mut shard_tickets = Vec::new();
+        for s in 0..shards {
+            if parts[s].is_empty() {
+                continue;
+            }
+            let ticket = self.hubs[s].enqueue_scheduled(parts[s].clone(), ids[s].clone())?;
+            shard_tickets.push((s, ticket));
+        }
+        let global = router.next_global;
+        router.next_global += 1;
+        router.inflight.insert(global, shard_tickets.clone());
+        drop(router);
+
+        // WAL appends (and their fsyncs) happen outside the router lock; the
+        // sink reorders out-of-order arrivals into strict ticket order.
+        for &(s, ticket) in &shard_tickets {
+            self.hubs[s].log_scheduled(ticket, &parts[s], &ids[s])?;
+        }
+        Ok(SubmitReceipt {
+            global,
+            shard_tickets,
+        })
+    }
+
+    /// The highest global ticket issued so far (0 before the first submit).
+    pub fn accepted_global(&self) -> Ticket {
+        self.lock_router().next_global - 1
+    }
+
+    /// The highest global ticket whose every shard part has been applied
+    /// and published — the global applied watermark `INFO` reports.
+    pub fn applied_global(&self) -> Ticket {
+        let mut router = self.lock_router();
+        while let Some((_, shard_tickets)) = router.inflight.first_key_value() {
+            let done = shard_tickets
+                .iter()
+                .all(|&(s, t)| self.hubs[s].queue().is_applied(t));
+            if !done {
+                break;
+            }
+            let (global, _) = router.inflight.pop_first().expect("non-empty");
+            router.applied_global = global;
+        }
+        router.applied_global
+    }
+
+    /// Blocks until every shard has applied and published the per-shard
+    /// tickets in `tickets` (one entry per shard; 0 skips a shard), then
+    /// returns the global epoch. The per-connection `SYNC` barrier: a shard
+    /// whose writer died fails the wait fast instead of hanging.
+    pub fn sync_tickets(&self, tickets: &[Ticket], timeout: Duration) -> Result<u64> {
+        let deadline = Instant::now() + timeout;
+        for (s, &ticket) in tickets.iter().enumerate() {
+            if ticket == 0 {
+                continue;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            self.hubs[s].sync_to(ticket, remaining)?;
+        }
+        Ok(self.epoch())
+    }
+
+    /// Blocks until everything submitted to *any* shard before this call is
+    /// applied and published — the global barrier for in-process embedders.
+    pub fn sync(&self, timeout: Duration) -> Result<u64> {
+        let tickets: Vec<Ticket> = self.hubs.iter().map(|h| h.queue().last_ticket()).collect();
+        self.sync_tickets(&tickets, timeout)
+    }
+
+    /// Requests shutdown on every shard (pending deltas still drain).
+    pub fn shutdown(&self) {
+        for hub in &self.hubs {
+            hub.shutdown();
+        }
+    }
+
+    /// Whether any shard has begun shutting down.
+    pub fn is_shutdown(&self) -> bool {
+        self.hubs.iter().any(|h| h.is_shutdown())
+    }
+
+    // ── the merge layer ───────────────────────────────────────────────────
+
+    /// The merged cross-shard view of the current per-shard snapshots,
+    /// cached by epoch vector: repeated reads at an unchanged cut are free.
+    /// In durable mode a fresh merge also persists the merged checkpoint
+    /// (`merged.ckpt`: epoch vector + report hash) for the next recovery to
+    /// verify against.
+    pub fn merged(&self) -> Result<Arc<MergedView>> {
+        let snapshots: Vec<Arc<Snapshot>> = self.hubs.iter().map(|h| h.snapshot()).collect();
+        let epochs: Vec<u64> = snapshots.iter().map(|s| s.epoch()).collect();
+        {
+            let cache = self.merged_cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(view) = cache.as_ref() {
+                if view.epochs == epochs {
+                    return Ok(Arc::clone(view));
+                }
+            }
+        }
+        let view = Arc::new(self.merge(snapshots)?);
+        self.persist_merged(&view)?;
+        *self.merged_cache.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&view));
+        Ok(view)
+    }
+
+    /// A from-scratch merge of the current per-shard snapshots, bypassing
+    /// (and not updating) the cache — the `DETECT FRESH` path readers use to
+    /// *verify* the published merged state rather than trust it.
+    pub fn merged_fresh(&self) -> Result<MergedView> {
+        let snapshots: Vec<Arc<Snapshot>> = self.hubs.iter().map(|h| h.snapshot()).collect();
+        self.merge(snapshots)
+    }
+
+    fn merge(&self, snapshots: Vec<Arc<Snapshot>>) -> Result<MergedView> {
+        let epochs: Vec<u64> = snapshots.iter().map(|s| s.epoch()).collect();
+        let partials: Vec<ShardPartial> = snapshots
+            .iter()
+            .map(|snap| match self.detect_workers {
+                Some(workers) => snap.detect_partition_with(&self.aligned, workers),
+                None => snap.detect_partition(&self.aligned),
+            })
+            .collect::<std::result::Result<_, SessionError>>()?;
+        let (report, evidence) = snapshots[0].merge_partials(partials);
+        Ok(MergedView {
+            epochs,
+            report,
+            evidence,
+            snapshots,
+        })
+    }
+
+    /// Composes the current per-shard snapshots into one self-contained
+    /// single-session snapshot over the union of the shards' rows — the
+    /// oracle path behind `CHECK` and `REPAIR-PLAN`.
+    pub fn compose(&self) -> Result<Snapshot> {
+        let snapshots: Vec<Arc<Snapshot>> = self.hubs.iter().map(|h| h.snapshot()).collect();
+        let refs: Vec<&Snapshot> = snapshots.iter().map(Arc::as_ref).collect();
+        Ok(Snapshot::compose(&refs)?)
+    }
+
+    // ── merged checkpoint persistence ─────────────────────────────────────
+
+    fn persist_merged(&self, view: &MergedView) -> Result<()> {
+        let Some(path) = &self.merged_ckpt else {
+            return Ok(());
+        };
+        let text = render_merged_ckpt(&view.epochs, report_hash(&view.report));
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// At durable bootstrap: if the persisted merged checkpoint describes
+    /// exactly the recovered epoch vector, the recovered merge must hash to
+    /// it — anything else is a [`ServeError::Replication`]. A checkpoint for
+    /// a different epoch vector is stale (the crash happened between a
+    /// shard's publish and the next merged read) and is skipped, not an
+    /// error. Either way the gauge `wal.recovery.merged.verified` records
+    /// what happened and a fresh checkpoint is persisted.
+    fn verify_recovered_merged(&self) -> Result<()> {
+        let stored = self
+            .merged_ckpt
+            .as_ref()
+            .and_then(|path| std::fs::read_to_string(path).ok())
+            .and_then(|text| parse_merged_ckpt(&text));
+        let view = self.merged_fresh()?;
+        let verified = match stored {
+            Some((epochs, expected)) if epochs == view.epochs => {
+                let actual = report_hash(&view.report);
+                if actual != expected {
+                    return Err(ServeError::Replication(format!(
+                        "sharded recovery diverged: merged checkpoint hashes to \
+                         {expected:#018x} at epochs {epochs:?}, replayed merge hashes to \
+                         {actual:#018x}"
+                    )));
+                }
+                true
+            }
+            _ => false,
+        };
+        ecfd_obs::registry()
+            .gauge("wal.recovery.merged.verified")
+            .set(i64::from(verified));
+        self.persist_merged(&view)?;
+        *self.merged_cache.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(view));
+        Ok(())
+    }
+}
+
+fn render_merged_ckpt(epochs: &[u64], hash: u64) -> String {
+    let epochs = epochs
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("epochs {epochs}\nhash {hash:#018x}\n")
+}
+
+fn parse_merged_ckpt(text: &str) -> Option<(Vec<u64>, u64)> {
+    let mut lines = text.lines();
+    let epochs = lines
+        .next()?
+        .strip_prefix("epochs ")?
+        .split(',')
+        .map(|part| part.trim().parse::<u64>().ok())
+        .collect::<Option<Vec<u64>>>()?;
+    let hash_text = lines.next()?.strip_prefix("hash ")?.trim();
+    let hash = u64::from_str_radix(hash_text.strip_prefix("0x")?, 16).ok()?;
+    Some((epochs, hash))
+}
+
+/// The shard-independent metadata extracted from a template session, plus
+/// the per-shard sessions built from its rows.
+struct PartitionedTemplate {
+    meta: PartitionMeta,
+    sessions: Vec<Session>,
+}
+
+struct PartitionMeta {
+    table: String,
+    schema: Schema,
+    shard_key: String,
+    shard_attr: AttrId,
+    aligned: Vec<bool>,
+    next_row_id: u64,
+}
+
+impl PartitionMeta {
+    fn into_hub(
+        self,
+        hubs: Vec<Arc<Hub>>,
+        config: &ShardedConfig,
+        merged_ckpt: Option<PathBuf>,
+    ) -> Arc<ShardedHub> {
+        Arc::new(ShardedHub {
+            table: self.table,
+            schema: self.schema,
+            shard_key: self.shard_key,
+            shard_attr: self.shard_attr,
+            aligned: self.aligned,
+            hubs,
+            router: Mutex::new(RouterState {
+                next_row_id: self.next_row_id,
+                next_global: 1,
+                applied_global: 0,
+                inflight: BTreeMap::new(),
+            }),
+            merged_cache: Mutex::new(None),
+            detect_workers: config.detect_workers,
+            merged_ckpt,
+        })
+    }
+}
+
+impl PartitionedTemplate {
+    /// Partitions a prepared template session's rows by the shard key's
+    /// hashed value into one fresh session per shard. Rows keep their global
+    /// ids, and the global id counter continues after the highest existing
+    /// id — exactly where the template's own insertion counter stood for
+    /// freshly loaded data.
+    fn build(mut template: Session, config: &ShardedConfig) -> Result<PartitionedTemplate> {
+        let num_shards = config.num_shards.max(1);
+        let snapshot = template.snapshot()?;
+        let table = snapshot.table().to_string();
+        let schema = snapshot.schema().clone();
+        let shard_attr = schema
+            .require_attr(&config.shard_key)
+            .map_err(SessionError::from)?;
+        let aligned = snapshot.aligned_mask(&config.shard_key)?;
+
+        let mut rows: Vec<Vec<(RowId, Tuple)>> = vec![Vec::new(); num_shards];
+        let mut next_row_id = 0u64;
+        for (id, values) in snapshot.frozen().decode_rows() {
+            let shard = shard_of_value(&values[shard_attr.index()], num_shards);
+            next_row_id = next_row_id.max(id.0 + 1);
+            rows[shard].push((id, Tuple::new(values)));
+        }
+
+        let source = snapshot.constraints().source();
+        let mut sessions = Vec::with_capacity(num_shards);
+        for shard_rows in rows {
+            let relation =
+                Relation::with_rows(schema.clone(), shard_rows).map_err(SessionError::from)?;
+            let mut session = Session::new();
+            session.load(relation)?;
+            session.register(source)?;
+            sessions.push(session);
+        }
+        Ok(PartitionedTemplate {
+            meta: PartitionMeta {
+                table,
+                schema,
+                shard_key: config.shard_key.clone(),
+                shard_attr,
+                aligned,
+                next_row_id,
+            },
+            sessions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfd_relation::{DataType, Schema};
+    use std::time::Duration;
+
+    fn template() -> Session {
+        let schema = Schema::builder("cust")
+            .attr("CT", DataType::Str)
+            .attr("AC", DataType::Str)
+            .build();
+        let data = Relation::with_tuples(
+            schema,
+            [
+                Tuple::from_iter(["Albany", "718"]), // SV: wrong area code
+                Tuple::from_iter(["NYC", "212"]),
+                Tuple::from_iter(["Troy", "518"]),
+            ],
+        )
+        .unwrap();
+        let mut session = Session::new();
+        session.load(data).unwrap();
+        session
+            .register_text(
+                "cust: [CT] -> [AC] | [], { {Albany} || {518} }\n\
+                 cust: [AC] -> [CT] | [], { {_} || {_} }",
+            )
+            .unwrap();
+        session
+    }
+
+    /// The unsharded oracle: the same base and constraints in one session.
+    fn oracle() -> Session {
+        template()
+    }
+
+    fn drive(writers: &mut [Writer], hub: &ShardedHub) {
+        for (s, writer) in writers.iter_mut().enumerate() {
+            while hub.shard_hubs()[s].queue().pending() > 0 {
+                writer
+                    .step(&hub.shard_hubs()[s], Duration::from_millis(10))
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_merge_matches_unsharded_oracle_after_deltas() {
+        for shards in [1usize, 2, 4] {
+            let config = ShardedConfig::new(shards, "AC");
+            let (mut writers, hub) = ShardedHub::bootstrap(template(), &config).unwrap();
+            let mut oracle = oracle();
+
+            let deltas = [
+                Delta::insert_only(vec![
+                    Tuple::from_iter(["Albany", "519"]),
+                    Tuple::from_iter(["Utica", "315"]),
+                ]),
+                // A cross-shard MV conflict for [AC] -> [CT]: same area code,
+                // two cities. Also delete an original row.
+                Delta {
+                    insertions: vec![Tuple::from_iter(["Watervliet", "518"])],
+                    deletions: vec![Tuple::from_iter(["NYC", "212"])],
+                },
+                Delta::insert_only(vec![Tuple::from_iter(["Troy", "518"])]),
+            ];
+            for delta in &deltas {
+                hub.submit(delta.clone()).unwrap();
+                oracle.apply_on("cust", delta).unwrap();
+            }
+            drive(&mut writers, &hub);
+
+            let merged = hub.merged().unwrap();
+            let expected = oracle.detect_on("cust").unwrap();
+            assert_eq!(
+                merged.report, expected,
+                "{shards}-shard merged report differs from the oracle"
+            );
+            let snapshot = oracle.snapshot().unwrap();
+            assert_eq!(merged.evidence, *snapshot.evidence());
+
+            // DETECT FRESH bypasses the cache and re-derives identically.
+            let fresh = hub.merged_fresh().unwrap();
+            assert_eq!(fresh.report, expected);
+
+            // The composed single-session snapshot agrees too.
+            let composed = hub.compose().unwrap();
+            assert_eq!(*composed.report(), expected);
+
+            // Cached reads at the same cut are the same Arc.
+            let again = hub.merged().unwrap();
+            assert!(Arc::ptr_eq(&merged, &again));
+        }
+    }
+
+    #[test]
+    fn router_tracks_global_progress() {
+        let config = ShardedConfig::new(2, "CT");
+        let (mut writers, hub) = ShardedHub::bootstrap(template(), &config).unwrap();
+        assert_eq!(hub.accepted_global(), 0);
+        assert_eq!(hub.applied_global(), 0);
+
+        let r1 = hub
+            .submit(Delta::insert_only(vec![
+                Tuple::from_iter(["Albany", "519"]),
+                Tuple::from_iter(["NYC", "999"]),
+            ]))
+            .unwrap();
+        assert_eq!(r1.global, 1);
+        let r2 = hub
+            .submit(Delta::insert_only(vec![Tuple::from_iter(["Utica", "315"])]))
+            .unwrap();
+        assert_eq!(r2.global, 2);
+        assert_eq!(hub.accepted_global(), 2);
+        assert_eq!(hub.applied_global(), 0);
+
+        drive(&mut writers, &hub);
+        assert_eq!(hub.sync(Duration::from_secs(5)).unwrap(), hub.epoch());
+        assert_eq!(hub.applied_global(), 2);
+
+        // Row ids were assigned globally in submission order: 3 base rows,
+        // then 3 insertions.
+        let composed = hub.compose().unwrap();
+        let ids: Vec<u64> = composed
+            .to_relation()
+            .unwrap()
+            .row_ids()
+            .into_iter()
+            .map(|id| id.0)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn merged_ckpt_round_trips() {
+        let rendered = render_merged_ckpt(&[3, 0, 7], 0xdead_beef_0123_4567);
+        assert_eq!(
+            parse_merged_ckpt(&rendered),
+            Some((vec![3, 0, 7], 0xdead_beef_0123_4567))
+        );
+        assert_eq!(parse_merged_ckpt("garbage"), None);
+    }
+}

@@ -27,14 +27,29 @@ struct WriterMetrics {
 }
 
 impl WriterMetrics {
-    fn fetch() -> Self {
+    /// Fetches the writer's metric handles; in a sharded deployment every
+    /// series carries a `shard` label (one writer per shard).
+    fn fetch(shard: Option<u32>) -> Self {
         let registry = ecfd_obs::registry();
-        WriterMetrics {
-            apply: registry.histogram("writer.apply.ns"),
-            apply_failed: registry.counter("writer.apply.failed"),
-            batch_size: registry.histogram("writer.batch.size"),
-            publish: registry.histogram("writer.publish.ns"),
-            epochs: registry.counter("writer.epochs"),
+        match shard {
+            None => WriterMetrics {
+                apply: registry.histogram("writer.apply.ns"),
+                apply_failed: registry.counter("writer.apply.failed"),
+                batch_size: registry.histogram("writer.batch.size"),
+                publish: registry.histogram("writer.publish.ns"),
+                epochs: registry.counter("writer.epochs"),
+            },
+            Some(shard) => {
+                let shard = shard.to_string();
+                let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+                WriterMetrics {
+                    apply: registry.histogram_with("writer.apply.ns", labels),
+                    apply_failed: registry.counter_with("writer.apply.failed", labels),
+                    batch_size: registry.histogram_with("writer.batch.size", labels),
+                    publish: registry.histogram_with("writer.publish.ns", labels),
+                    epochs: registry.counter_with("writer.epochs", labels),
+                }
+            }
         }
     }
 }
@@ -88,19 +103,32 @@ impl Writer {
     /// with the given ingest-queue capacity. Returns the writer and the hub
     /// to share with producers and readers.
     pub fn bootstrap(
-        mut session: Session,
+        session: Session,
         queue_capacity: usize,
         batch_max: usize,
     ) -> Result<(Writer, Arc<Hub>)> {
+        Writer::bootstrap_shard(session, queue_capacity, batch_max, None)
+    }
+
+    /// [`Writer::bootstrap`] for one shard of a sharded deployment: the
+    /// writer's (and its queue's) metric series carry a `shard` label so the
+    /// per-shard apply latencies stay separable.
+    pub fn bootstrap_shard(
+        mut session: Session,
+        queue_capacity: usize,
+        batch_max: usize,
+        shard: Option<u32>,
+    ) -> Result<(Writer, Arc<Hub>)> {
         let snapshot = session.snapshot()?;
         let table = snapshot.table().to_string();
-        let hub = Hub::new(snapshot, queue_capacity);
+        let queue = IngestQueue::starting_at_sharded(queue_capacity, 0, shard);
+        let hub = Hub::with_queue(snapshot, queue);
         Ok((
             Writer {
                 session,
                 table,
                 batch_max: batch_max.max(1),
-                metrics: WriterMetrics::fetch(),
+                metrics: WriterMetrics::fetch(shard),
                 #[cfg(test)]
                 fail_next_snapshots: 0,
             },
@@ -123,10 +151,23 @@ impl Writer {
     /// checkpoint for the recovered epoch is stamped immediately, giving
     /// followers an anchor even before the first new delta.
     pub fn bootstrap_durable(
+        session: Session,
+        queue_capacity: usize,
+        batch_max: usize,
+        wal_dir: &Path,
+    ) -> Result<(Writer, Arc<Hub>, RecoveryReport)> {
+        Writer::bootstrap_durable_shard(session, queue_capacity, batch_max, wal_dir, None)
+    }
+
+    /// [`Writer::bootstrap_durable`] for one shard of a sharded deployment:
+    /// `wal_dir` is the shard's own log directory, and every metric series
+    /// (writer, queue, WAL sink, recovery gauges) carries a `shard` label.
+    pub fn bootstrap_durable_shard(
         mut session: Session,
         queue_capacity: usize,
         batch_max: usize,
         wal_dir: &Path,
+        shard: Option<u32>,
     ) -> Result<(Writer, Arc<Hub>, RecoveryReport)> {
         let opened = Wal::open(wal_dir)?;
         let table = match session.registered_tables().as_slice() {
@@ -140,24 +181,24 @@ impl Writer {
         let recovered = !opened.records.is_empty();
         let mut recovery = recover_session(&mut session, &table, &opened.records)?;
         recovery.truncated_bytes = opened.truncated_bytes;
-        recovery.export_metrics();
+        recovery.export_metrics(shard);
 
         let snapshot = session.snapshot_of(&table)?;
         let epoch = snapshot.epoch();
         let hash = report_hash(snapshot.report());
         let wal_path = opened.wal.path().to_path_buf();
-        let sink = WalSink::new(opened.wal, recovery.last_ticket);
+        let sink = WalSink::new(opened.wal, recovery.last_ticket, shard);
         // Anchor the recovered (or initial) epoch in the log before serving.
         sink.log_checkpoint(epoch, recovery.last_ticket, hash)?;
 
-        let queue = IngestQueue::starting_at(queue_capacity, recovery.last_ticket);
+        let queue = IngestQueue::starting_at_sharded(queue_capacity, recovery.last_ticket, shard);
         let hub = Hub::new_durable(snapshot, queue, sink, wal_path, recovered);
         Ok((
             Writer {
                 session,
                 table,
                 batch_max: batch_max.max(1),
-                metrics: WriterMetrics::fetch(),
+                metrics: WriterMetrics::fetch(shard),
                 #[cfg(test)]
                 fail_next_snapshots: 0,
             },
@@ -188,12 +229,18 @@ impl Writer {
         let max_ticket = batch.iter().map(|(t, _)| *t).max().expect("non-empty");
         let count = batch.len();
         self.metrics.batch_size.record(count as u64);
-        for (ticket, delta) in batch {
+        for (ticket, item) in batch {
             // One failing ticket is skipped (and recorded) on its own; a
             // failed apply drops the session's caches, so the snapshot below
             // still describes the actual table contents.
             let applied_at = Instant::now();
-            if let Err(e) = self.session.apply_on(&self.table, &delta) {
+            let applied = match &item.insert_ids {
+                Some(ids) => self
+                    .session
+                    .apply_scheduled_on(&self.table, &item.delta, ids),
+                None => self.session.apply_on(&self.table, &item.delta),
+            };
+            if let Err(e) = applied {
                 self.metrics.apply_failed.inc();
                 hub.record_write_error(format!("ticket {ticket}: {e}"));
             }

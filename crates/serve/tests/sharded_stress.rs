@@ -1,0 +1,222 @@
+//! Concurrency stress of the sharded serving layer: producer threads race
+//! APPLYs through the router while readers continuously take merged views,
+//! and every observed cut must verify against a from-scratch re-detection.
+//!
+//! The router lock defines the global serialization order (global tickets),
+//! so even under racing producers the final state is exactly "replay the
+//! deltas in global-ticket order" — which is what the oracle comparison at
+//! the end asserts, byte for byte.
+
+use ecfd_datagen::constraints::workload_constraints;
+use ecfd_datagen::{generate, generate_delta, CustConfig, UpdateConfig};
+use ecfd_relation::{Delta, Relation, Tuple};
+use ecfd_serve::{ShardedConfig, ShardedHub, Ticket};
+use ecfd_session::{Session, Snapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const TABLE: &str = "cust";
+const SHARDS: usize = 4;
+const PRODUCERS: usize = 4;
+const DELTAS_PER_PRODUCER: usize = 12;
+
+fn base_instance() -> Relation {
+    let (base, _) = generate(&CustConfig {
+        size: 40,
+        noise_percent: 15.0,
+        seed: 1234,
+        extra_cities: 4,
+        num_items: 6,
+    });
+    base
+}
+
+fn workload_session(base: &Relation) -> Session {
+    let mut session = Session::new();
+    session.load(base.clone()).expect("base loads");
+    session
+        .register(&workload_constraints())
+        .expect("constraints register");
+    session
+}
+
+/// Pre-generates each producer's delta stream (so the racing threads do no
+/// RNG work under load): mixed insertions and deletions against the base.
+fn producer_streams(base: &Relation) -> Vec<Vec<Delta>> {
+    (0..PRODUCERS)
+        .map(|p| {
+            let mut mirror = base.clone();
+            (0..DELTAS_PER_PRODUCER)
+                .map(|round| {
+                    let delta = generate_delta(
+                        &mirror,
+                        &UpdateConfig {
+                            insertions: 5,
+                            deletions: 3,
+                            noise_percent: 30.0,
+                            seed: (p * 1000 + round) as u64,
+                            extra_cities: 4,
+                            num_items: 6,
+                        },
+                    );
+                    let _ = delta.apply(&mut mirror);
+                    delta
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn racing_producers_and_readers_agree_with_serial_replay() {
+    let base = base_instance();
+    let streams = producer_streams(&base);
+    let config = ShardedConfig::new(SHARDS, "CT");
+    let (writers, hub) =
+        ShardedHub::bootstrap(workload_session(&base), &config).expect("bootstrap");
+
+    // (global ticket, delta) pairs in whatever order the router issued them.
+    let submitted: Mutex<Vec<(Ticket, Delta)>> = Mutex::new(Vec::new());
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for (s, writer) in writers.into_iter().enumerate() {
+            let shard_hub = hub.shard_hubs()[s].clone();
+            scope.spawn(move || writer.run(&shard_hub));
+        }
+
+        // Readers: take merged views while the producers race. Each observed
+        // cut must (a) never move the global epoch backwards and (b) verify
+        // against a from-scratch single-session detection over the *same*
+        // per-shard snapshots the view was merged from.
+        for _ in 0..2 {
+            let hub = &hub;
+            let done = &done;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut verified = 0usize;
+                while !done.load(Ordering::SeqCst) {
+                    let view = hub.merged().expect("merged view");
+                    let epoch = view.epoch();
+                    assert!(
+                        epoch >= last_epoch,
+                        "global epoch went backwards: {last_epoch} -> {epoch}"
+                    );
+                    last_epoch = epoch;
+                    let refs: Vec<&Snapshot> = view.snapshots.iter().map(|s| s.as_ref()).collect();
+                    let composed = Snapshot::compose(&refs).expect("compose cut");
+                    assert_eq!(
+                        *composed.report(),
+                        view.report,
+                        "merged view at epoch {epoch} fails re-detection"
+                    );
+                    verified += 1;
+                }
+                assert!(verified > 0, "reader never observed a cut");
+            });
+        }
+
+        let producer_threads: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let hub = &hub;
+                let submitted = &submitted;
+                scope.spawn(move || {
+                    for delta in stream {
+                        let receipt = hub.submit(delta.clone()).expect("submit");
+                        submitted
+                            .lock()
+                            .unwrap()
+                            .push((receipt.global, delta.clone()));
+                    }
+                })
+            })
+            .collect();
+        for thread in producer_threads {
+            thread.join().expect("producer panicked");
+        }
+
+        // Quiesce: wait until everything submitted is applied + published.
+        hub.sync(Duration::from_secs(30)).expect("global sync");
+        done.store(true, Ordering::SeqCst);
+
+        // The router serialized the racing submits under its lock; replaying
+        // the deltas into one unsharded session in global-ticket order must
+        // reproduce the merged report byte-for-byte (row ids included —
+        // global pre-assignment hands out exactly the oracle's id sequence).
+        let mut ordered = submitted.lock().unwrap().clone();
+        ordered.sort_by_key(|(global, _)| *global);
+        assert_eq!(ordered.len(), PRODUCERS * DELTAS_PER_PRODUCER);
+        let mut oracle = workload_session(&base);
+        for (_, delta) in &ordered {
+            oracle.apply_on(TABLE, delta).expect("oracle apply");
+        }
+        let expected = oracle.detect_on(TABLE).expect("oracle detect");
+        let merged = hub.merged().expect("final merge");
+        assert_eq!(
+            merged.report, expected,
+            "post-race merged report differs from serial replay in ticket order"
+        );
+        let oracle_snap = oracle.snapshot().expect("oracle snapshot");
+        assert_eq!(merged.evidence, *oracle_snap.evidence());
+        assert_eq!(
+            hub.applied_global(),
+            (PRODUCERS * DELTAS_PER_PRODUCER) as u64
+        );
+
+        hub.shutdown();
+    });
+}
+
+/// A SYNC barrier over a shard whose writer died must fail fast — aborted
+/// queues report unappliable tickets immediately instead of timing out.
+#[test]
+fn sync_fails_fast_when_one_shard_writer_dies() {
+    let base = base_instance();
+    let config = ShardedConfig::new(2, "CT");
+    let (mut writers, hub) =
+        ShardedHub::bootstrap(workload_session(&base), &config).expect("bootstrap");
+
+    // Submit enough distinct-city rows to hit both shards.
+    let delta = Delta::insert_only(
+        ["Albany", "Troy", "NYC", "LI", "Utica", "Colonie"]
+            .iter()
+            .map(|city| {
+                Tuple::from_iter([
+                    "518",
+                    "0000000",
+                    "Stress",
+                    "1 Main St.",
+                    *city,
+                    "12000",
+                    "Book0",
+                    "book",
+                ])
+            })
+            .collect(),
+    );
+    hub.submit(delta).expect("submit");
+
+    // Shard 0's writer services its queue; shard 1's writer "dies" (abort
+    // closes its queue the way Writer::run's exit guard does).
+    let shard0 = hub.shard_hubs()[0].clone();
+    while shard0.queue().pending() > 0 {
+        writers[0]
+            .step(&shard0, Duration::from_millis(50))
+            .expect("shard 0 step");
+    }
+    hub.shard_hubs()[1].abort();
+
+    let started = Instant::now();
+    let result = hub.sync(Duration::from_secs(30));
+    assert!(
+        result.is_err(),
+        "sync over a dead shard writer must not succeed"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "sync hung on the dead shard instead of failing fast ({:?})",
+        started.elapsed()
+    );
+}

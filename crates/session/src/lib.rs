@@ -134,6 +134,7 @@ pub use snapshot::Snapshot;
 // are part of this crate's vocabulary.
 pub use ecfd_detect::backend::BackendKind;
 pub use ecfd_detect::Parallelism;
+pub use ecfd_detect::{OpenGroup, ShardPartial};
 
 #[cfg(test)]
 mod tests {

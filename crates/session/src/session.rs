@@ -11,7 +11,7 @@ use ecfd_detect::backend::{
 };
 use ecfd_detect::{DetectionReport, EvidenceReport};
 use ecfd_plan::PlanBackend;
-use ecfd_relation::{Catalog, Delta, Relation, Schema};
+use ecfd_relation::{Catalog, Delta, Relation, RowId, Schema};
 use ecfd_repair::{
     base_relation, repair_verified_with, ConflictGraph, CostModel, RepairEngine, RepairOptions,
     VerifiedRepair,
@@ -400,6 +400,35 @@ impl Session {
     /// Applies updates through an explicitly chosen backend.
     pub fn apply_with(&mut self, kind: BackendKind, delta: &Delta) -> Result<DetectionReport> {
         self.apply_impl(None, Some(kind), delta)
+    }
+
+    /// [`Session::apply_on`] with globally pre-assigned row ids for the
+    /// delta's insertions: the k-th insertion receives `insert_ids[k]`
+    /// instead of the relation's own sequential counter (extra insertions
+    /// beyond the schedule fall back to it). A sharded serving layer uses
+    /// this so a partition hands out the same ids a single-owner session
+    /// would — the invariant that makes merged reports byte-identical to the
+    /// unsharded oracle. The schedule is cleared afterwards whether the
+    /// apply succeeded or not.
+    pub fn apply_scheduled_on(
+        &mut self,
+        table: &str,
+        delta: &Delta,
+        insert_ids: &[RowId],
+    ) -> Result<DetectionReport> {
+        let name = self.resolve(Some(table))?;
+        {
+            // Direct catalog access on purpose: scheduling ids changes no
+            // observable contents, so no cache needs invalidating.
+            let relation = self.catalog.get_mut(&name)?;
+            relation.clear_scheduled_row_ids();
+            relation.schedule_row_ids(insert_ids.iter().copied());
+        }
+        let result = self.apply_impl(Some(&name), None, delta);
+        if let Ok(relation) = self.catalog.get_mut(&name) {
+            relation.clear_scheduled_row_ids();
+        }
+        result
     }
 
     fn apply_impl(

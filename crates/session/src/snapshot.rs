@@ -22,9 +22,9 @@
 //! session keeps mutating. This is the unit the `ecfd_serve` crate publishes
 //! to its readers.
 
-use crate::error::Result;
+use crate::error::{Result, SessionError};
 use ecfd_core::ConstraintSet;
-use ecfd_detect::{DetectionReport, EvidenceReport, SemanticDetector};
+use ecfd_detect::{DetectionReport, EvidenceReport, Parallelism, SemanticDetector, ShardPartial};
 use ecfd_relation::{FrozenView, Relation, Schema, Tuple};
 use ecfd_repair::{Repair, RepairEngine, RepairOptions};
 
@@ -115,6 +115,83 @@ impl Snapshot {
                 .into_iter()
                 .map(|(id, values)| (id, Tuple::new(values))),
         )?)
+    }
+
+    // ── shard-aware composition ───────────────────────────────────────────
+
+    /// For every split constraint of the snapshot's set, whether its `X`
+    /// contains the named shard attribute — see
+    /// [`SemanticDetector::aligned_mask`]. Aligned constraints resolve their
+    /// multi-tuple violations within one shard; the rest go through
+    /// [`Snapshot::merge_partials`].
+    pub fn aligned_mask(&self, shard_key: &str) -> Result<Vec<bool>> {
+        let attr = self.schema.require_attr(shard_key)?;
+        Ok(self.detector.aligned_mask(&self.schema, attr)?)
+    }
+
+    /// Scans this snapshot as one partition of a row-partitioned relation,
+    /// returning a mergeable partial result (see
+    /// [`SemanticDetector::detect_partition`]). Read-only and lock-free,
+    /// like [`Snapshot::detect_fresh`].
+    pub fn detect_partition(&self, aligned: &[bool]) -> Result<ShardPartial> {
+        Ok(self
+            .detector
+            .detect_partition(&self.frozen, &self.schema, aligned)?)
+    }
+
+    /// [`Snapshot::detect_partition`] with an explicit worker fan-out — the
+    /// sharded differential suite pins 1 and N detect workers with this.
+    pub fn detect_partition_with(&self, aligned: &[bool], workers: usize) -> Result<ShardPartial> {
+        let detector = self
+            .detector
+            .clone()
+            .with_parallelism(Parallelism::Fixed(workers));
+        Ok(detector.detect_partition(&self.frozen, &self.schema, aligned)?)
+    }
+
+    /// Combines per-shard partials into the global report and evidence (see
+    /// [`SemanticDetector::merge_partials`]). Byte-identical to a
+    /// from-scratch single-session detection over the union of the shards'
+    /// rows.
+    pub fn merge_partials(&self, partials: Vec<ShardPartial>) -> (DetectionReport, EvidenceReport) {
+        self.detector.merge_partials(partials)
+    }
+
+    /// Composes per-shard snapshots of the same relation back into one
+    /// self-contained snapshot: the union of the shards' rows (sorted by row
+    /// id, which reproduces the unsharded storage order — ids are allocated
+    /// globally in insertion order and survivors keep their relative order),
+    /// re-encoded through a fresh detector, with report and evidence derived
+    /// by a from-scratch detection pass. This is the serving layer's oracle
+    /// path: `CHECK` and `REPAIR-PLAN` on a sharded deployment run against
+    /// the composition. The epoch is the sum of the parts' epochs — the
+    /// sharded global epoch.
+    pub fn compose(parts: &[&Snapshot]) -> Result<Snapshot> {
+        let first = parts
+            .first()
+            .ok_or_else(|| SessionError::NotLoaded("<no shards>".to_string()))?;
+        let mut rows: Vec<(ecfd_relation::RowId, Vec<ecfd_relation::Value>)> =
+            parts.iter().flat_map(|p| p.frozen.decode_rows()).collect();
+        rows.sort_by_key(|(id, _)| *id);
+        let relation = Relation::with_rows(
+            first.schema.clone(),
+            rows.into_iter()
+                .map(|(id, values)| (id, Tuple::new(values))),
+        )?;
+        let detector =
+            SemanticDetector::from_set(&first.set).with_parallelism(first.detector.parallelism());
+        let frozen = detector.freeze(&relation, first.schema.arity());
+        let (report, evidence) = detector.detect_frozen(&frozen, &first.schema)?;
+        Ok(Snapshot {
+            epoch: parts.iter().map(|p| p.epoch).sum(),
+            table: first.table.clone(),
+            schema: first.schema.clone(),
+            set: first.set.clone(),
+            detector,
+            frozen,
+            report,
+            evidence,
+        })
     }
 
     /// Plans (but does not apply) a repair of the snapshot's violations: a

@@ -15,6 +15,7 @@ pub type Ticket = u64;
 
 const KIND_DELTA: u8 = 1;
 const KIND_CHECKPOINT: u8 = 2;
+const KIND_SCHEDULED_DELTA: u8 = 3;
 
 const TAG_NULL: u8 = 0;
 const TAG_INT: u8 = 1;
@@ -30,6 +31,18 @@ pub enum WalRecord {
         ticket: Ticket,
         /// The insertions and deletions, exactly as submitted.
         delta: Delta,
+    },
+    /// An accepted update batch in a *sharded* deployment: like
+    /// [`WalRecord::Delta`], plus the globally pre-assigned row ids of its
+    /// insertions (`insert_ids[k]` is the id of `delta.insertions[k]`), so
+    /// recovery replay hands out exactly the ids the original run did.
+    ScheduledDelta {
+        /// The shard-local ingest ticket.
+        ticket: Ticket,
+        /// The insertions and deletions, exactly as routed to this shard.
+        delta: Delta,
+        /// Globally allocated row ids, parallel to `delta.insertions`.
+        insert_ids: Vec<u64>,
     },
     /// An epoch boundary: the writer published the snapshot covering every
     /// ticket up to and including `last_ticket`.
@@ -55,6 +68,23 @@ impl WalRecord {
                 out.extend_from_slice(&ticket.to_le_bytes());
                 put_u32(&mut out, delta.insertions.len());
                 put_u32(&mut out, delta.deletions.len());
+                for tuple in delta.insertions.iter().chain(&delta.deletions) {
+                    encode_tuple(&mut out, tuple);
+                }
+            }
+            WalRecord::ScheduledDelta {
+                ticket,
+                delta,
+                insert_ids,
+            } => {
+                out.push(KIND_SCHEDULED_DELTA);
+                out.extend_from_slice(&ticket.to_le_bytes());
+                put_u32(&mut out, delta.insertions.len());
+                put_u32(&mut out, delta.deletions.len());
+                debug_assert_eq!(insert_ids.len(), delta.insertions.len());
+                for id in insert_ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
                 for tuple in delta.insertions.iter().chain(&delta.deletions) {
                     encode_tuple(&mut out, tuple);
                 }
@@ -96,6 +126,28 @@ impl WalRecord {
                         insertions: tuples,
                         deletions,
                     },
+                }
+            }
+            KIND_SCHEDULED_DELTA => {
+                let ticket = cursor.u64()?;
+                let num_insertions = cursor.u32()? as usize;
+                let num_deletions = cursor.u32()? as usize;
+                let mut insert_ids = Vec::with_capacity(num_insertions.min(1024));
+                for _ in 0..num_insertions {
+                    insert_ids.push(cursor.u64()?);
+                }
+                let mut tuples = Vec::with_capacity((num_insertions + num_deletions).min(1024));
+                for _ in 0..num_insertions + num_deletions {
+                    tuples.push(decode_tuple(&mut cursor)?);
+                }
+                let deletions = tuples.split_off(num_insertions);
+                WalRecord::ScheduledDelta {
+                    ticket,
+                    delta: Delta {
+                        insertions: tuples,
+                        deletions,
+                    },
+                    insert_ids,
                 }
             }
             KIND_CHECKPOINT => WalRecord::Checkpoint {
@@ -242,6 +294,22 @@ mod tests {
             epoch: 12,
             last_ticket: 0,
             report_hash: u64::MAX,
+        });
+        round_trip(WalRecord::ScheduledDelta {
+            ticket: 9,
+            delta: Delta {
+                insertions: vec![
+                    Tuple::new(vec![Value::str("a"), Value::Int(1)]),
+                    Tuple::new(vec![Value::str("b"), Value::Null]),
+                ],
+                deletions: vec![Tuple::new(vec![Value::str("c"), Value::Bool(false)])],
+            },
+            insert_ids: vec![17, 4],
+        });
+        round_trip(WalRecord::ScheduledDelta {
+            ticket: 1,
+            delta: Delta::delete_only(vec![Tuple::new(vec![Value::Int(3)])]),
+            insert_ids: vec![],
         });
     }
 
